@@ -1,0 +1,281 @@
+package pmjoin_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§9), plus the ablation benchmarks called out in DESIGN.md. Each benchmark
+// regenerates its experiment through internal/experiments and reports the
+// key simulated costs as custom metrics (sim-seconds), so `go test -bench=.`
+// reproduces the paper's numbers alongside wall-clock timings.
+//
+// Scale: benchmarks default to 0.25 of the paper's dataset/buffer sizes
+// (ratios preserved); set PMJOIN_SCALE=1.0 to run the paper's exact
+// cardinalities (several minutes).
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"pmjoin/internal/experiments"
+)
+
+func benchConfig() *experiments.Config {
+	scale := 0.25
+	if v := os.Getenv("PMJOIN_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			scale = f
+		}
+	}
+	return &experiments.Config{Scale: scale, Seed: 1}
+}
+
+// reportRows exposes each method's simulated total as a benchmark metric.
+func reportRows(b *testing.B, rows []experiments.CostRow) {
+	for _, r := range rows {
+		b.ReportMetric(r.Total(), r.Method+"-sim-s")
+	}
+}
+
+func reportSweep(b *testing.B, points []experiments.SweepPoint, method string) {
+	if len(points) == 0 {
+		return
+	}
+	first := points[0].Totals[method]
+	last := points[len(points)-1].Totals[method]
+	b.ReportMetric(first, method+"-smallB-sim-s")
+	b.ReportMetric(last, method+"-largeB-sim-s")
+}
+
+// BenchmarkFig10 regenerates Figure 10: the preprocess / CPU-join / I/O
+// breakdown of NLJ, pm-NLJ, random-SC and SC on the LBeach×MCounty join.
+func BenchmarkFig10(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: the same breakdown for the HChr18
+// self subsequence join.
+func BenchmarkFig11(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportRows(b, rows)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: HChr18 self join total cost vs
+// buffer size for NLJ, pm-NLJ, random-SC and SC.
+func BenchmarkFig12(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSweep(b, points, "SC")
+			reportSweep(b, points, "NLJ")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: I/O cost of SC vs the CC lower bound
+// over four dataset pairs and five buffer sizes each.
+func BenchmarkTable2(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		blocks, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(blocks) > 0 {
+			b.ReportMetric(blocks[0].SCIO[0], "SC-io-sim-s")
+			b.ReportMetric(blocks[0].CCIO[0], "CC-io-sim-s")
+		}
+	}
+}
+
+// BenchmarkFig13a regenerates Figure 13(a): LBeach×MCounty total cost vs
+// buffer for NLJ, BFRJ, EGO and SC.
+func BenchmarkFig13a(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig13a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSweep(b, points, "SC")
+			reportSweep(b, points, "EGO")
+		}
+	}
+}
+
+// BenchmarkFig13b regenerates Figure 13(b): Landsat1×Landsat2 total cost vs
+// buffer.
+func BenchmarkFig13b(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig13b(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSweep(b, points, "SC")
+			reportSweep(b, points, "NLJ")
+		}
+	}
+}
+
+// BenchmarkFig13c regenerates Figure 13(c): HChr18 self join total cost vs
+// buffer for NLJ, BFRJ, EGO and SC.
+func BenchmarkFig13c(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig13c(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportSweep(b, points, "SC")
+			reportSweep(b, points, "BFRJ")
+		}
+	}
+}
+
+// BenchmarkFig14 regenerates Figure 14: total cost vs dataset size on the
+// Landsat scalability workload at a fixed large buffer.
+func BenchmarkFig14(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 && len(points) > 0 {
+			last := points[len(points)-1]
+			b.ReportMetric(last.Totals["SC"], "SC-largest-sim-s")
+			b.ReportMetric(last.Totals["NLJ"], "NLJ-largest-sim-s")
+		}
+	}
+}
+
+// BenchmarkAblationFilterDepth sweeps the Figure 2 filter depth (DESIGN.md
+// ablation 1).
+func BenchmarkAblationFilterDepth(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationFilterDepth(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Matrix, r.Variant+"-matrix-sim-s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationClusterShape sweeps the SC row/column split (ablation 2).
+func BenchmarkAblationClusterShape(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationClusterShape(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.IO, r.Variant+"-io-sim-s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSchedule compares cluster orders (ablation 3).
+func BenchmarkAblationSchedule(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSchedule(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.IO, r.Variant+"-io-sim-s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHistogram sweeps CC's histogram resolution (ablation 4).
+func BenchmarkAblationHistogram(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHistogram(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReplacement compares LRU vs FIFO under pm-NLJ
+// (ablation 5).
+func BenchmarkAblationReplacement(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationReplacement(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.IO, r.Variant+"-io-sim-s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationReadahead sweeps the disk readahead window.
+func BenchmarkAblationReadahead(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationReadahead(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.IO, r.Variant+"-io-sim-s")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSeekRatio sweeps the seek/transfer cost ratio.
+func BenchmarkAblationSeekRatio(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationSeekRatio(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.Total, r.Variant+"-speedup")
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"pmjoin/internal/experiments"
+)
+
+// writeCostCSV writes a Figure 10/11-style breakdown as CSV.
+func writeCostCSV(dir, name string, rows []experiments.CostRow) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"method", "preprocess_s", "cpu_join_s", "io_s", "total_s", "results"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Method,
+			fmt.Sprintf("%.6f", r.Preprocess),
+			fmt.Sprintf("%.6f", r.CPUJoin),
+			fmt.Sprintf("%.6f", r.IO),
+			fmt.Sprintf("%.6f", r.Total()),
+			strconv.FormatInt(r.Results, 10),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSweepCSV writes a Figure 12/13/14-style sweep as CSV with one column
+// per method.
+func writeSweepCSV(dir, name, xLabel string, points []experiments.SweepPoint) error {
+	if dir == "" || len(points) == 0 {
+		return nil
+	}
+	methods := map[string]bool{}
+	for _, p := range points {
+		for m := range p.Totals {
+			methods[m] = true
+		}
+	}
+	cols := make([]string, 0, len(methods))
+	for m := range methods {
+		cols = append(cols, m)
+	}
+	sort.Strings(cols)
+
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write(append([]string{xLabel}, cols...)); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{strconv.Itoa(p.X)}
+		for _, m := range cols {
+			if v, ok := p.Totals[m]; ok {
+				rec = append(rec, fmt.Sprintf("%.6f", v))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTable2CSV writes the Table 2 blocks as CSV.
+func writeTable2CSV(dir string, blocks []experiments.Table2Block) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"pair", "buffer", "sc_io_s", "cc_io_s"}); err != nil {
+		return err
+	}
+	for _, blk := range blocks {
+		for i, b := range blk.Buffers {
+			rec := []string{
+				blk.Pair,
+				strconv.Itoa(b),
+				fmt.Sprintf("%.6f", blk.SCIO[i]),
+				fmt.Sprintf("%.6f", blk.CCIO[i]),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Command pmjoin runs ad-hoc similarity joins on synthetic workloads over
+// the simulated disk and prints the cost report.
+//
+// Examples:
+//
+//	pmjoin -kind vector -n 20000 -n2 15000 -dim 2 -method SC -eps 0.02 -buffer 50
+//	pmjoin -kind vector -n 10000 -dim 60 -data landsat -method EGO -calibrate 0.01 -buffer 200
+//	pmjoin -kind string -n 500000 -window 500 -stride 32 -eps 5 -method SC -buffer 100
+//	pmjoin -kind series -n 100000 -window 32 -stride 4 -eps 2.5 -method CC -buffer 64
+//
+// Omitting -n2 makes the join a self join.
+//
+// All methods: NLJ, pm-NLJ (PMNLJ), random-SC, SC, CC, EGO, BFRJ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmjoin"
+	"pmjoin/internal/dataset"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "vector", "data kind: vector, series, string")
+		data      = flag.String("data", "", "vector generator: roads (default for dim 2) or landsat (default otherwise)")
+		n         = flag.Int("n", 10000, "size of the first dataset (vectors / samples / bases)")
+		n2        = flag.Int("n2", 0, "size of the second dataset (0: self join)")
+		dim       = flag.Int("dim", 2, "vector dimensionality")
+		window    = flag.Int("window", 32, "subsequence length for sequence kinds")
+		stride    = flag.Int("stride", 4, "window stride for sequence kinds")
+		method    = flag.String("method", "SC", "join method: NLJ, PMNLJ, random-SC, SC, CC, EGO, BFRJ, PBSM")
+		eps       = flag.Float64("eps", 0, "distance threshold (edit distance for strings)")
+		calibrate = flag.Float64("calibrate", 0, "calibrate eps to this prediction-matrix density instead of -eps")
+		buffer    = flag.Int("buffer", 100, "buffer size in pages")
+		pageBytes = flag.Int("page", 4096, "page size in bytes")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		pairs     = flag.Int("pairs", 0, "print up to this many result pairs")
+	)
+	flag.Parse()
+
+	m, err := parseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	sys := pmjoin.NewSystem(pmjoin.DiskModel{PageBytes: *pageBytes})
+	var da, db *pmjoin.Dataset
+	switch *kind {
+	case "vector":
+		da, db, err = buildVectors(sys, *data, *n, *n2, *dim, *seed)
+	case "series":
+		da, db, err = buildSeries(sys, *n, *n2, *window, *stride, *seed)
+	case "string":
+		da, db, err = buildStrings(sys, *n, *n2, *window, *stride, *seed)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("datasets: %s (%d objects, %d pages) x %s (%d objects, %d pages)\n",
+		da.Name(), da.Objects(), da.Pages(), db.Name(), db.Objects(), db.Pages())
+
+	epsilon := *eps
+	if *calibrate > 0 {
+		epsilon, err = sys.CalibrateEpsilon(da, db, *calibrate)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("calibrated eps = %g (target density %g)\n", epsilon, *calibrate)
+	}
+	if epsilon <= 0 {
+		fatal(fmt.Errorf("provide -eps or -calibrate"))
+	}
+
+	opt := pmjoin.Options{
+		Method:       m,
+		Epsilon:      epsilon,
+		BufferPages:  *buffer,
+		Seed:         *seed,
+		CollectPairs: *pairs > 0,
+		MaxPairs:     *pairs,
+	}
+	res, err := sys.Join(da, db, opt)
+	if err != nil {
+		fatal(err)
+	}
+	r := res.Report
+	fmt.Printf("\n%s join, eps=%g, buffer=%d pages\n", m, epsilon, *buffer)
+	fmt.Printf("  results:        %d pairs\n", res.Count())
+	fmt.Printf("  total cost:     %.3f sim-s\n", res.TotalSeconds())
+	fmt.Printf("    I/O:          %.3f sim-s (%d reads, %d seeks)\n", r.IOSeconds, r.PageReads, r.Seeks)
+	fmt.Printf("    CPU-join:     %.3f sim-s (%d comparisons)\n", r.CPUJoinSeconds, r.Comparisons)
+	fmt.Printf("    preprocess:   %.3f sim-s (%d clusters)\n", r.PreprocessSeconds, r.Clusters)
+	if res.MarkedEntries > 0 {
+		fmt.Printf("  matrix:         %d marked entries (density %.4f), built in %.4f sim-s\n",
+			res.MarkedEntries, res.MatrixDensity, res.MatrixSeconds)
+	}
+	fmt.Printf("  buffer:         %d hits / %d misses\n", r.Hits, r.Misses)
+	for i, p := range res.Pairs {
+		fmt.Printf("  pair %d: (%d, %d)\n", i, p[0], p[1])
+	}
+	if res.Truncated {
+		fmt.Printf("  ... more pairs not shown\n")
+	}
+}
+
+func parseMethod(s string) (pmjoin.Method, error) {
+	switch strings.ToLower(s) {
+	case "nlj":
+		return pmjoin.NLJ, nil
+	case "pmnlj", "pm-nlj":
+		return pmjoin.PMNLJ, nil
+	case "random-sc", "randomsc", "rand-sc":
+		return pmjoin.RandomSC, nil
+	case "sc":
+		return pmjoin.SC, nil
+	case "cc":
+		return pmjoin.CC, nil
+	case "ego":
+		return pmjoin.EGO, nil
+	case "bfrj":
+		return pmjoin.BFRJ, nil
+	case "pbsm":
+		return pmjoin.PBSM, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func buildVectors(sys *pmjoin.System, data string, n, n2, dim int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, error) {
+	gen := func(n int, seed int64) [][]float64 {
+		if data == "roads" || (data == "" && dim == 2) {
+			return dataset.ToFloats(dataset.RoadIntersections(n, seed))
+		}
+		return dataset.ToFloats(dataset.Landsat(n, dim, seed))
+	}
+	da, err := sys.AddVectors("A", gen(n, seed), pmjoin.VectorOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if n2 == 0 {
+		return da, da, nil
+	}
+	db, err := sys.AddVectors("B", gen(n2, seed+1), pmjoin.VectorOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return da, db, nil
+}
+
+func buildSeries(sys *pmjoin.System, n, n2, window, stride int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, error) {
+	da, err := sys.AddSeries("A", dataset.RandomWalk(n, seed), pmjoin.SeriesOptions{Window: window, Stride: stride})
+	if err != nil {
+		return nil, nil, err
+	}
+	if n2 == 0 {
+		return da, da, nil
+	}
+	db, err := sys.AddSeries("B", dataset.RandomWalk(n2, seed+1), pmjoin.SeriesOptions{Window: window, Stride: stride})
+	if err != nil {
+		return nil, nil, err
+	}
+	return da, db, nil
+}
+
+func buildStrings(sys *pmjoin.System, n, n2, window, stride int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, error) {
+	a := dataset.DNA(n, seed)
+	if n2 == 0 {
+		dataset.PlantHomologiesAligned(a, a, n/20000+4, 4*window, 0.004, stride, seed+2)
+		da, err := sys.AddString("A", a, pmjoin.StringOptions{Window: window, Stride: stride})
+		if err != nil {
+			return nil, nil, err
+		}
+		return da, da, nil
+	}
+	b := dataset.DNA(n2, seed+1)
+	dataset.PlantHomologiesAligned(b, a, n/20000+4, 4*window, 0.004, stride, seed+2)
+	da, err := sys.AddString("A", a, pmjoin.StringOptions{Window: window, Stride: stride})
+	if err != nil {
+		return nil, nil, err
+	}
+	db, err := sys.AddString("B", b, pmjoin.StringOptions{Window: window, Stride: stride})
+	if err != nil {
+		return nil, nil, err
+	}
+	return da, db, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmjoin:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,144 @@
+package pmjoin
+
+import (
+	"fmt"
+
+	"pmjoin/internal/cluster"
+	"pmjoin/internal/predmat"
+	"pmjoin/internal/sched"
+)
+
+// Plan describes what a prediction-matrix join would do, without executing
+// it: the matrix statistics, the clustering, the schedule, and the paper's
+// analytic page-read bounds. Obtain one with System.Explain.
+type Plan struct {
+	// Matrix statistics.
+	RowPages, ColPages int
+	MarkedEntries      int
+	MatrixDensity      float64
+	MarkedRows         int
+	MarkedCols         int
+
+	// Analytic page-read counts (not seconds):
+	// NLJPageReads is block nested loop join's read count,
+	// ceil(outer/(B-1)) * inner + outer.
+	NLJPageReads int64
+	// PMNLJLowerBound is Lemma 1's bound for pm-NLJ over the whole matrix:
+	// m + min(marked rows, marked cols).
+	PMNLJLowerBound int64
+	// ClusteredPageReads is the clustered executor's read count before
+	// buffer reuse: the sum of rows+cols over clusters (Lemma 2 grants
+	// each cluster joins in memory after those reads).
+	ClusteredPageReads int64
+	// ScheduleSavings is the page reads recovered by the greedy schedule:
+	// the summed page overlap of consecutive clusters (Lemma 4).
+	ScheduleSavings int64
+
+	// Clustering summary.
+	Clusters             int
+	MaxClusterPages      int
+	AvgEntriesPerCluster float64
+}
+
+// String renders the plan as a compact report.
+func (p *Plan) String() string {
+	return fmt.Sprintf(
+		"matrix %dx%d pages, %d marked (%.2f%%), %d marked rows, %d marked cols\n"+
+			"page reads: NLJ=%d, pm-NLJ>=%d (Lemma 1), clustered=%d - %d reused (schedule) = %d\n"+
+			"clusters: %d (max %d pages, avg %.1f entries)",
+		p.RowPages, p.ColPages, p.MarkedEntries, 100*p.MatrixDensity, p.MarkedRows, p.MarkedCols,
+		p.NLJPageReads, p.PMNLJLowerBound, p.ClusteredPageReads, p.ScheduleSavings,
+		p.ClusteredPageReads-p.ScheduleSavings,
+		p.Clusters, p.MaxClusterPages, p.AvgEntriesPerCluster)
+}
+
+// Explain builds the prediction matrix and SC clustering for joining a and b
+// under opt and returns the plan with the paper's analytic page-read bounds
+// (Lemmas 1-4), without reading any data pages. Only Epsilon, BufferPages,
+// FilterDepth and ClusterRowFraction of opt are used.
+func (s *System) Explain(a, b *Dataset, opt Options) (*Plan, error) {
+	if a.sys != s || b.sys != s {
+		return nil, fmt.Errorf("pmjoin: datasets belong to a different system")
+	}
+	if a.kind != b.kind {
+		return nil, fmt.Errorf("pmjoin: cannot join %v with %v data", a.kind, b.kind)
+	}
+	if opt.BufferPages < 4 {
+		return nil, fmt.Errorf("pmjoin: buffer of %d pages too small (minimum 4)", opt.BufferPages)
+	}
+	if err := s.checkCompatible(a, b); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	m, err := s.buildMatrix(a, b, opt, res)
+	if err != nil {
+		return nil, err
+	}
+	clusters, err := cluster.SquareOpts(m, opt.BufferPages, cluster.SquareOptions{
+		RowFraction: opt.ClusterRowFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		RowPages:      a.ds.Pages,
+		ColPages:      b.ds.Pages,
+		MarkedEntries: m.Marked(),
+		MatrixDensity: m.Density(),
+		MarkedRows:    len(m.MarkedRows()),
+		MarkedCols:    len(m.MarkedCols()),
+		Clusters:      len(clusters),
+	}
+	p.NLJPageReads = nljReads(a.ds.Pages, b.ds.Pages, opt.BufferPages)
+	p.PMNLJLowerBound = lemma1Bound(m)
+
+	pageSets := make([]sched.PageSet, len(clusters))
+	var entries int
+	for i, c := range clusters {
+		p.ClusteredPageReads += int64(c.Pages())
+		if c.Pages() > p.MaxClusterPages {
+			p.MaxClusterPages = c.Pages()
+		}
+		entries += len(c.Entries)
+		ps := make(sched.PageSet, c.Pages())
+		for _, r := range c.Rows() {
+			ps[[2]int{0, r}] = struct{}{}
+		}
+		for _, col := range c.Cols() {
+			ps[[2]int{1, col}] = struct{}{}
+		}
+		pageSets[i] = ps
+	}
+	if len(clusters) > 0 {
+		p.AvgEntriesPerCluster = float64(entries) / float64(len(clusters))
+		edges := sched.SharingGraph(pageSets)
+		order := sched.GreedyOrder(len(clusters), edges)
+		p.ScheduleSavings = int64(sched.PathSavings(pageSets, order))
+	}
+	return p, nil
+}
+
+// nljReads is block NLJ's page-read count: the smaller dataset streams
+// through the buffer in blocks of B-1 pages while the other is re-scanned
+// per block.
+func nljReads(aPages, bPages, buffer int) int64 {
+	outer, inner := aPages, bPages
+	if outer > inner {
+		outer, inner = inner, outer
+	}
+	block := buffer - 1
+	blocks := (outer + block - 1) / block
+	return int64(outer) + int64(blocks)*int64(inner)
+}
+
+// lemma1Bound is the paper's Lemma 1 applied to the whole matrix: pm-NLJ
+// performs at least m + min(marked rows, marked cols) page reads.
+func lemma1Bound(m *predmat.Matrix) int64 {
+	r := len(m.MarkedRows())
+	c := len(m.MarkedCols())
+	if c < r {
+		r = c
+	}
+	return int64(m.Marked()) + int64(r)
+}

@@ -1,0 +1,3 @@
+module pmjoin
+
+go 1.22

@@ -1,0 +1,212 @@
+// Package bfrj implements the Breadth-First R-tree Join of Huang, Jing and
+// Rundensteiner (VLDB 1997), the paper's index-based baseline (§9).
+//
+// The two index hierarchies are materialized as node files (one node per
+// page). The join proceeds level by level: the current list of intersecting
+// node pairs is globally ordered by page addresses before expansion — the
+// paper's "global optimization" that improves locality — and spilled to disk
+// when it outgrows its buffer share. Leaf-level pairs are finally joined
+// against the data files.
+package bfrj
+
+import (
+	"sort"
+
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+	"pmjoin/internal/index"
+	"pmjoin/internal/join"
+	"pmjoin/internal/predmat"
+)
+
+// nodeFile materializes an index hierarchy on disk, one node per page, in
+// BFS order.
+type nodeFile struct {
+	file  disk.FileID
+	pages map[*index.Node]int
+}
+
+func materialize(d *disk.Disk, root *index.Node) *nodeFile {
+	nf := &nodeFile{file: d.CreateFile(), pages: make(map[*index.Node]int)}
+	queue := []*index.Node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		addr, _ := d.AppendPage(nf.file, n)
+		nf.pages[n] = addr.Page
+		queue = append(queue, n.Children...)
+	}
+	return nf
+}
+
+type pair struct {
+	a, b *index.Node
+}
+
+// Options configures a BFRJ run.
+type Options struct {
+	Eps      float64
+	Pred     predmat.Predictor
+	SelfJoin bool
+	// PairsPerPage is the capacity of one spill page of the intermediate
+	// pair list (default 256, ~16 bytes per pair in a 4 KB page).
+	PairsPerPage int
+}
+
+// Run executes BFRJ between the datasets indexed by r.Root and s.Root.
+func Run(e *join.Engine, r, s *join.Dataset, j join.ObjectJoiner, opts Options) (*join.Report, error) {
+	if opts.PairsPerPage == 0 {
+		opts.PairsPerPage = 256
+	}
+	pool, err := buffer.NewPool(e.Disk, e.BufferSize, e.Policy)
+	if err != nil {
+		return nil, err
+	}
+	before := e.Disk.Stats()
+	rep := &join.Report{Method: "BFRJ"}
+
+	rNodes := materialize(e.Disk, r.Root)
+	sNodes := materialize(e.Disk, s.Root)
+
+	emit := func(a, b int) {
+		rep.Results++
+		if e.OnPair != nil {
+			e.OnPair(a, b)
+		}
+	}
+
+	// Intermediate pair lists may not fit in memory: the executor keeps at
+	// most half the buffer's worth of pairs in memory and charges spill
+	// write+read for the excess.
+	spillFile := e.Disk.CreateFile()
+	spillCap := (e.BufferSize / 2) * opts.PairsPerPage
+
+	sortPairs := func(ps []pair) {
+		// Global ordering: sort the pair list by node page addresses so the
+		// expansion reads each node file in ascending order.
+		sort.Slice(ps, func(i, k int) bool {
+			pi, pk := ps[i], ps[k]
+			if rNodes.pages[pi.a] != rNodes.pages[pk.a] {
+				return rNodes.pages[pi.a] < rNodes.pages[pk.a]
+			}
+			return sNodes.pages[pi.b] < sNodes.pages[pk.b]
+		})
+	}
+
+	// Leaf-level candidates collapse to data page pairs eagerly: several
+	// leaf boxes can share one data page (multi-resolution sequence
+	// indexes), and materializing box-level pairs first would explode
+	// memory at genome scale.
+	type pagePair struct{ a, b int }
+	leafSeen := make(map[pagePair]struct{})
+	var leafPairs []pagePair
+	addLeaf := func(a, b *index.Node) {
+		pp := pagePair{a: a.Page, b: b.Page}
+		if _, dup := leafSeen[pp]; dup {
+			return
+		}
+		leafSeen[pp] = struct{}{}
+		leafPairs = append(leafPairs, pp)
+	}
+	current := []pair{{a: r.Root, b: s.Root}}
+	if r.Root.IsLeaf() && s.Root.IsLeaf() {
+		addLeaf(r.Root, s.Root)
+		current = nil
+	}
+	for len(current) > 0 {
+		sortPairs(current)
+		if len(current) > spillCap {
+			chargeSpill(e, spillFile, (len(current)-spillCap+opts.PairsPerPage-1)/opts.PairsPerPage)
+		}
+		var next []pair
+		for _, p := range current {
+			// Read the two node pages through the buffer.
+			if _, err := pool.Get(disk.PageAddr{File: rNodes.file, Page: rNodes.pages[p.a]}); err != nil {
+				return nil, err
+			}
+			if _, err := pool.Get(disk.PageAddr{File: sNodes.file, Page: sNodes.pages[p.b]}); err != nil {
+				return nil, err
+			}
+			aKids := p.a.Children
+			bKids := p.b.Children
+			if p.a.IsLeaf() {
+				aKids = []*index.Node{p.a}
+			}
+			if p.b.IsLeaf() {
+				bKids = []*index.Node{p.b}
+			}
+			for _, ac := range aKids {
+				for _, bc := range bKids {
+					if opts.Pred.LowerBound(ac.MBR, bc.MBR) <= opts.Eps {
+						if ac.IsLeaf() && bc.IsLeaf() {
+							addLeaf(ac, bc)
+						} else {
+							next = append(next, pair{a: ac, b: bc})
+						}
+					}
+				}
+			}
+		}
+		current = next
+	}
+
+	// Join the candidate data page pairs in global page order.
+	sort.Slice(leafPairs, func(i, k int) bool {
+		if leafPairs[i].a != leafPairs[k].a {
+			return leafPairs[i].a < leafPairs[k].a
+		}
+		return leafPairs[i].b < leafPairs[k].b
+	})
+	if len(leafPairs) > spillCap {
+		chargeSpill(e, spillFile, (len(leafPairs)-spillCap+opts.PairsPerPage-1)/opts.PairsPerPage)
+	}
+	for _, pp := range leafPairs {
+		pa, err := pool.Get(disk.PageAddr{File: r.File, Page: pp.a})
+		if err != nil {
+			return nil, err
+		}
+		pb, err := pool.Get(disk.PageAddr{File: s.File, Page: pp.b})
+		if err != nil {
+			return nil, err
+		}
+		comps, cpu := j.JoinPages(pa.Payload, pb.Payload, emit)
+		rep.Comparisons += comps
+		rep.CPUJoinSeconds += cpu
+	}
+
+	after := e.Disk.Stats()
+	model := e.Disk.Model()
+	delta := disk.Stats{
+		Reads:      after.Reads - before.Reads,
+		Seeks:      after.Seeks - before.Seeks,
+		GapPages:   after.GapPages - before.GapPages,
+		Writes:     after.Writes - before.Writes,
+		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
+	}
+	rep.IOSeconds = model.Cost(delta)
+	rep.PageReads = delta.Reads
+	rep.Seeks = delta.Seeks + delta.WriteSeeks
+	bs := pool.Stats()
+	rep.Hits, rep.Misses = bs.Hits, bs.Misses
+	return rep, nil
+}
+
+// chargeSpill writes and re-reads n pages of the intermediate pair list.
+func chargeSpill(e *join.Engine, f disk.FileID, n int) {
+	base := e.Disk.NumPages(f)
+	for i := 0; i < n; i++ {
+		addr, err := e.Disk.AppendPage(f, nil)
+		if err != nil {
+			return
+		}
+		if err := e.Disk.Write(addr, nil); err != nil {
+			return
+		}
+		_ = base
+	}
+	for i := 0; i < n; i++ {
+		if _, err := e.Disk.Read(disk.PageAddr{File: f, Page: base + i}); err != nil {
+			return
+		}
+	}
+}

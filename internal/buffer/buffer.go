@@ -1,0 +1,216 @@
+// Package buffer implements a fixed-capacity page buffer with pluggable
+// replacement policies (LRU by default, FIFO for ablation).
+//
+// The paper assumes a finite buffer of B pages with LRU replacement. All join
+// executors route page access through a Pool so that buffer hits are free and
+// misses are charged to the simulated disk.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"pmjoin/internal/disk"
+)
+
+// Policy selects the replacement policy of a Pool.
+type Policy int
+
+const (
+	// LRU evicts the least recently used unpinned page.
+	LRU Policy = iota
+	// FIFO evicts the oldest resident unpinned page regardless of use.
+	FIFO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Stats counts buffer activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRatio returns hits / (hits+misses), or 0 when no accesses happened.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	page   *disk.Page
+	pinned int
+	elem   *list.Element // position in the eviction order list
+}
+
+// Pool is a buffer pool of a fixed number of page frames over one Disk.
+// It is not safe for concurrent use; join executors are single-threaded,
+// matching the paper's setting.
+type Pool struct {
+	d        *disk.Disk
+	capacity int
+	policy   Policy
+	frames   map[disk.PageAddr]*frame
+	order    *list.List // front = next eviction victim
+	stats    Stats
+}
+
+// ErrBufferFull is returned when every frame is pinned and a miss occurs.
+var ErrBufferFull = errors.New("buffer: all frames pinned")
+
+// NewPool creates a pool of capacity pages over d using the given policy.
+// Capacity must be at least 1.
+func NewPool(d *disk.Disk, capacity int, policy Policy) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
+	}
+	return &Pool{
+		d:        d,
+		capacity: capacity,
+		policy:   policy,
+		frames:   make(map[disk.PageAddr]*frame, capacity),
+		order:    list.New(),
+	}, nil
+}
+
+// Capacity returns the number of page frames.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int { return len(p.frames) }
+
+// Contains reports whether the page is resident without touching recency.
+func (p *Pool) Contains(addr disk.PageAddr) bool {
+	_, ok := p.frames[addr]
+	return ok
+}
+
+// Stats returns a snapshot of the pool statistics.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// ResetStats zeroes the counters. Resident pages stay resident.
+func (p *Pool) ResetStats() { p.stats = Stats{} }
+
+// Get returns the page at addr, reading it from disk on a miss and evicting
+// per the policy when the pool is full. The returned page is not pinned.
+func (p *Pool) Get(addr disk.PageAddr) (*disk.Page, error) {
+	return p.get(addr, false)
+}
+
+// GetPinned returns the page at addr and pins it; the caller must Unpin it.
+// Pinned pages are never evicted.
+func (p *Pool) GetPinned(addr disk.PageAddr) (*disk.Page, error) {
+	return p.get(addr, true)
+}
+
+func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
+	if f, ok := p.frames[addr]; ok {
+		p.stats.Hits++
+		if p.policy == LRU {
+			p.order.MoveToBack(f.elem)
+		}
+		if pin {
+			f.pinned++
+		}
+		return f.page, nil
+	}
+	p.stats.Misses++
+	if len(p.frames) >= p.capacity {
+		if err := p.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	pg, err := p.d.Read(addr)
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{page: pg}
+	f.elem = p.order.PushBack(addr)
+	if pin {
+		f.pinned++
+	}
+	p.frames[addr] = f
+	return pg, nil
+}
+
+// Unpin releases one pin on the page. Unpinning a page that is not resident
+// or not pinned is a programming error and returns a non-nil error.
+func (p *Pool) Unpin(addr disk.PageAddr) error {
+	f, ok := p.frames[addr]
+	if !ok {
+		return fmt.Errorf("buffer: unpin of non-resident page %v", addr)
+	}
+	if f.pinned == 0 {
+		return fmt.Errorf("buffer: unpin of unpinned page %v", addr)
+	}
+	f.pinned--
+	return nil
+}
+
+// UnpinAll drops every pin. Used between join phases.
+func (p *Pool) UnpinAll() {
+	for _, f := range p.frames {
+		f.pinned = 0
+	}
+}
+
+// Evict removes the page at addr from the pool if resident and unpinned.
+// It reports whether the page was removed.
+func (p *Pool) Evict(addr disk.PageAddr) bool {
+	f, ok := p.frames[addr]
+	if !ok || f.pinned > 0 {
+		return false
+	}
+	p.order.Remove(f.elem)
+	delete(p.frames, addr)
+	p.stats.Evictions++
+	return true
+}
+
+// Flush empties the pool (pins are ignored); eviction counts are charged.
+func (p *Pool) Flush() {
+	for addr := range p.frames {
+		delete(p.frames, addr)
+		p.stats.Evictions++
+	}
+	p.order.Init()
+}
+
+func (p *Pool) evictOne() error {
+	for e := p.order.Front(); e != nil; e = e.Next() {
+		addr := e.Value.(disk.PageAddr)
+		f := p.frames[addr]
+		if f.pinned > 0 {
+			continue
+		}
+		p.order.Remove(e)
+		delete(p.frames, addr)
+		p.stats.Evictions++
+		return nil
+	}
+	return ErrBufferFull
+}
+
+// Resident returns the addresses of all resident pages in eviction order
+// (front first). Intended for tests.
+func (p *Pool) Resident() []disk.PageAddr {
+	out := make([]disk.PageAddr, 0, len(p.frames))
+	for e := p.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(disk.PageAddr))
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package buffer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pmjoin/internal/disk"
+)
+
+func newDiskWithFile(t *testing.T, pages int) (*disk.Disk, disk.FileID) {
+	t.Helper()
+	d := disk.New(disk.DefaultModel())
+	f := d.CreateFile()
+	for i := 0; i < pages; i++ {
+		if _, err := d.AppendPage(f, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, f
+}
+
+func TestNewPoolRejectsZeroCapacity(t *testing.T) {
+	d := disk.New(disk.DefaultModel())
+	if _, err := NewPool(d, 0, LRU); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 2, LRU)
+	addr := disk.PageAddr{File: f, Page: 0}
+	pg, err := p.Get(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Payload != 0 {
+		t.Fatalf("payload = %v", pg.Payload)
+	}
+	if _, err := p.Get(addr); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if d.Stats().Reads != 1 {
+		t.Fatalf("disk reads = %d, want 1", d.Stats().Reads)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 2, LRU)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	a1 := disk.PageAddr{File: f, Page: 1}
+	a2 := disk.PageAddr{File: f, Page: 2}
+	p.Get(a0)
+	p.Get(a1)
+	p.Get(a0) // touch a0: a1 is now LRU
+	p.Get(a2) // must evict a1
+	if !p.Contains(a0) || p.Contains(a1) || !p.Contains(a2) {
+		t.Fatalf("resident = %v", p.Resident())
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestFIFOEvictsOldest(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 2, FIFO)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	a1 := disk.PageAddr{File: f, Page: 1}
+	a2 := disk.PageAddr{File: f, Page: 2}
+	p.Get(a0)
+	p.Get(a1)
+	p.Get(a0) // touching must NOT matter under FIFO
+	p.Get(a2) // must evict a0 (oldest)
+	if p.Contains(a0) || !p.Contains(a1) || !p.Contains(a2) {
+		t.Fatalf("resident = %v", p.Resident())
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	d, f := newDiskWithFile(t, 5)
+	p, _ := NewPool(d, 2, LRU)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	if _, err := p.GetPinned(a0); err != nil {
+		t.Fatal(err)
+	}
+	p.Get(disk.PageAddr{File: f, Page: 1})
+	p.Get(disk.PageAddr{File: f, Page: 2}) // must evict page 1, not pinned page 0
+	if !p.Contains(a0) {
+		t.Fatal("pinned page was evicted")
+	}
+}
+
+func TestAllPinnedOverflow(t *testing.T) {
+	d, f := newDiskWithFile(t, 5)
+	p, _ := NewPool(d, 2, LRU)
+	p.GetPinned(disk.PageAddr{File: f, Page: 0})
+	p.GetPinned(disk.PageAddr{File: f, Page: 1})
+	_, err := p.Get(disk.PageAddr{File: f, Page: 2})
+	if !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("err = %v, want ErrBufferFull", err)
+	}
+}
+
+func TestUnpinAllowsEviction(t *testing.T) {
+	d, f := newDiskWithFile(t, 5)
+	p, _ := NewPool(d, 2, LRU)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	p.GetPinned(a0)
+	p.GetPinned(disk.PageAddr{File: f, Page: 1})
+	if err := p.Unpin(a0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 2}); err != nil {
+		t.Fatalf("get after unpin: %v", err)
+	}
+	if p.Contains(a0) {
+		t.Fatal("unpinned page should have been the victim")
+	}
+}
+
+func TestDoublePinNeedsDoubleUnpin(t *testing.T) {
+	d, f := newDiskWithFile(t, 5)
+	p, _ := NewPool(d, 2, LRU)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	p.GetPinned(a0)
+	p.GetPinned(a0)
+	p.Unpin(a0)
+	p.Get(disk.PageAddr{File: f, Page: 1})
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(a0) {
+		t.Fatal("page with remaining pin was evicted")
+	}
+}
+
+func TestUnpinErrors(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	p, _ := NewPool(d, 2, LRU)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	if err := p.Unpin(a0); err == nil {
+		t.Fatal("unpin of non-resident page must fail")
+	}
+	p.Get(a0)
+	if err := p.Unpin(a0); err == nil {
+		t.Fatal("unpin of unpinned page must fail")
+	}
+}
+
+func TestUnpinAll(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 3, LRU)
+	p.GetPinned(disk.PageAddr{File: f, Page: 0})
+	p.GetPinned(disk.PageAddr{File: f, Page: 1})
+	p.UnpinAll()
+	p.Get(disk.PageAddr{File: f, Page: 2})
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 3}); err != nil {
+		t.Fatalf("eviction after UnpinAll failed: %v", err)
+	}
+}
+
+func TestEvictSpecificPage(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	p, _ := NewPool(d, 3, LRU)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	p.Get(a0)
+	if !p.Evict(a0) {
+		t.Fatal("evict of resident unpinned page failed")
+	}
+	if p.Evict(a0) {
+		t.Fatal("evict of absent page succeeded")
+	}
+	p.GetPinned(a0)
+	if p.Evict(a0) {
+		t.Fatal("evict of pinned page succeeded")
+	}
+}
+
+func TestFlushEmptiesPool(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	p, _ := NewPool(d, 3, LRU)
+	for i := 0; i < 3; i++ {
+		p.Get(disk.PageAddr{File: f, Page: i})
+	}
+	p.Flush()
+	if p.Len() != 0 {
+		t.Fatalf("len = %d after flush", p.Len())
+	}
+	if p.Stats().Evictions != 3 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("ratio = %g", s.HitRatio())
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d, f := newDiskWithFile(t, 2)
+	p, _ := NewPool(d, 2, LRU)
+	p.Get(disk.PageAddr{File: f, Page: 0})
+	p.ResetStats()
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !p.Contains(disk.PageAddr{File: f, Page: 0}) {
+		t.Fatal("reset must not drop resident pages")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || FIFO.String() != "FIFO" {
+		t.Fatal("policy names")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy name empty")
+	}
+}
+
+// TestLRUMatchesReferenceModel drives the pool with a random access pattern
+// and cross-checks residency and miss counts against a simple reference LRU.
+func TestLRUMatchesReferenceModel(t *testing.T) {
+	const pages = 32
+	const capacity = 8
+	const accesses = 5000
+	d, f := newDiskWithFile(t, pages)
+	p, _ := NewPool(d, capacity, LRU)
+	rng := rand.New(rand.NewSource(7))
+
+	// Reference: slice ordered least- to most-recently used.
+	var ref []int
+	misses := 0
+	for i := 0; i < accesses; i++ {
+		pg := rng.Intn(pages)
+		if _, err := p.Get(disk.PageAddr{File: f, Page: pg}); err != nil {
+			t.Fatal(err)
+		}
+		found := -1
+		for k, v := range ref {
+			if v == pg {
+				found = k
+				break
+			}
+		}
+		if found >= 0 {
+			ref = append(ref[:found], ref[found+1:]...)
+		} else {
+			misses++
+			if len(ref) == capacity {
+				ref = ref[1:]
+			}
+		}
+		ref = append(ref, pg)
+
+		if int64(misses) != p.Stats().Misses {
+			t.Fatalf("access %d: misses %d, reference %d", i, p.Stats().Misses, misses)
+		}
+	}
+	// Final residency must match exactly, in order.
+	got := p.Resident()
+	if len(got) != len(ref) {
+		t.Fatalf("resident %d pages, reference %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i].Page != ref[i] {
+			t.Fatalf("resident[%d] = %v, reference %d", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestPoolNeverExceedsCapacity fuzzes mixed pin/unpin/get traffic.
+func TestPoolNeverExceedsCapacity(t *testing.T) {
+	const pages = 64
+	d, f := newDiskWithFile(t, pages)
+	for _, capacity := range []int{1, 3, 8} {
+		p, _ := NewPool(d, capacity, LRU)
+		rng := rand.New(rand.NewSource(int64(capacity)))
+		pinned := map[int]int{}
+		for i := 0; i < 2000; i++ {
+			pg := rng.Intn(pages)
+			switch rng.Intn(4) {
+			case 0:
+				if len(pinned) < capacity {
+					if _, err := p.GetPinned(disk.PageAddr{File: f, Page: pg}); err != nil {
+						t.Fatal(err)
+					}
+					pinned[pg]++
+				}
+			case 1:
+				if pinned[pg] > 0 {
+					if err := p.Unpin(disk.PageAddr{File: f, Page: pg}); err != nil {
+						t.Fatal(err)
+					}
+					pinned[pg]--
+					if pinned[pg] == 0 {
+						delete(pinned, pg)
+					}
+				}
+			default:
+				_, err := p.Get(disk.PageAddr{File: f, Page: pg})
+				if err != nil && !errors.Is(err, ErrBufferFull) {
+					t.Fatal(err)
+				}
+			}
+			if p.Len() > capacity {
+				t.Fatalf("pool holds %d pages, capacity %d", p.Len(), capacity)
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmjoin/internal/predmat"
+)
+
+func benchMatrix(b *testing.B, n, band int) *predmat.Matrix {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m := predmat.NewMatrix(n, n)
+	for r := 0; r < n; r++ {
+		for dc := -band; dc <= band; dc++ {
+			c := r + dc
+			if c >= 0 && c < n && rng.Float64() < 0.5 {
+				m.Mark(r, c)
+			}
+		}
+	}
+	return m
+}
+
+func BenchmarkSquareCluster(b *testing.B) {
+	m := benchMatrix(b, 1000, 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Square(m, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCostCluster(b *testing.B) {
+	m := benchMatrix(b, 400, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cost(m, 50, CostOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package cluster partitions the marked entries of a prediction matrix into
+// buffer-sized clusters: Square Clustering (SC, §7.1 / Figure 6) and
+// Cost-based Clustering (CC, §7.2 / Figure 8).
+//
+// A cluster's pages are its marked rows plus its marked columns; Lemma 2:
+// when rows+cols ≤ B, reading those pages suffices to join every marked
+// entry of the cluster with no further I/O.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"pmjoin/internal/predmat"
+)
+
+// Cluster is one buffer-sized group of marked prediction-matrix entries.
+type Cluster struct {
+	Entries []predmat.Entry
+	rows    []int // ascending distinct marked rows
+	cols    []int // ascending distinct marked cols
+}
+
+// Rows returns the ascending distinct marked rows of the cluster.
+func (c *Cluster) Rows() []int { return c.rows }
+
+// Cols returns the ascending distinct marked columns of the cluster.
+func (c *Cluster) Cols() []int { return c.cols }
+
+// Pages returns rows+cols, the number of pages the cluster needs resident.
+func (c *Cluster) Pages() int { return len(c.rows) + len(c.cols) }
+
+// finalize derives rows/cols from entries.
+func (c *Cluster) finalize() {
+	rset := make(map[int]struct{})
+	cset := make(map[int]struct{})
+	for _, e := range c.Entries {
+		rset[e.R] = struct{}{}
+		cset[e.C] = struct{}{}
+	}
+	c.rows = sortedKeys(rset)
+	c.cols = sortedKeys(cset)
+}
+
+func sortedKeys(s map[int]struct{}) []int {
+	out := make([]int, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Validate checks that every cluster fits into a buffer of size b, that
+// clusters are disjoint, and that together they cover exactly the marked
+// entries of m.
+func Validate(clusters []*Cluster, m *predmat.Matrix, b int) error {
+	seen := make(map[predmat.Entry]struct{}, m.Marked())
+	for i, c := range clusters {
+		if c.Pages() > b {
+			return fmt.Errorf("cluster %d needs %d pages > buffer %d", i, c.Pages(), b)
+		}
+		if len(c.Entries) == 0 {
+			return fmt.Errorf("cluster %d is empty", i)
+		}
+		for _, e := range c.Entries {
+			if !m.IsMarked(e.R, e.C) {
+				return fmt.Errorf("cluster %d contains unmarked entry %v", i, e)
+			}
+			if _, dup := seen[e]; dup {
+				return fmt.Errorf("entry %v assigned to multiple clusters", e)
+			}
+			seen[e] = struct{}{}
+		}
+	}
+	if len(seen) != m.Marked() {
+		return fmt.Errorf("clusters cover %d of %d marked entries", len(seen), m.Marked())
+	}
+	return nil
+}
+
+// SquareOptions tunes SC. The zero value follows the paper: clusters with an
+// equal number of marked rows and columns (r = c = B/2).
+type SquareOptions struct {
+	// RowFraction is the fraction of the buffer devoted to rows; 0 means
+	// 0.5 (the paper's square shape). The ablation benchmark sweeps it.
+	RowFraction float64
+}
+
+// Square runs the SC algorithm: iteratively form clusters that take marked
+// columns in ascending order (minimal width) and at most rowCap marked rows,
+// with rowCap+colCap = b (Figure 6, observations 1-2 of Theorem 2).
+func Square(m *predmat.Matrix, b int) ([]*Cluster, error) {
+	return SquareOpts(m, b, SquareOptions{})
+}
+
+// SquareOpts is Square with explicit options.
+func SquareOpts(m *predmat.Matrix, b int, opts SquareOptions) ([]*Cluster, error) {
+	if b < 2 {
+		return nil, fmt.Errorf("cluster: buffer %d < 2", b)
+	}
+	frac := opts.RowFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("cluster: row fraction %g outside (0,1)", frac)
+	}
+	rowCap := int(float64(b) * frac)
+	if rowCap < 1 {
+		rowCap = 1
+	}
+	colCap := b - rowCap
+	if colCap < 1 {
+		colCap = 1
+		rowCap = b - 1
+	}
+
+	// unassigned[c] holds the not-yet-clustered marked rows of column c.
+	unassigned := make(map[int][]int, len(m.MarkedCols()))
+	colOrder := m.MarkedCols()
+	remaining := 0
+	for _, c := range colOrder {
+		rows := append([]int(nil), m.ColRows(c)...)
+		unassigned[c] = rows
+		remaining += len(rows)
+	}
+
+	var clusters []*Cluster
+	for remaining > 0 {
+		cl := &Cluster{}
+		rows := make(map[int]struct{}, rowCap)
+		cols := make(map[int]struct{}, colCap)
+		for _, c := range colOrder {
+			pending := unassigned[c]
+			if len(pending) == 0 {
+				continue
+			}
+			if len(cols) >= colCap {
+				break
+			}
+			var leftover []int
+			took := false
+			for _, r := range pending {
+				_, have := rows[r]
+				if !have && len(rows) >= rowCap {
+					leftover = append(leftover, r)
+					continue
+				}
+				rows[r] = struct{}{}
+				cl.Entries = append(cl.Entries, predmat.Entry{R: r, C: c})
+				took = true
+				remaining--
+			}
+			unassigned[c] = leftover
+			if took {
+				cols[c] = struct{}{}
+			}
+		}
+		if len(cl.Entries) == 0 {
+			return nil, fmt.Errorf("cluster: SC made no progress with %d entries remaining", remaining)
+		}
+		cl.finalize()
+		clusters = append(clusters, cl)
+	}
+	return clusters, nil
+}

@@ -1,0 +1,299 @@
+// Package dataset generates the synthetic workloads that substitute for the
+// paper's datasets (documented in DESIGN.md):
+//
+//   - RoadIntersections: clustered 2-d points standing in for the LBeach
+//     (53,145) and MCounty (39,231) TIGER road-intersection sets.
+//   - Landsat: correlated 60-d feature vectors standing in for the 275,465
+//     satellite-image vectors, split into 8 equal non-overlapping parts.
+//   - DNA: synthetic nucleotide sequences with planted homologies standing
+//     in for human/mouse chromosome 18 (4,225,477 / 2,313,942 nt).
+//   - RandomWalk: stock-price-like series for the subsequence-join examples.
+//
+// All generators are deterministic in their seed.
+package dataset
+
+import (
+	"math"
+	"math/rand"
+
+	"pmjoin/internal/geom"
+)
+
+// Paper cardinalities, used at full scale.
+const (
+	LBeachSize  = 53145
+	MCountySize = 39231
+	LandsatSize = 275465
+	LandsatDim  = 60
+	HChr18Size  = 4225477
+	MChr18Size  = 2313942
+)
+
+// RoadIntersections generates n clustered 2-d points in the unit square.
+// Points are drawn from a mixture of Gaussian clusters strung along random
+// polylines ("roads") plus a small uniform background, reproducing the
+// spatial skew of road-intersection data that makes prediction matrices
+// sparse.
+func RoadIntersections(n int, seed int64) []geom.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	const roads = 40
+	type segment struct {
+		x0, y0, x1, y1 float64
+	}
+	segs := make([]segment, roads)
+	for i := range segs {
+		x0, y0 := rng.Float64(), rng.Float64()
+		ang := rng.Float64() * 2 * math.Pi
+		length := 0.2 + 0.5*rng.Float64()
+		segs[i] = segment{x0, y0, x0 + length*math.Cos(ang), y0 + length*math.Sin(ang)}
+	}
+	out := make([]geom.Vector, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.05 {
+			out[i] = geom.Vector{rng.Float64(), rng.Float64()}
+			continue
+		}
+		s := segs[rng.Intn(roads)]
+		t := rng.Float64()
+		x := s.x0 + t*(s.x1-s.x0) + rng.NormFloat64()*0.01
+		y := s.y0 + t*(s.y1-s.y0) + rng.NormFloat64()*0.01
+		out[i] = geom.Vector{clamp01(x), clamp01(y)}
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Landsat generates n dim-dimensional feature vectors with the
+// characteristics of satellite-image features: values fall into a moderate
+// number of spectral clusters and neighbouring dimensions are strongly
+// correlated (each vector is a noisy random walk across dimensions around
+// its cluster's profile).
+func Landsat(n, dim int, seed int64) []geom.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	const clusters = 32
+	profiles := make([]geom.Vector, clusters)
+	for c := range profiles {
+		p := make(geom.Vector, dim)
+		v := rng.Float64()
+		for d := 0; d < dim; d++ {
+			v += rng.NormFloat64() * 0.05
+			p[d] = v
+		}
+		profiles[c] = p
+	}
+	out := make([]geom.Vector, n)
+	for i := 0; i < n; i++ {
+		p := profiles[rng.Intn(clusters)]
+		v := make(geom.Vector, dim)
+		drift := 0.0
+		for d := 0; d < dim; d++ {
+			drift = drift*0.8 + rng.NormFloat64()*0.02
+			v[d] = p[d] + drift
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SplitEqual splits vecs into k equal-sized non-overlapping parts after a
+// deterministic shuffle (the paper splits Landsat randomly into 8 parts).
+// Trailing remainder vectors are dropped so parts are exactly equal.
+func SplitEqual(vecs []geom.Vector, k int, seed int64) [][]geom.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	shuffled := append([]geom.Vector(nil), vecs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	per := len(shuffled) / k
+	parts := make([][]geom.Vector, k)
+	for i := 0; i < k; i++ {
+		parts[i] = shuffled[i*per : (i+1)*per]
+	}
+	return parts
+}
+
+// DNA generates a synthetic nucleotide sequence of length n with the
+// compositional structure of mammalian chromosomes: an average GC content
+// near 41% that drifts across isochore-like segments (tens of kilobases with
+// their own GC level), plus local tandem repeats. The isochore drift is what
+// makes window frequency vectors separable — pages from different segments
+// have frequency distance far above small edit thresholds — reproducing the
+// sparse, banded prediction matrices the paper reports for chromosome 18.
+func DNA(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	bases := []byte("ACGT")
+	out := make([]byte, 0, n)
+	segRemain := 0
+	gc, atSkew, cgSkew := 0.41, 0.0, 0.0
+	drift := 0
+	for len(out) < n {
+		if segRemain <= 0 {
+			// New isochore: 20-120 kb with its own GC level and strand
+			// skews (GC skew and AT skew vary across mammalian chromatin).
+			segRemain = 20000 + rng.Intn(100000)
+			gc = clampF(0.41+rng.NormFloat64()*0.18, 0.15, 0.72)
+			atSkew = clampF(rng.NormFloat64()*0.30, -0.6, 0.6)
+			cgSkew = clampF(rng.NormFloat64()*0.30, -0.6, 0.6)
+			drift = 0
+		}
+		if drift <= 0 {
+			// Intra-isochore composition drift every ~1 kb.
+			drift = 500 + rng.Intn(1000)
+			gc = clampF(gc+rng.NormFloat64()*0.015, 0.15, 0.72)
+			atSkew = clampF(atSkew+rng.NormFloat64()*0.02, -0.6, 0.6)
+			cgSkew = clampF(cgSkew+rng.NormFloat64()*0.02, -0.6, 0.6)
+		}
+		if len(out) > 200 && rng.Float64() < 0.02 {
+			// Local tandem repeat: copy a recent chunk.
+			l := 20 + rng.Intn(180)
+			if l > len(out) {
+				l = len(out)
+			}
+			start := len(out) - l
+			chunk := out[start:]
+			if len(out)+len(chunk) > n {
+				chunk = chunk[:n-len(out)]
+			}
+			out = append(out, chunk...)
+			segRemain -= len(chunk)
+			drift -= len(chunk)
+			continue
+		}
+		var b byte
+		if rng.Float64() < gc {
+			if rng.Float64() < 0.5+cgSkew {
+				b = bases[1] // C
+			} else {
+				b = bases[2] // G
+			}
+		} else {
+			if rng.Float64() < 0.5+atSkew {
+				b = bases[0] // A
+			} else {
+				b = bases[3] // T
+			}
+		}
+		out = append(out, b)
+		segRemain--
+		drift--
+	}
+	return out[:n]
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// PlantHomologies copies segments of src into dst at random positions with
+// the given per-base mutation rate, planting count homologous regions of the
+// given length. It mimics the conserved regions shared between human and
+// mouse chromosomes that the paper's genome join finds.
+func PlantHomologies(dst, src []byte, count, length int, mutationRate float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	bases := []byte("ACGT")
+	if length > len(src) || length > len(dst) || length <= 0 {
+		return
+	}
+	for i := 0; i < count; i++ {
+		from := rng.Intn(len(src) - length + 1)
+		to := rng.Intn(len(dst) - length + 1)
+		for k := 0; k < length; k++ {
+			b := src[from+k]
+			if rng.Float64() < mutationRate {
+				b = bases[rng.Intn(4)]
+			}
+			dst[to+k] = b
+		}
+	}
+}
+
+// PlantHomologiesAligned is PlantHomologies with both segment offsets
+// rounded down to multiples of align. When subsequence joins sample window
+// starts every align positions (the stride substitution of DESIGN.md),
+// alignment guarantees that homologous regions contain window pairs the
+// strided join can see; real sliding joins (stride 1) do not need it.
+func PlantHomologiesAligned(dst, src []byte, count, length int, mutationRate float64, align int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	bases := []byte("ACGT")
+	if length > len(src) || length > len(dst) || length <= 0 || align < 1 {
+		return
+	}
+	for i := 0; i < count; i++ {
+		from := rng.Intn(len(src)-length+1) / align * align
+		to := rng.Intn(len(dst)-length+1) / align * align
+		if from == to && &dst[0] == &src[0] {
+			continue // self copy onto itself is a no-op
+		}
+		for k := 0; k < length; k++ {
+			b := src[from+k]
+			if rng.Float64() < mutationRate {
+				b = bases[rng.Intn(4)]
+			}
+			dst[to+k] = b
+		}
+	}
+}
+
+// RandomWalk generates a random-walk series of length n (stock-price-like:
+// geometric steps around an initial level).
+func RandomWalk(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	v := 100.0
+	for i := 0; i < n; i++ {
+		v *= 1 + rng.NormFloat64()*0.01
+		out[i] = v
+	}
+	return out
+}
+
+// NormalizeWindowInvariant rescales a series to zero mean and unit variance,
+// the usual preprocessing before subsequence matching of price series.
+func NormalizeWindowInvariant(s []float64) []float64 {
+	if len(s) == 0 {
+		return nil
+	}
+	var mean float64
+	for _, v := range s {
+		mean += v
+	}
+	mean /= float64(len(s))
+	var variance float64
+	for _, v := range s {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(s))
+	sd := math.Sqrt(variance)
+	if sd == 0 {
+		sd = 1
+	}
+	out := make([]float64, len(s))
+	for i, v := range s {
+		out[i] = (v - mean) / sd
+	}
+	return out
+}
+
+// ToFloats converts generated vectors to the [][]float64 form the public
+// pmjoin API accepts (no copying; rows alias the vectors).
+func ToFloats(vs []geom.Vector) [][]float64 {
+	out := make([][]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"pmjoin/internal/seqdist"
+)
+
+func TestRoadIntersectionsDeterministicAndBounded(t *testing.T) {
+	a := RoadIntersections(1000, 7)
+	b := RoadIntersections(1000, 7)
+	if len(a) != 1000 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+			t.Fatal("not deterministic")
+		}
+		for d := 0; d < 2; d++ {
+			if a[i][d] < 0 || a[i][d] > 1 {
+				t.Fatalf("point %v outside unit square", a[i])
+			}
+		}
+	}
+	c := RoadIntersections(1000, 8)
+	same := 0
+	for i := range a {
+		if a[i][0] == c[i][0] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatal("different seeds produce near-identical data")
+	}
+}
+
+func TestRoadIntersectionsAreClustered(t *testing.T) {
+	// Count occupied cells of a 50x50 grid: clustered data occupies far
+	// fewer cells than uniform data of the same cardinality.
+	pts := RoadIntersections(5000, 1)
+	occupied := map[[2]int]bool{}
+	for _, p := range pts {
+		occupied[[2]int{int(p[0] * 50), int(p[1] * 50)}] = true
+	}
+	if len(occupied) > 1800 {
+		t.Fatalf("%d of 2500 cells occupied: not clustered", len(occupied))
+	}
+}
+
+func TestLandsatShapeAndCorrelation(t *testing.T) {
+	vecs := Landsat(500, 60, 2)
+	if len(vecs) != 500 || len(vecs[0]) != 60 {
+		t.Fatal("shape")
+	}
+	// Neighbouring dimensions must be strongly correlated: the mean squared
+	// step between adjacent dims must be far below the overall variance.
+	var stepSq, varSum float64
+	var mean float64
+	n := 0
+	for _, v := range vecs {
+		for d := 0; d < 59; d++ {
+			diff := v[d+1] - v[d]
+			stepSq += diff * diff
+			n++
+		}
+		for _, x := range v {
+			mean += x
+		}
+	}
+	mean /= float64(500 * 60)
+	for _, v := range vecs {
+		for _, x := range v {
+			varSum += (x - mean) * (x - mean)
+		}
+	}
+	stepSq /= float64(n)
+	variance := varSum / float64(500*60)
+	if stepSq > variance {
+		t.Fatalf("adjacent-dim step %g >= variance %g: not correlated", stepSq, variance)
+	}
+}
+
+func TestSplitEqualDisjointAndEqual(t *testing.T) {
+	vecs := Landsat(1001, 4, 3)
+	parts := SplitEqual(vecs, 8, 4)
+	if len(parts) != 8 {
+		t.Fatal("parts")
+	}
+	for _, p := range parts {
+		if len(p) != 125 {
+			t.Fatalf("part size %d", len(p))
+		}
+	}
+	seen := map[*float64]bool{}
+	for _, p := range parts {
+		for _, v := range p {
+			if seen[&v[0]] {
+				t.Fatal("vector in two parts")
+			}
+			seen[&v[0]] = true
+		}
+	}
+}
+
+func TestDNAComposition(t *testing.T) {
+	s := DNA(200000, 5)
+	if len(s) != 200000 {
+		t.Fatal("length")
+	}
+	counts := map[byte]int{}
+	for _, c := range s {
+		counts[c]++
+	}
+	for _, b := range []byte("ACGT") {
+		if counts[b] == 0 {
+			t.Fatalf("base %c absent", b)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("alphabet = %v", counts)
+	}
+	gc := float64(counts['C']+counts['G']) / 200000
+	if gc < 0.25 || gc > 0.60 {
+		t.Fatalf("overall GC = %g implausible", gc)
+	}
+}
+
+func TestDNAIsCompositionallyHeterogeneous(t *testing.T) {
+	// Window frequency vectors from distant regions must usually be far
+	// apart in frequency distance — the property that keeps prediction
+	// matrices sparse (DESIGN.md).
+	s := DNA(400000, 6)
+	const w = 500
+	far := 0
+	total := 0
+	for a := 0; a+w < len(s)/2; a += 20000 {
+		b := a + len(s)/2
+		fa := seqdist.DNA.FreqVector(s[a : a+w])
+		fb := seqdist.DNA.FreqVector(s[b : b+w])
+		if seqdist.FreqDistance(fa, fb) > 5 {
+			far++
+		}
+		total++
+	}
+	if far*2 < total {
+		t.Fatalf("only %d of %d distant window pairs separated", far, total)
+	}
+}
+
+func TestDNADeterministic(t *testing.T) {
+	a := DNA(5000, 9)
+	b := DNA(5000, 9)
+	if string(a) != string(b) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestPlantHomologiesCreatesSimilarRegions(t *testing.T) {
+	src := DNA(50000, 10)
+	dst := DNA(50000, 11)
+	before := seqdist.FreqDistance(
+		seqdist.DNA.FreqVector(src[:500]), seqdist.DNA.FreqVector(dst[:500]))
+	_ = before
+	PlantHomologiesAligned(dst, src, 20, 2000, 0.004, 32, 12)
+	// At least one planted pair of 500-windows must now be within a small
+	// edit distance.
+	found := false
+	for off := 0; off+500 < 50000 && !found; off += 32 {
+		for doff := 0; doff+500 < 50000; doff += 32 {
+			if d, ok := seqdist.EditDistanceBounded(src[off:off+500], dst[doff:doff+500], 5); ok && d <= 5 {
+				found = true
+				break
+			}
+		}
+		if off > 8000 {
+			break // cap the scan; planting density makes a hit near-certain
+		}
+	}
+	if !found {
+		t.Fatal("no homologous window pair found after planting")
+	}
+}
+
+func TestPlantHomologiesDegenerateInputs(t *testing.T) {
+	short := []byte("ACGT")
+	PlantHomologies(short, short, 3, 100, 0, 1)           // length > len: no-op
+	PlantHomologiesAligned(short, short, 3, 100, 0, 8, 1) // same
+	PlantHomologiesAligned(short, short, 3, 2, 0, 0, 1)   // align < 1: no-op
+	if string(short) != "ACGT" {
+		t.Fatal("degenerate planting mutated input")
+	}
+}
+
+func TestRandomWalkPositiveAndDeterministic(t *testing.T) {
+	a := RandomWalk(1000, 3)
+	b := RandomWalk(1000, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if a[i] <= 0 {
+			t.Fatalf("price %g not positive", a[i])
+		}
+	}
+}
+
+func TestNormalizeWindowInvariant(t *testing.T) {
+	s := RandomWalk(500, 4)
+	n := NormalizeWindowInvariant(s)
+	var mean, variance float64
+	for _, v := range n {
+		mean += v
+	}
+	mean /= float64(len(n))
+	for _, v := range n {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(n))
+	if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+		t.Fatalf("mean %g variance %g", mean, variance)
+	}
+	if NormalizeWindowInvariant(nil) != nil {
+		t.Fatal("nil input")
+	}
+	flat := NormalizeWindowInvariant([]float64{5, 5, 5})
+	for _, v := range flat {
+		if v != 0 {
+			t.Fatal("constant series should normalize to zeros")
+		}
+	}
+}

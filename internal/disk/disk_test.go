@@ -1,0 +1,300 @@
+package disk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newTestDisk() *Disk {
+	return New(DefaultModel())
+}
+
+func mustAppend(t *testing.T, d *Disk, f FileID, n int) []PageAddr {
+	t.Helper()
+	addrs := make([]PageAddr, n)
+	for i := 0; i < n; i++ {
+		a, err := d.AppendPage(f, i)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		addrs[i] = a
+	}
+	return addrs
+}
+
+func TestAppendAssignsSequentialAddresses(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	addrs := mustAppend(t, d, f, 5)
+	for i, a := range addrs {
+		if a.File != f || a.Page != i {
+			t.Fatalf("addr %d = %v", i, a)
+		}
+	}
+	if d.NumPages(f) != 5 {
+		t.Fatalf("NumPages = %d", d.NumPages(f))
+	}
+}
+
+func TestAppendUnknownFile(t *testing.T) {
+	d := newTestDisk()
+	if _, err := d.AppendPage(FileID(99), nil); err == nil {
+		t.Fatal("expected error for unknown file")
+	}
+}
+
+func TestSequentialReadsChargeNoSeeks(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 100)
+	for i := 0; i < 100; i++ {
+		if _, err := d.Read(PageAddr{File: f, Page: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := d.Stats()
+	if s.Reads != 100 {
+		t.Fatalf("reads = %d", s.Reads)
+	}
+	if s.Seeks != 1 { // only the initial positioning
+		t.Fatalf("seeks = %d, want 1", s.Seeks)
+	}
+	if s.Sequential != 99 {
+		t.Fatalf("sequential = %d, want 99", s.Sequential)
+	}
+}
+
+func TestBackwardReadChargesSeek(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 10)
+	d.Read(PageAddr{File: f, Page: 5})
+	d.Read(PageAddr{File: f, Page: 3})
+	s := d.Stats()
+	if s.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2 (initial + backward)", s.Seeks)
+	}
+}
+
+func TestRereadSamePageChargesSeek(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 3)
+	d.Read(PageAddr{File: f, Page: 1})
+	d.Read(PageAddr{File: f, Page: 1})
+	if s := d.Stats(); s.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2", s.Seeks)
+	}
+}
+
+func TestSmallForwardGapStreams(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 20)
+	d.Read(PageAddr{File: f, Page: 0})
+	d.Read(PageAddr{File: f, Page: 4}) // gap of 3 pages
+	s := d.Stats()
+	if s.Seeks != 1 {
+		t.Fatalf("seeks = %d, want 1 (gap streamed)", s.Seeks)
+	}
+	if s.GapPages != 3 {
+		t.Fatalf("gap pages = %d, want 3", s.GapPages)
+	}
+}
+
+func TestLargeForwardGapSeeks(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 200)
+	d.Read(PageAddr{File: f, Page: 0})
+	d.Read(PageAddr{File: f, Page: 150})
+	s := d.Stats()
+	if s.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2", s.Seeks)
+	}
+	if s.GapPages != 0 {
+		t.Fatalf("gap pages = %d, want 0", s.GapPages)
+	}
+}
+
+func TestGapBreakEvenNeverStreamsPastSeekCost(t *testing.T) {
+	// With seek 10ms and transfer 1ms, streaming a gap of more than 10
+	// pages would cost more than seeking; the model must seek instead.
+	m := Model{SeekTime: 10e-3, TransferTime: 1e-3, PageSize: 4096, Readahead: 64}
+	d := New(m)
+	f := d.CreateFile()
+	mustAppend(t, d, f, 100)
+	d.Read(PageAddr{File: f, Page: 0})
+	d.Read(PageAddr{File: f, Page: 12}) // gap 11 > 10
+	s := d.Stats()
+	if s.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2 (gap 11 must not stream)", s.Seeks)
+	}
+	d.Read(PageAddr{File: f, Page: 22}) // gap 9 <= 10
+	if s := d.Stats(); s.Seeks != 2 || s.GapPages != 9 {
+		t.Fatalf("stats = %+v, want gap streamed", s)
+	}
+}
+
+func TestPerFileHeadsAreIndependent(t *testing.T) {
+	d := newTestDisk()
+	f1 := d.CreateFile()
+	f2 := d.CreateFile()
+	mustAppend(t, d, f1, 10)
+	mustAppend(t, d, f2, 10)
+	// Alternate between the two files, each sequentially.
+	for i := 0; i < 10; i++ {
+		d.Read(PageAddr{File: f1, Page: i})
+		d.Read(PageAddr{File: f2, Page: i})
+	}
+	s := d.Stats()
+	if s.Seeks != 2 { // one initial positioning per file
+		t.Fatalf("seeks = %d, want 2", s.Seeks)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 2)
+	cases := []PageAddr{
+		{File: f, Page: -1},
+		{File: f, Page: 2},
+		{File: FileID(42), Page: 0},
+	}
+	for _, addr := range cases {
+		if _, err := d.Read(addr); !errors.Is(err, ErrNoSuchPage) {
+			t.Errorf("Read(%v) err = %v, want ErrNoSuchPage", addr, err)
+		}
+	}
+}
+
+func TestWriteStoresPayloadAndCharges(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	addrs := mustAppend(t, d, f, 3)
+	if err := d.Write(addrs[1], "updated"); err != nil {
+		t.Fatal(err)
+	}
+	pg, err := d.Peek(addrs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Payload != "updated" {
+		t.Fatalf("payload = %v", pg.Payload)
+	}
+	s := d.Stats()
+	if s.Writes != 1 || s.WriteSeeks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	if err := d.Write(PageAddr{File: f, Page: 0}, nil); !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPeekDoesNotCharge(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	addrs := mustAppend(t, d, f, 1)
+	if _, err := d.Peek(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Stats(); s.Reads != 0 || s.Seeks != 0 {
+		t.Fatalf("peek charged: %+v", s)
+	}
+	if _, err := d.Peek(PageAddr{File: f, Page: 7}); !errors.Is(err, ErrNoSuchPage) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestResetStatsClearsCountersAndHeads(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 5)
+	d.Read(PageAddr{File: f, Page: 0})
+	d.Read(PageAddr{File: f, Page: 1})
+	d.ResetStats()
+	if s := d.Stats(); s != (Stats{}) {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	// After reset the next read must pay the initial positioning again.
+	d.Read(PageAddr{File: f, Page: 2})
+	if s := d.Stats(); s.Seeks != 1 {
+		t.Fatalf("seeks = %d, want 1", s.Seeks)
+	}
+}
+
+func TestModelCost(t *testing.T) {
+	m := Model{SeekTime: 10e-3, TransferTime: 1e-3}
+	s := Stats{Reads: 100, Seeks: 5, GapPages: 20, Writes: 10, WriteSeeks: 2}
+	got := m.Cost(s)
+	want := 7*10e-3 + 130*1e-3
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("cost = %g, want %g", got, want)
+	}
+}
+
+func TestDefaultModelFields(t *testing.T) {
+	m := DefaultModel()
+	if m.SeekTime != DefaultSeekTime || m.TransferTime != DefaultTransferTime ||
+		m.PageSize != DefaultPageSize || m.Readahead != DefaultReadahead {
+		t.Fatalf("unexpected defaults: %+v", m)
+	}
+}
+
+func TestReadaheadNegativeDisables(t *testing.T) {
+	m := Model{SeekTime: 10e-3, TransferTime: 1e-3, Readahead: -1}
+	d := New(m)
+	f := d.CreateFile()
+	for i := 0; i < 10; i++ {
+		d.AppendPage(f, nil)
+	}
+	d.Read(PageAddr{File: f, Page: 0})
+	d.Read(PageAddr{File: f, Page: 2}) // gap 1: would stream with readahead
+	if s := d.Stats(); s.Seeks != 2 {
+		t.Fatalf("seeks = %d, want 2 with readahead disabled", s.Seeks)
+	}
+}
+
+func TestDiskCostAccumulates(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 10)
+	if d.Cost() != 0 {
+		t.Fatal("cost before reads should be 0")
+	}
+	d.Read(PageAddr{File: f, Page: 0})
+	want := DefaultSeekTime + DefaultTransferTime
+	if got := d.Cost(); got != want {
+		t.Fatalf("cost = %g, want %g", got, want)
+	}
+}
+
+func TestConcurrentReads(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				if _, err := d.Read(PageAddr{File: f, Page: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := d.Stats(); s.Reads != 8*64 {
+		t.Fatalf("reads = %d, want %d", s.Reads, 8*64)
+	}
+}

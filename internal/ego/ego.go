@@ -1,0 +1,355 @@
+// Package ego implements the Epsilon Grid Ordering join of Böhm,
+// Braunmüller, Krebs and Kriegel (SIGMOD 2001), one of the paper's two
+// strong baselines (§9).
+//
+// Points are ordered lexicographically by their ε-width grid cell. For
+// reorderable data (point/spatial/vector), both datasets are rewritten to
+// disk in grid order with an external merge sort, then joined with a sweep
+// over the ε interval of the ordering. Sequence data cannot be reordered on
+// disk (§2.1, §9.2): the references are sorted but every object access goes
+// to its home page, which produces the random-seek-heavy access pattern the
+// paper reports.
+package ego
+
+import (
+	"sort"
+
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+	"pmjoin/internal/join"
+)
+
+// Adapter gives the EGO join access to the objects inside page payloads.
+type Adapter interface {
+	// NumObjects returns the number of objects in the payload.
+	NumObjects(payload any) int
+	// ObjectID returns the global id of object i of the payload.
+	ObjectID(payload any, i int) int
+	// GridKey returns the ε-grid cell coordinates of object i.
+	GridKey(payload any, i int) []int
+	// Compare exactly verifies the join predicate between object i of pa
+	// and object k of pb, returning whether they match and the modeled CPU
+	// seconds of the check.
+	Compare(pa any, i int, pb any, k int) (match bool, cpuSeconds float64)
+	// SelfSkip reports whether the pair must be skipped in a self join.
+	SelfSkip(pa any, i int, pb any, k int) bool
+	// Repage rebuilds a page payload holding the given objects (identified
+	// by their source payload and slot), for writing reordered data. It is
+	// only called when Reorderable returns true.
+	Repage(objs []ObjectRef, fetch func(page int) (any, error)) (any, error)
+	// Reorderable reports whether the dataset may be rewritten in grid
+	// order (false for sequence data).
+	Reorderable() bool
+}
+
+// ObjectRef identifies one object by home page and slot.
+type ObjectRef struct {
+	Page, Slot int
+	Key        []int
+}
+
+// Options configures an EGO run.
+type Options struct {
+	SelfJoin bool
+}
+
+// Run executes the EGO join of r and s.
+func Run(e *join.Engine, r, s *join.Dataset, ad Adapter, opts Options) (*join.Report, error) {
+	pool, err := buffer.NewPool(e.Disk, e.BufferSize, e.Policy)
+	if err != nil {
+		return nil, err
+	}
+	before := e.Disk.Stats()
+	rep := &join.Report{Method: "EGO"}
+
+	rRefs, rData, err := prepare(e, pool, r, ad, rep)
+	if err != nil {
+		return nil, err
+	}
+	var sRefs []ObjectRef
+	var sData *join.Dataset
+	if opts.SelfJoin && s.File == r.File {
+		sRefs, sData = rRefs, rData
+	} else {
+		sRefs, sData, err = prepare(e, pool, s, ad, rep)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := sweep(e, pool, rData, sData, rRefs, sRefs, ad, opts, rep); err != nil {
+		return nil, err
+	}
+
+	after := e.Disk.Stats()
+	model := e.Disk.Model()
+	delta := disk.Stats{
+		Reads:      after.Reads - before.Reads,
+		Seeks:      after.Seeks - before.Seeks,
+		GapPages:   after.GapPages - before.GapPages,
+		Writes:     after.Writes - before.Writes,
+		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
+	}
+	rep.IOSeconds = model.Cost(delta)
+	rep.PageReads = delta.Reads
+	rep.Seeks = delta.Seeks + delta.WriteSeeks
+	bs := pool.Stats()
+	rep.Hits, rep.Misses = bs.Hits, bs.Misses
+	return rep, nil
+}
+
+// prepare scans the dataset once (sequential), builds grid-ordered object
+// references, and — when the data is reorderable — materializes a reordered
+// copy on disk, charging the I/O of an external merge sort.
+func prepare(e *join.Engine, pool *buffer.Pool, d *join.Dataset, ad Adapter, rep *join.Report) ([]ObjectRef, *join.Dataset, error) {
+	var refs []ObjectRef
+	perPage := 1
+	for p := 0; p < d.Pages; p++ {
+		pg, err := e.Disk.Read(disk.PageAddr{File: d.File, Page: p})
+		if err != nil {
+			return nil, nil, err
+		}
+		n := ad.NumObjects(pg.Payload)
+		if n > perPage {
+			// The reordered copy packs pages to the source capacity; using
+			// the fullest page avoids inflating the temp file when the
+			// first source page happens to be an underfull boundary node.
+			perPage = n
+		}
+		for i := 0; i < n; i++ {
+			refs = append(refs, ObjectRef{Page: p, Slot: i, Key: ad.GridKey(pg.Payload, i)})
+		}
+	}
+	sort.SliceStable(refs, func(i, j int) bool { return lessKey(refs[i].Key, refs[j].Key) })
+
+	if !ad.Reorderable() {
+		// Sequence data stays in place: objects will be fetched from their
+		// home pages in grid order during the sweep.
+		return refs, d, nil
+	}
+
+	// Write the reordered copy, page by page (sequential writes).
+	// The input was already read sequentially by the reference scan above;
+	// run formation consumes those buffered chunks, so gathering payloads
+	// here is not billed again (Peek). The billed sort I/O is the run
+	// writes below plus the merge passes.
+	tmp := e.Disk.CreateFile()
+	fetch := func(page int) (any, error) {
+		pg, err := e.Disk.Peek(disk.PageAddr{File: d.File, Page: page})
+		if err != nil {
+			return nil, err
+		}
+		return pg.Payload, nil
+	}
+	newRefs := make([]ObjectRef, 0, len(refs))
+	for lo := 0; lo < len(refs); lo += perPage {
+		hi := lo + perPage
+		if hi > len(refs) {
+			hi = len(refs)
+		}
+		payload, err := ad.Repage(refs[lo:hi], fetch)
+		if err != nil {
+			return nil, nil, err
+		}
+		addr, err := e.Disk.AppendPage(tmp, payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.Disk.Write(addr, payload); err != nil { // charge the write
+			return nil, nil, err
+		}
+		for i := lo; i < hi; i++ {
+			newRefs = append(newRefs, ObjectRef{Page: addr.Page, Slot: i - lo, Key: refs[i].Key})
+		}
+	}
+	chargeMergePasses(e, tmp, rep)
+	out := &join.Dataset{Name: d.Name + "-ego", File: tmp, Pages: e.Disk.NumPages(tmp)}
+	return newRefs, out, nil
+}
+
+// chargeMergePasses charges the I/O of the merge passes of an external sort
+// of the temp file: initial runs of B pages, (B-1)-way merges until sorted.
+// Each pass reads the file with run-interleaved accesses (seek-heavy) and
+// rewrites it sequentially.
+func chargeMergePasses(e *join.Engine, f disk.FileID, rep *join.Report) {
+	n := e.Disk.NumPages(f)
+	if n == 0 {
+		return
+	}
+	runs := (n + e.BufferSize - 1) / e.BufferSize
+	fan := e.BufferSize - 1
+	if fan < 2 {
+		fan = 2
+	}
+	runLen := e.BufferSize
+	for runs > 1 {
+		// Each run is one sequential stream; switching between the merged
+		// streams costs one seek per run (buffered k-way merge reads each
+		// run in large sequential chunks). Charge the seeks by touching the
+		// run starts in descending order, then stream the file.
+		for start := ((runs - 1) * runLen); start >= 0; start -= runLen {
+			if start < n {
+				if _, err := e.Disk.Read(disk.PageAddr{File: f, Page: start}); err != nil {
+					return
+				}
+			}
+		}
+		for p := 0; p < n; p++ {
+			if _, err := e.Disk.Read(disk.PageAddr{File: f, Page: p}); err != nil {
+				return
+			}
+		}
+		// Sequential rewrite.
+		for p := 0; p < n; p++ {
+			pg, err := e.Disk.Peek(disk.PageAddr{File: f, Page: p})
+			if err != nil {
+				return
+			}
+			if err := e.Disk.Write(disk.PageAddr{File: f, Page: p}, pg.Payload); err != nil {
+				return
+			}
+		}
+		runs = (runs + fan - 1) / fan
+		runLen *= fan
+	}
+}
+
+// sweep runs the blocked EGO-join over the grid-ordered references.
+//
+// The epsilon-grid-order interval theorem (Böhm et al., SIGMOD 2001): every
+// candidate partner of x lies, in the lexicographic grid order, between
+// x.key − (1,...,1) and x.key + (1,...,1). The candidates of a contiguous
+// block of R therefore form one contiguous range of the sorted S sequence.
+// The sweep pins one R block at a time (up to half the buffer), walks its S
+// range in order — monotonically advancing, so consecutive blocks reuse the
+// overlap through the buffer — and verifies cell-adjacent pairs exactly.
+//
+// For reorderable data the sorted references are page-contiguous in the
+// reordered file, making the range walk sequential. For in-place sequence
+// data every touched object faults its home page, which is where the
+// paper's reported degradation on sequence data comes from.
+func sweep(e *join.Engine, pool *buffer.Pool, rData, sData *join.Dataset, rRefs, sRefs []ObjectRef, ad Adapter, opts Options, rep *join.Report) error {
+	if len(rRefs) == 0 || len(sRefs) == 0 {
+		return nil
+	}
+	emit := func(a, b int) {
+		rep.Results++
+		if e.OnPair != nil {
+			e.OnPair(a, b)
+		}
+	}
+	// Pin as large an R block as the buffer allows: the S range is walked
+	// in one ascending pass, so it needs only the remaining frames, and the
+	// total S pages touched shrink as blocks grow (fewer range walks).
+	blockPages := e.BufferSize - 2
+	if blockPages < 1 {
+		blockPages = 1
+	}
+	for start := 0; start < len(rRefs); {
+		// Grow the block until it spans blockPages distinct home pages.
+		end := start + 1
+		pages := 1
+		last := rRefs[start].Page
+		for end < len(rRefs) {
+			if rRefs[end].Page != last {
+				if pages == blockPages {
+					break
+				}
+				pages++
+				last = rRefs[end].Page
+			}
+			end++
+		}
+		block := rRefs[start:end]
+		touched := make(map[int]struct{}, pages)
+		for i := range block {
+			touched[block[i].Page] = struct{}{}
+		}
+		if err := prefetch(pool, rData.File, touched); err != nil {
+			return err
+		}
+
+		// The block's candidate range of S in grid order.
+		loKey := addAll(block[0].Key, -1)
+		hiKey := addAll(block[len(block)-1].Key, +1)
+		lo := sort.Search(len(sRefs), func(i int) bool { return !lessKey(sRefs[i].Key, loKey) })
+		hi := sort.Search(len(sRefs), func(i int) bool { return lessKey(hiKey, sRefs[i].Key) })
+
+		for k := lo; k < hi; k++ {
+			sb := sRefs[k]
+			var pb *disk.Page // fetched lazily on the first adjacent pair
+			for i := range block {
+				if !cellsAdjacent(block[i].Key, sb.Key) {
+					continue
+				}
+				if pb == nil {
+					var err error
+					pb, err = pool.Get(disk.PageAddr{File: sData.File, Page: sb.Page})
+					if err != nil {
+						return err
+					}
+				}
+				pa, err := pool.Get(disk.PageAddr{File: rData.File, Page: block[i].Page})
+				if err != nil {
+					return err
+				}
+				if opts.SelfJoin && ad.SelfSkip(pa.Payload, block[i].Slot, pb.Payload, sb.Slot) {
+					continue
+				}
+				rep.Comparisons++
+				match, cpu := ad.Compare(pa.Payload, block[i].Slot, pb.Payload, sb.Slot)
+				rep.CPUJoinSeconds += cpu
+				if match {
+					emit(ad.ObjectID(pa.Payload, block[i].Slot), ad.ObjectID(pb.Payload, sb.Slot))
+				}
+			}
+		}
+		pool.UnpinAll()
+		start = end
+	}
+	return nil
+}
+
+// prefetch pins a set of pages, fetching missing ones in ascending page
+// order (sequential runs on disk).
+func prefetch(pool *buffer.Pool, f disk.FileID, touched map[int]struct{}) error {
+	pages := make([]int, 0, len(touched))
+	for p := range touched {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	for _, p := range pages {
+		if _, err := pool.GetPinned(disk.PageAddr{File: f, Page: p}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addAll returns key with delta added to every coordinate.
+func addAll(key []int, delta int) []int {
+	out := make([]int, len(key))
+	for i, k := range key {
+		out[i] = k + delta
+	}
+	return out
+}
+
+func cellsAdjacent(a, b []int) bool {
+	for i := range a {
+		d := a[i] - b[i]
+		if d > 1 || d < -1 {
+			return false
+		}
+	}
+	return true
+}
+
+func lessKey(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

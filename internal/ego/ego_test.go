@@ -1,0 +1,229 @@
+package ego
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmjoin/internal/disk"
+	"pmjoin/internal/geom"
+	"pmjoin/internal/index"
+	"pmjoin/internal/join"
+)
+
+// testAdapter adapts VectorPage payloads for EGO with L2 and width eps.
+type testAdapter struct {
+	eps  float64
+	self bool
+}
+
+func (a *testAdapter) NumObjects(p any) int      { return len(p.(*join.VectorPage).IDs) }
+func (a *testAdapter) ObjectID(p any, i int) int { return p.(*join.VectorPage).IDs[i] }
+
+func (a *testAdapter) GridKey(p any, i int) []int {
+	v := p.(*join.VectorPage).Vecs[i]
+	key := make([]int, len(v))
+	for d, x := range v {
+		key[d] = int(math.Floor(x / a.eps))
+	}
+	return key
+}
+
+func (a *testAdapter) Compare(pa any, i int, pb any, k int) (bool, float64) {
+	va := pa.(*join.VectorPage).Vecs[i]
+	vb := pb.(*join.VectorPage).Vecs[k]
+	return geom.L2.Dist(va, vb) <= a.eps, 1e-9
+}
+
+func (a *testAdapter) SelfSkip(pa any, i int, pb any, k int) bool {
+	return a.self && pa.(*join.VectorPage).IDs[i] >= pb.(*join.VectorPage).IDs[k]
+}
+
+func (a *testAdapter) Repage(objs []ObjectRef, fetch func(int) (any, error)) (any, error) {
+	out := &join.VectorPage{}
+	for _, o := range objs {
+		p, err := fetch(o.Page)
+		if err != nil {
+			return nil, err
+		}
+		vp := p.(*join.VectorPage)
+		out.IDs = append(out.IDs, vp.IDs[o.Slot])
+		out.Vecs = append(out.Vecs, vp.Vecs[o.Slot])
+	}
+	return out, nil
+}
+
+func (a *testAdapter) Reorderable() bool { return true }
+
+// inPlaceAdapter is the non-reorderable variant (sequence-data behaviour).
+type inPlaceAdapter struct{ testAdapter }
+
+func (a *inPlaceAdapter) Reorderable() bool { return false }
+func (a *inPlaceAdapter) Repage([]ObjectRef, func(int) (any, error)) (any, error) {
+	panic("not reorderable")
+}
+
+// buildFlat materializes n random 2-d points into sequential pages with a
+// flat one-level index.
+func buildFlat(t *testing.T, d *disk.Disk, rng *rand.Rand, n, perPage int) (*join.Dataset, []geom.Vector) {
+	t.Helper()
+	f := d.CreateFile()
+	var vecs []geom.Vector
+	var leaves []*index.Node
+	for i := 0; i < n; i += perPage {
+		payload := &join.VectorPage{}
+		mbr := geom.EmptyMBR(2)
+		for k := i; k < i+perPage && k < n; k++ {
+			v := geom.Vector{rng.Float64(), rng.Float64()}
+			vecs = append(vecs, v)
+			payload.IDs = append(payload.IDs, k)
+			payload.Vecs = append(payload.Vecs, v)
+			mbr.ExtendPoint(v)
+		}
+		addr, err := d.AppendPage(f, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves = append(leaves, &index.Node{MBR: mbr, Page: addr.Page})
+	}
+	rootMBR := geom.EmptyMBR(2)
+	for _, l := range leaves {
+		rootMBR.ExtendMBR(l.MBR)
+	}
+	root := &index.Node{MBR: rootMBR, Page: -1, Children: leaves}
+	return &join.Dataset{Name: "flat", File: f, Root: root, Pages: len(leaves)}, vecs
+}
+
+func brute(a, b []geom.Vector, eps float64, self bool) int64 {
+	var n int64
+	for i, va := range a {
+		for k, vb := range b {
+			if self && i >= k {
+				continue
+			}
+			if geom.L2.Dist(va, vb) <= eps {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestEGOMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := disk.New(disk.DefaultModel())
+	da, va := buildFlat(t, d, rng, 400, 8)
+	db, vb := buildFlat(t, d, rng, 300, 8)
+	const eps = 0.06
+	e := &join.Engine{Disk: d, BufferSize: 16}
+	rep, err := Run(e, da, db, &testAdapter{eps: eps}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := brute(va, vb, eps, false)
+	if rep.Results != want {
+		t.Fatalf("results = %d, want %d", rep.Results, want)
+	}
+	if rep.PageReads == 0 || rep.IOSeconds <= 0 {
+		t.Fatalf("report not populated: %+v", rep)
+	}
+}
+
+func TestEGOSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := disk.New(disk.DefaultModel())
+	da, va := buildFlat(t, d, rng, 350, 8)
+	const eps = 0.05
+	e := &join.Engine{Disk: d, BufferSize: 16}
+	rep, err := Run(e, da, da, &testAdapter{eps: eps, self: true}, Options{SelfJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := brute(va, va, eps, true)
+	if rep.Results != want {
+		t.Fatalf("results = %d, want %d", rep.Results, want)
+	}
+}
+
+func TestEGONonReorderableMatchesAndSeeksMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := disk.New(disk.DefaultModel())
+	da, va := buildFlat(t, d, rng, 400, 8)
+	db, vb := buildFlat(t, d, rng, 400, 8)
+	const eps = 0.06
+	want := brute(va, vb, eps, false)
+
+	e := &join.Engine{Disk: d, BufferSize: 16}
+	re, err := Run(e, da, db, &testAdapter{eps: eps}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := &inPlaceAdapter{}
+	ad.eps = eps
+	ri, err := Run(e, da, db, ad, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Results != want || ri.Results != want {
+		t.Fatalf("results %d / %d, want %d", re.Results, ri.Results, want)
+	}
+	// The paper's point: in-place (sequence) data cannot be reordered and
+	// pays many more random seeks during the sweep.
+	if ri.Seeks <= re.Seeks {
+		t.Fatalf("in-place seeks %d <= reordered seeks %d", ri.Seeks, re.Seeks)
+	}
+}
+
+func TestEGOEmptyInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := disk.New(disk.DefaultModel())
+	da, _ := buildFlat(t, d, rng, 10, 4)
+	e := &join.Engine{Disk: d, BufferSize: 8}
+	// Epsilon so small every point is isolated: still must terminate with 0
+	// or more results and no error.
+	if _, err := Run(e, da, da, &testAdapter{eps: 1e-9, self: true}, Options{SelfJoin: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessKeyAndCellsAdjacent(t *testing.T) {
+	if !lessKey([]int{1, 2}, []int{1, 3}) || lessKey([]int{1, 3}, []int{1, 2}) {
+		t.Fatal("lessKey")
+	}
+	if lessKey([]int{2, 2}, []int{2, 2}) {
+		t.Fatal("lessKey equal")
+	}
+	if !cellsAdjacent([]int{0, 0}, []int{1, -1}) {
+		t.Fatal("adjacent cells rejected")
+	}
+	if cellsAdjacent([]int{0, 0}, []int{2, 0}) {
+		t.Fatal("distant cells accepted")
+	}
+}
+
+func TestAddAll(t *testing.T) {
+	got := addAll([]int{1, 2, 3}, -1)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("addAll = %v", got)
+	}
+}
+
+func TestMergePassChargesGrowWithSmallBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mk := func(buffer int) int64 {
+		d := disk.New(disk.DefaultModel())
+		da, _ := buildFlat(t, d, rng, 600, 4)
+		db, _ := buildFlat(t, d, rng, 600, 4)
+		e := &join.Engine{Disk: d, BufferSize: buffer}
+		rep, err := Run(e, da, db, &testAdapter{eps: 0.02}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.PageReads
+	}
+	small := mk(8)
+	large := mk(128)
+	if small <= large {
+		t.Fatalf("external sort with tiny buffer should read more: %d <= %d", small, large)
+	}
+}

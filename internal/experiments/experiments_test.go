@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"testing"
+
+	"pmjoin"
+)
+
+// tiny returns a config small enough for unit testing while preserving the
+// workload structure.
+func tiny() *Config { return &Config{Scale: 0.05, Seed: 1} }
+
+func TestSpatialPairBuilds(t *testing.T) {
+	sys, da, db, eps, err := SpatialPair(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys == nil || da.Pages() == 0 || db.Pages() == 0 {
+		t.Fatal("empty pair")
+	}
+	if eps <= 0 {
+		t.Fatalf("eps = %g", eps)
+	}
+	if da.Kind() != pmjoin.KindVector {
+		t.Fatal("kind")
+	}
+}
+
+func TestLandsatPairBuilds(t *testing.T) {
+	_, da, db, eps, err := LandsatPair(tiny(), 0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da.Objects() != db.Objects() {
+		t.Fatalf("unequal parts: %d vs %d", da.Objects(), db.Objects())
+	}
+	if eps <= 0 {
+		t.Fatal("eps")
+	}
+}
+
+func TestHChrBuilds(t *testing.T) {
+	_, ds, err := HChrSelf(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Kind() != pmjoin.KindString || ds.Window() != seqWindow {
+		t.Fatal("string dataset")
+	}
+	_, dh, dm, err := HChrMChrPair(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dh.Objects() <= dm.Objects() {
+		t.Fatal("HChr must be larger than MChr")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	rows, err := Fig10(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]CostRow{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	// All methods must agree on the result count.
+	for _, r := range rows {
+		if r.Results != rows[0].Results {
+			t.Fatalf("result mismatch: %v", rows)
+		}
+	}
+	// Optimization 1 (prediction): pm-NLJ CPU well below NLJ.
+	if byName["pm-NLJ"].CPUJoin >= byName["NLJ"].CPUJoin/2 {
+		t.Fatalf("pm-NLJ CPU %g not well below NLJ %g", byName["pm-NLJ"].CPUJoin, byName["NLJ"].CPUJoin)
+	}
+	// Optimization 3 (scheduling): SC I/O at or below random-SC.
+	if byName["SC"].IO > byName["random-SC"].IO*1.05 {
+		t.Fatalf("SC IO %g above random-SC %g", byName["SC"].IO, byName["random-SC"].IO)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	rows, err := Fig11(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Results != rows[0].Results {
+			t.Fatalf("result mismatch across methods: %+v", rows)
+		}
+	}
+	if rows[0].Results == 0 {
+		t.Fatal("no homologies found")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	points, err := Fig12(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// SC total cost must not increase with buffer size.
+	for i := 1; i < len(points); i++ {
+		if points[i].Totals["SC"] > points[i-1].Totals["SC"]*1.2 {
+			t.Fatalf("SC cost rose with buffer: %v", points)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	blocks, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	for _, blk := range blocks {
+		for i := range blk.Buffers {
+			// CC is the approximate lower bound: allow small violations
+			// from its randomized seeding, not systematic ones.
+			if blk.CCIO[i] > blk.SCIO[i]*1.25 {
+				t.Fatalf("%s at B=%d: CC %g far above SC %g",
+					blk.Pair, blk.Buffers[i], blk.CCIO[i], blk.SCIO[i])
+			}
+		}
+		// Both costs must broadly decrease with buffer size.
+		first, last := blk.SCIO[0], blk.SCIO[len(blk.SCIO)-1]
+		if last > first {
+			t.Fatalf("%s: SC IO grew with buffer: %v", blk.Pair, blk.SCIO)
+		}
+	}
+}
+
+func TestFig13aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	points, err := Fig13a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		sc := p.Totals["SC"]
+		for m, v := range p.Totals {
+			// At toy scale fixed overheads allow small inversions; only a
+			// clear win over SC is a failure.
+			if m != "SC" && v < sc*0.7 {
+				t.Fatalf("B=%d: %s (%g) beat SC (%g)", p.X, m, v, sc)
+			}
+		}
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	points, err := Fig14(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// SC lowest at every size; every method's cost grows with size overall.
+	for _, p := range points {
+		sc := p.Totals["SC"]
+		for m, v := range p.Totals {
+			if m != "SC" && v < sc*0.7 {
+				t.Fatalf("size %d: %s (%g) beat SC (%g)", p.X, m, v, sc)
+			}
+		}
+	}
+	if points[len(points)-1].Totals["NLJ"] <= points[0].Totals["NLJ"] {
+		t.Fatal("NLJ cost did not grow with dataset size")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	cfg := tiny()
+	if rows, err := AblationFilterDepth(cfg); err != nil || len(rows) != 3 {
+		t.Fatalf("filter: %v %v", rows, err)
+	}
+	if rows, err := AblationClusterShape(cfg); err != nil || len(rows) != 3 {
+		t.Fatalf("shape: %v %v", rows, err)
+	}
+	if rows, err := AblationSchedule(cfg); err != nil || len(rows) != 2 {
+		t.Fatalf("schedule: %v %v", rows, err)
+	}
+	if rows, err := AblationHistogram(cfg); err != nil || len(rows) != 3 {
+		t.Fatalf("histogram: %v %v", rows, err)
+	}
+	if rows, err := AblationReplacement(cfg); err != nil || len(rows) != 2 {
+		t.Fatalf("replacement: %v %v", rows, err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := &Config{}
+	c.defaults()
+	if c.Scale != 0.25 || c.Seed != 1 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.n(1000) != 250 || c.buf(8) != 8 {
+		t.Fatal("scaling")
+	}
+	if c.n(10) != 64 {
+		t.Fatal("minimum cardinality")
+	}
+}
+
+func TestNewAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment integration test")
+	}
+	cfg := tiny()
+	if rows, err := AblationReadahead(cfg); err != nil || len(rows) != 3 {
+		t.Fatalf("readahead: %v %v", rows, err)
+	}
+	rows, err := AblationSeekRatio(cfg)
+	if err != nil || len(rows) != 3 {
+		t.Fatalf("seek ratio: %v %v", rows, err)
+	}
+	// Cheaper seeks must shrink the NLJ/SC speedup (stored in Total).
+	if rows[0].Total > rows[len(rows)-1].Total {
+		t.Logf("note: speedup %g at 2x vs %g at 50x (expected to grow with seek cost)", rows[0].Total, rows[len(rows)-1].Total)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+
+	"pmjoin"
+)
+
+// TestFig14EGOMonotonicityDiagnostic prints EGO's cost components across the
+// Figure 14 sizes (run with -v; diagnostic aid for the harness).
+func TestFig14EGOMonotonicityDiagnostic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	cfg := &Config{Scale: 0.25, Seed: 7}
+	fixedEps := 0.0
+	for _, f := range []float64{0.125, 0.25, 0.375, 0.5} {
+		sys, da, db, eps, err := LandsatPair(cfg, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fixedEps == 0 {
+			fixedEps = eps
+		}
+		res, err := sys.Join(da, db, pmjoin.Options{
+			Method: pmjoin.EGO, Epsilon: fixedEps, BufferPages: cfg.buf(2000),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("n=%d pages=%d io=%.2f cpu=%.2f reads=%d seeks=%d comps=%d results=%d",
+			da.Objects(), da.Pages(), res.Report.IOSeconds, res.Report.CPUJoinSeconds,
+			res.Report.PageReads, res.Report.Seeks, res.Report.Comparisons, res.Count())
+	}
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmjoin"
+)
+
+// runBreakdown executes the methods and collects cost rows.
+func runBreakdown(sys *pmjoin.System, a, b *pmjoin.Dataset, eps float64, buffer int, methods []pmjoin.Method) ([]CostRow, error) {
+	rows := make([]CostRow, 0, len(methods))
+	for _, m := range methods {
+		res, err := sys.Join(a, b, pmjoin.Options{Method: m, Epsilon: eps, BufferPages: buffer})
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", m, err)
+		}
+		rows = append(rows, CostRow{
+			Method:     m.String(),
+			Preprocess: res.Report.PreprocessSeconds,
+			CPUJoin:    res.Report.CPUJoinSeconds,
+			IO:         res.Report.IOSeconds,
+			Results:    res.Count(),
+		})
+	}
+	return rows, nil
+}
+
+// Fig10 reproduces Figure 10: the preprocess / CPU-join / I/O breakdown of
+// NLJ, pm-NLJ, random-SC and SC joining LBeach and MCounty (1 KB pages,
+// buffer 25).
+func Fig10(cfg *Config) ([]CostRow, error) {
+	cfg.defaults()
+	sys, da, db, eps, err := SpatialPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runBreakdown(sys, da, db, eps, cfg.buf(25),
+		[]pmjoin.Method{pmjoin.NLJ, pmjoin.PMNLJ, pmjoin.RandomSC, pmjoin.SC})
+	if err != nil {
+		return nil, err
+	}
+	printCostRows(cfg, fmt.Sprintf("Fig 10: LBeach x MCounty cost breakdown (eps=%.4g, B=%d)", eps, cfg.buf(25)), rows)
+	return rows, nil
+}
+
+// Fig11 reproduces Figure 11: the same breakdown for the HChr18 self
+// subsequence join (4 KB pages, buffer 100, eps/len = 0.01).
+func Fig11(cfg *Config) ([]CostRow, error) {
+	cfg.defaults()
+	sys, ds, err := HChrSelf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runBreakdown(sys, ds, ds, seqMaxEdit, cfg.buf(100),
+		[]pmjoin.Method{pmjoin.NLJ, pmjoin.PMNLJ, pmjoin.RandomSC, pmjoin.SC})
+	if err != nil {
+		return nil, err
+	}
+	printCostRows(cfg, fmt.Sprintf("Fig 11: HChr18 self join cost breakdown (maxEdit=%d, B=%d)", seqMaxEdit, cfg.buf(100)), rows)
+	return rows, nil
+}
+
+// sweepBuffers runs the methods over the scaled buffer sizes and returns
+// total costs per point.
+func sweepBuffers(sys *pmjoin.System, a, b *pmjoin.Dataset, eps float64, buffers []int, methods []pmjoin.Method, skip func(m pmjoin.Method, buffer int) bool) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, buf := range buffers {
+		p := SweepPoint{X: buf, Totals: map[string]float64{}}
+		for _, m := range methods {
+			if skip != nil && skip(m, buf) {
+				continue
+			}
+			res, err := sys.Join(a, b, pmjoin.Options{Method: m, Epsilon: eps, BufferPages: buf})
+			if err != nil {
+				return nil, fmt.Errorf("%v at B=%d: %w", m, buf, err)
+			}
+			p.Totals[m.String()] = res.TotalSeconds()
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func (c *Config) bufs(paper ...int) []int {
+	out := make([]int, len(paper))
+	for i, b := range paper {
+		out[i] = c.buf(b)
+	}
+	return out
+}
+
+// Fig12 reproduces Figure 12: total cost of the HChr18 self join vs buffer
+// size for NLJ, pm-NLJ, random-SC and SC (log-log in the paper; we emit the
+// raw series). The paper's knee appears where one dataset's pages fit into
+// the buffer.
+func Fig12(cfg *Config) ([]SweepPoint, error) {
+	cfg.defaults()
+	sys, ds, err := HChrSelf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buffers := cfg.bufs(100, 200, 400, 800, 1600)
+	methods := []pmjoin.Method{pmjoin.NLJ, pmjoin.PMNLJ, pmjoin.RandomSC, pmjoin.SC}
+	points, err := sweepBuffers(sys, ds, ds, seqMaxEdit, buffers, methods, nil)
+	if err != nil {
+		return nil, err
+	}
+	printSweep(cfg, fmt.Sprintf("Fig 12: HChr18 self join total cost vs buffer (pages=%d)", ds.Pages()),
+		"buffer", methodNames(methods), points)
+	return points, nil
+}
+
+// Fig13a reproduces Figure 13(a): LBeach x MCounty total cost vs buffer for
+// NLJ, BFRJ, EGO and SC. Mirroring the paper, BFRJ is skipped below 200
+// (scaled) pages, where its intermediate structures do not fit.
+func Fig13a(cfg *Config) ([]SweepPoint, error) {
+	cfg.defaults()
+	sys, da, db, eps, err := SpatialPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buffers := cfg.bufs(25, 50, 100, 200, 400, 800)
+	methods := []pmjoin.Method{pmjoin.NLJ, pmjoin.BFRJ, pmjoin.EGO, pmjoin.SC}
+	minBFRJ := cfg.buf(200)
+	points, err := sweepBuffers(sys, da, db, eps, buffers, methods,
+		func(m pmjoin.Method, buf int) bool { return m == pmjoin.BFRJ && buf < minBFRJ })
+	if err != nil {
+		return nil, err
+	}
+	printSweep(cfg, fmt.Sprintf("Fig 13a: LBeach x MCounty total cost vs buffer (eps=%.4g)", eps),
+		"buffer", methodNames(methods), points)
+	return points, nil
+}
+
+// Fig13b reproduces Figure 13(b): Landsat1 x Landsat2 total cost vs buffer.
+func Fig13b(cfg *Config) ([]SweepPoint, error) {
+	cfg.defaults()
+	sys, da, db, eps, err := LandsatPair(cfg, 0.125)
+	if err != nil {
+		return nil, err
+	}
+	buffers := cfg.bufs(125, 250, 500, 1000, 2000)
+	methods := []pmjoin.Method{pmjoin.NLJ, pmjoin.BFRJ, pmjoin.EGO, pmjoin.SC}
+	points, err := sweepBuffers(sys, da, db, eps, buffers, methods, nil)
+	if err != nil {
+		return nil, err
+	}
+	printSweep(cfg, fmt.Sprintf("Fig 13b: Landsat1 x Landsat2 total cost vs buffer (eps=%.4g)", eps),
+		"buffer", methodNames(methods), points)
+	return points, nil
+}
+
+// Fig13c reproduces Figure 13(c): HChr18 self join total cost vs buffer for
+// NLJ, BFRJ, EGO and SC.
+func Fig13c(cfg *Config) ([]SweepPoint, error) {
+	cfg.defaults()
+	sys, ds, err := HChrSelf(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buffers := cfg.bufs(100, 200, 400, 800, 1600)
+	methods := []pmjoin.Method{pmjoin.NLJ, pmjoin.BFRJ, pmjoin.EGO, pmjoin.SC}
+	points, err := sweepBuffers(sys, ds, ds, seqMaxEdit, buffers, methods, nil)
+	if err != nil {
+		return nil, err
+	}
+	printSweep(cfg, "Fig 13c: HChr18 self join total cost vs buffer",
+		"buffer", methodNames(methods), points)
+	return points, nil
+}
+
+// Fig14 reproduces Figure 14: total cost of joining two disjoint Landsat
+// subsets vs dataset size (12.5%, 25%, 37.5% and 50% of the collection) at a
+// buffer of 2000 (scaled) pages.
+func Fig14(cfg *Config) ([]SweepPoint, error) {
+	cfg.defaults()
+	fractions := []float64{0.125, 0.25, 0.375, 0.5}
+	methods := []pmjoin.Method{pmjoin.NLJ, pmjoin.BFRJ, pmjoin.EGO, pmjoin.SC}
+	buffer := cfg.buf(2000)
+	// One fixed query across sizes, as in the paper: epsilon calibrated on
+	// the smallest pair and reused.
+	fixedEps := 0.0
+	var points []SweepPoint
+	for _, f := range fractions {
+		sys, da, db, eps, err := LandsatPair(cfg, f)
+		if err != nil {
+			return nil, err
+		}
+		if fixedEps == 0 {
+			fixedEps = eps
+		}
+		eps = fixedEps
+		p := SweepPoint{X: da.Objects(), Totals: map[string]float64{}}
+		for _, m := range methods {
+			res, err := sys.Join(da, db, pmjoin.Options{Method: m, Epsilon: eps, BufferPages: buffer})
+			if err != nil {
+				return nil, fmt.Errorf("%v at %.3g: %w", m, f, err)
+			}
+			p.Totals[m.String()] = res.TotalSeconds()
+		}
+		points = append(points, p)
+	}
+	printSweep(cfg, fmt.Sprintf("Fig 14: Landsat scalability, total cost vs per-dataset size (B=%d)", buffer),
+		"tuples", methodNames(methods), points)
+	return points, nil
+}
+
+func methodNames(ms []pmjoin.Method) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.String()
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmjoin"
+)
+
+// Table2Block is one dataset pair's row of Table 2: the I/O cost of SC and
+// CC at each buffer size (CC is the paper's approximate I/O lower bound).
+type Table2Block struct {
+	Pair    string
+	Buffers []int
+	SCIO    []float64
+	CCIO    []float64
+}
+
+// Table2 reproduces Table 2: I/O costs of SC and CC for the four dataset
+// pairs over the paper's buffer sweeps.
+func Table2(cfg *Config) ([]Table2Block, error) {
+	cfg.defaults()
+	var blocks []Table2Block
+
+	run := func(pair string, sys *pmjoin.System, a, b *pmjoin.Dataset, eps float64, buffers []int) error {
+		blk := Table2Block{Pair: pair, Buffers: buffers}
+		for _, buf := range buffers {
+			sc, err := sys.Join(a, b, pmjoin.Options{Method: pmjoin.SC, Epsilon: eps, BufferPages: buf})
+			if err != nil {
+				return fmt.Errorf("%s SC at B=%d: %w", pair, buf, err)
+			}
+			cc, err := sys.Join(a, b, pmjoin.Options{Method: pmjoin.CC, Epsilon: eps, BufferPages: buf})
+			if err != nil {
+				return fmt.Errorf("%s CC at B=%d: %w", pair, buf, err)
+			}
+			blk.SCIO = append(blk.SCIO, sc.Report.IOSeconds)
+			blk.CCIO = append(blk.CCIO, cc.Report.IOSeconds)
+		}
+		blocks = append(blocks, blk)
+		return nil
+	}
+
+	{
+		sys, da, db, eps, err := SpatialPair(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("LBeach/MCounty", sys, da, db, eps, cfg.bufs(50, 100, 200, 400, 800)); err != nil {
+			return nil, err
+		}
+	}
+	{
+		sys, da, db, eps, err := LandsatPair(cfg, 0.125)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("Landsat1/Landsat2", sys, da, db, eps, cfg.bufs(125, 250, 500, 1000, 2000)); err != nil {
+			return nil, err
+		}
+	}
+	{
+		sys, ds, err := HChrSelf(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("HChr18/HChr18", sys, ds, ds, seqMaxEdit, cfg.bufs(100, 200, 400, 800, 1600)); err != nil {
+			return nil, err
+		}
+	}
+	{
+		sys, dh, dm, err := HChrMChrPair(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := run("HChr18/MChr18", sys, dh, dm, seqMaxEdit, cfg.bufs(50, 100, 200, 400, 800)); err != nil {
+			return nil, err
+		}
+	}
+
+	cfg.printf("\nTable 2: I/O cost (s) of SC, with CC in parentheses\n")
+	for _, blk := range blocks {
+		cfg.printf("%-20s", blk.Pair)
+		for _, b := range blk.Buffers {
+			cfg.printf(" %14d", b)
+		}
+		cfg.printf("\n%-20s", "")
+		for i := range blk.Buffers {
+			cfg.printf(" %6.2f (%5.2f)", blk.SCIO[i], blk.CCIO[i])
+		}
+		cfg.printf("\n")
+	}
+	return blocks, nil
+}

@@ -1,0 +1,90 @@
+// Package geom provides vectors, minimum bounding rectangles (MBRs), and the
+// vector-norm distance measures used by the join framework.
+//
+// The paper works with arbitrary metrics; for point, spatial, and time-series
+// data it uses vector norms (L1, L2, ..., L∞) whose MBR-to-MBR MinDist is a
+// lower bound of the point-to-point distance (Table 1).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a point in d-dimensional space.
+type Vector []float64
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Norm identifies an Lp vector norm. Use P = 0 for L∞ (the maximum norm).
+type Norm struct {
+	P int // 1, 2, 3, ... ; 0 means L∞
+}
+
+// Common norms.
+var (
+	L1   = Norm{P: 1}
+	L2   = Norm{P: 2}
+	LInf = Norm{P: 0}
+)
+
+func (n Norm) String() string {
+	if n.P == 0 {
+		return "Linf"
+	}
+	return fmt.Sprintf("L%d", n.P)
+}
+
+// Dist returns the Lp distance between a and b. The vectors must have equal
+// dimensionality; Dist panics otherwise (programming error, not data error).
+func (n Norm) Dist(a, b Vector) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(a), len(b)))
+	}
+	switch n.P {
+	case 0:
+		var m float64
+		for i := range a {
+			d := math.Abs(a[i] - b[i])
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	case 1:
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	case 2:
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	default:
+		var s float64
+		p := float64(n.P)
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+// DistSq returns the squared L2 distance (cheap pruning helper).
+func DistSq(a, b Vector) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+// Package index defines the hierarchical MBR-tree view shared by every index
+// structure in this repository (R*-tree, MR-index, MRS-index).
+//
+// The prediction-matrix construction (paper §5) only needs the hierarchy of
+// MBRs with leaf MBRs pinned to single disk pages (Table 1: "the capacity of
+// each MBR is set to one page size"). Each concrete index exports its node
+// hierarchy as a *Node tree, decoupling matrix construction from index
+// internals.
+package index
+
+import (
+	"fmt"
+
+	"pmjoin/internal/geom"
+)
+
+// Node is one node of an MBR hierarchy. A node with no children is a leaf
+// and covers exactly one data page (Page is its index in the dataset's page
+// file). Internal nodes have Page == -1.
+type Node struct {
+	MBR      geom.MBR
+	Page     int // data page index for leaves; -1 for internal nodes
+	Children []*Node
+}
+
+// IsLeaf reports whether n covers a single data page.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Height returns the height of the tree rooted at n (a leaf has height 1).
+func (n *Node) Height() int {
+	h := 0
+	for cur := n; cur != nil; {
+		h++
+		if len(cur.Children) == 0 {
+			break
+		}
+		cur = cur.Children[0]
+	}
+	return h
+}
+
+// Leaves appends all leaves under n to dst in left-to-right order and
+// returns the extended slice.
+func (n *Node) Leaves(dst []*Node) []*Node {
+	if n == nil {
+		return dst
+	}
+	if n.IsLeaf() {
+		return append(dst, n)
+	}
+	for _, c := range n.Children {
+		dst = c.Leaves(dst)
+	}
+	return dst
+}
+
+// CountNodes returns the number of nodes in the tree rooted at n.
+func (n *Node) CountNodes() int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Validate checks the structural invariants of the hierarchy: every internal
+// node's MBR contains its children's MBRs, and every leaf names a
+// non-negative page. It returns the first violation found.
+func (n *Node) Validate() error {
+	if n == nil {
+		return fmt.Errorf("index: nil node")
+	}
+	if n.IsLeaf() {
+		if n.Page < 0 {
+			return fmt.Errorf("index: leaf with page %d", n.Page)
+		}
+		return nil
+	}
+	if n.Page != -1 {
+		return fmt.Errorf("index: internal node with page %d", n.Page)
+	}
+	for _, c := range n.Children {
+		if !n.MBR.ContainsMBR(c.MBR) && !c.MBR.IsEmpty() {
+			return fmt.Errorf("index: child MBR %v escapes parent %v", c.MBR, n.MBR)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tree is implemented by every index structure that can expose its MBR
+// hierarchy for prediction-matrix construction.
+type Tree interface {
+	// Root returns the root of the MBR hierarchy. Leaf nodes map 1:1 to
+	// data pages of the indexed dataset.
+	Root() *Node
+	// NumPages returns the number of data pages of the indexed dataset.
+	NumPages() int
+}

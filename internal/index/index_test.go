@@ -1,0 +1,102 @@
+package index
+
+import (
+	"testing"
+
+	"pmjoin/internal/geom"
+)
+
+func leaf(page int, lo, hi float64) *Node {
+	return &Node{
+		MBR:  geom.MBR{Min: geom.Vector{lo}, Max: geom.Vector{hi}},
+		Page: page,
+	}
+}
+
+func parent(children ...*Node) *Node {
+	m := children[0].MBR.Clone()
+	for _, c := range children[1:] {
+		m.ExtendMBR(c.MBR)
+	}
+	return &Node{MBR: m, Page: -1, Children: children}
+}
+
+func TestLeafBasics(t *testing.T) {
+	l := leaf(3, 0, 1)
+	if !l.IsLeaf() || l.Height() != 1 || l.CountNodes() != 1 {
+		t.Fatal("leaf basics")
+	}
+	if got := l.Leaves(nil); len(got) != 1 || got[0] != l {
+		t.Fatal("leaf Leaves")
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	root := parent(parent(leaf(0, 0, 1), leaf(1, 1, 2)), parent(leaf(2, 2, 3)))
+	if root.IsLeaf() {
+		t.Fatal("root is leaf")
+	}
+	if root.Height() != 3 {
+		t.Fatalf("height = %d", root.Height())
+	}
+	if root.CountNodes() != 6 {
+		t.Fatalf("count = %d", root.CountNodes())
+	}
+	leaves := root.Leaves(nil)
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	for i, l := range leaves {
+		if l.Page != i {
+			t.Fatalf("leaf order: leaf %d has page %d", i, l.Page)
+		}
+	}
+	if err := root.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsEscapingChild(t *testing.T) {
+	bad := &Node{
+		MBR:      geom.MBR{Min: geom.Vector{0}, Max: geom.Vector{1}},
+		Page:     -1,
+		Children: []*Node{leaf(0, 5, 6)},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("escaping child not detected")
+	}
+}
+
+func TestValidateDetectsBadLeafPage(t *testing.T) {
+	if err := leaf(-2, 0, 1).Validate(); err == nil {
+		t.Fatal("negative leaf page not detected")
+	}
+}
+
+func TestValidateDetectsInternalWithPage(t *testing.T) {
+	n := parent(leaf(0, 0, 1))
+	n.Page = 7
+	if err := n.Validate(); err == nil {
+		t.Fatal("internal node with page not detected")
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	var n *Node
+	if err := n.Validate(); err == nil {
+		t.Fatal("nil node not detected")
+	}
+}
+
+func TestCountNodesNil(t *testing.T) {
+	var n *Node
+	if n.CountNodes() != 0 {
+		t.Fatal("nil count")
+	}
+	if n.Leaves(nil) != nil {
+		t.Fatal("nil leaves")
+	}
+}

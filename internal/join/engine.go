@@ -1,0 +1,345 @@
+package join
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/cluster"
+	"pmjoin/internal/disk"
+	"pmjoin/internal/predmat"
+	"pmjoin/internal/sched"
+)
+
+// Engine executes joins over one simulated disk with a fixed buffer budget.
+type Engine struct {
+	Disk       *disk.Disk
+	BufferSize int           // B, in pages
+	Policy     buffer.Policy // LRU by default
+	// OnPair, when non-nil, receives every result pair.
+	OnPair func(idA, idB int)
+}
+
+func (e *Engine) validate(r, s *Dataset) error {
+	if e.Disk == nil {
+		return fmt.Errorf("join: engine has no disk")
+	}
+	if e.BufferSize < 3 {
+		return fmt.Errorf("join: buffer size %d < 3", e.BufferSize)
+	}
+	if err := r.Validate(e.Disk); err != nil {
+		return err
+	}
+	if err := s.Validate(e.Disk); err != nil {
+		return err
+	}
+	return nil
+}
+
+// run wraps an executor body with per-run stat capture.
+func (e *Engine) run(method string, body func(pool *buffer.Pool, rep *Report) error) (*Report, error) {
+	pool, err := buffer.NewPool(e.Disk, e.BufferSize, e.Policy)
+	if err != nil {
+		return nil, err
+	}
+	before := e.Disk.Stats()
+	rep := &Report{Method: method}
+	if err := body(pool, rep); err != nil {
+		return nil, err
+	}
+	after := e.Disk.Stats()
+	model := e.Disk.Model()
+	delta := disk.Stats{
+		Reads:      after.Reads - before.Reads,
+		Seeks:      after.Seeks - before.Seeks,
+		Sequential: after.Sequential - before.Sequential,
+		GapPages:   after.GapPages - before.GapPages,
+		Writes:     after.Writes - before.Writes,
+		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
+	}
+	rep.IOSeconds += model.Cost(delta)
+	rep.PageReads = delta.Reads
+	rep.Seeks = delta.Seeks + delta.WriteSeeks
+	bs := pool.Stats()
+	rep.Hits = bs.Hits
+	rep.Misses = bs.Misses
+	return rep, nil
+}
+
+func (e *Engine) emit(rep *Report) func(int, int) {
+	return func(a, b int) {
+		rep.Results++
+		if e.OnPair != nil {
+			e.OnPair(a, b)
+		}
+	}
+}
+
+// joinPair joins one page pair through the pool, charging CPU to rep.
+// Payloads are fetched via the buffer so residency is rewarded.
+func (e *Engine) joinPair(pool *buffer.Pool, r, s *Dataset, pr, ps int, j ObjectJoiner, rep *Report, emit func(int, int)) error {
+	pa, err := pool.Get(disk.PageAddr{File: r.File, Page: pr})
+	if err != nil {
+		return err
+	}
+	pb, err := pool.Get(disk.PageAddr{File: s.File, Page: ps})
+	if err != nil {
+		return err
+	}
+	comps, cpu := j.JoinPages(pa.Payload, pb.Payload, emit)
+	rep.Comparisons += comps
+	rep.CPUJoinSeconds += cpu
+	return nil
+}
+
+// NLJ runs block nested loop join: blocks of B-1 pages of the outer dataset
+// (the one with fewer pages) are pinned while the inner dataset is scanned
+// sequentially, one frame at a time.
+func (e *Engine) NLJ(r, s *Dataset, j ObjectJoiner) (*Report, error) {
+	if err := e.validate(r, s); err != nil {
+		return nil, err
+	}
+	return e.run("NLJ", func(pool *buffer.Pool, rep *Report) error {
+		emit := e.emit(rep)
+		outerIsR := r.Pages <= s.Pages
+		outer, inner := r, s
+		if !outerIsR {
+			outer, inner = s, r
+		}
+		block := e.BufferSize - 1
+		for lo := 0; lo < outer.Pages; lo += block {
+			hi := lo + block
+			if hi > outer.Pages {
+				hi = outer.Pages
+			}
+			pool.Flush() // new block: drop everything, then pin the block
+			for p := lo; p < hi; p++ {
+				if _, err := pool.GetPinned(disk.PageAddr{File: outer.File, Page: p}); err != nil {
+					return err
+				}
+			}
+			for q := 0; q < inner.Pages; q++ {
+				ip, err := pool.Get(disk.PageAddr{File: inner.File, Page: q})
+				if err != nil {
+					return err
+				}
+				for p := lo; p < hi; p++ {
+					op, err := pool.Get(disk.PageAddr{File: outer.File, Page: p})
+					if err != nil {
+						return err
+					}
+					var comps int64
+					var cpu float64
+					if outerIsR {
+						comps, cpu = j.JoinPages(op.Payload, ip.Payload, emit)
+					} else {
+						comps, cpu = j.JoinPages(ip.Payload, op.Payload, emit)
+					}
+					rep.Comparisons += comps
+					rep.CPUJoinSeconds += cpu
+				}
+			}
+			pool.UnpinAll()
+		}
+		return nil
+	})
+}
+
+// PMNLJ runs prediction-matrix NLJ (Figure 4): if the marked pages of one
+// side fit into B-1 frames they are pinned and the other side's marked pages
+// stream through once; otherwise marked rows are scanned in ascending order
+// and each row's marked columns are fetched through the LRU buffer.
+func (e *Engine) PMNLJ(r, s *Dataset, m *predmat.Matrix, j ObjectJoiner) (*Report, error) {
+	if err := e.validate(r, s); err != nil {
+		return nil, err
+	}
+	if m.Rows() != r.Pages || m.Cols() != s.Pages {
+		return nil, fmt.Errorf("join: matrix is %dx%d, datasets have %dx%d pages",
+			m.Rows(), m.Cols(), r.Pages, s.Pages)
+	}
+	return e.run("pm-NLJ", func(pool *buffer.Pool, rep *Report) error {
+		rep.MarkedEntries = m.Marked()
+		emit := e.emit(rep)
+		markedRows := m.MarkedRows()
+		markedCols := m.MarkedCols()
+
+		switch {
+		case len(markedCols) <= e.BufferSize-1:
+			// All marked pages of the second dataset fit: read them once,
+			// then stream the marked rows through the remaining frame.
+			for _, c := range markedCols {
+				if _, err := pool.GetPinned(disk.PageAddr{File: s.File, Page: c}); err != nil {
+					return err
+				}
+			}
+			for _, row := range markedRows {
+				for _, c := range m.RowCols(row) {
+					if err := e.joinPair(pool, r, s, row, c, j, rep, emit); err != nil {
+						return err
+					}
+				}
+			}
+			pool.UnpinAll()
+		case len(markedRows) <= e.BufferSize-1:
+			for _, row := range markedRows {
+				if _, err := pool.GetPinned(disk.PageAddr{File: r.File, Page: row}); err != nil {
+					return err
+				}
+			}
+			for _, c := range markedCols {
+				for _, row := range m.ColRows(c) {
+					if err := e.joinPair(pool, r, s, row, c, j, rep, emit); err != nil {
+						return err
+					}
+				}
+			}
+			pool.UnpinAll()
+		default:
+			// Figure 4, else branch: one marked page of the first dataset
+			// at a time; its marked partner pages stream through the rest
+			// of the buffer (ascending order; LRU gives whatever reuse
+			// consecutive rows allow). This is the access pattern behind
+			// Lemma 1's m + min(r,c) bound.
+			for _, row := range markedRows {
+				if _, err := pool.GetPinned(disk.PageAddr{File: r.File, Page: row}); err != nil {
+					return err
+				}
+				for _, c := range m.RowCols(row) {
+					if err := e.joinPair(pool, r, s, row, c, j, rep, emit); err != nil {
+						return err
+					}
+				}
+				if err := pool.Unpin(disk.PageAddr{File: r.File, Page: row}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// ClusterOrder selects how the clustered executor sequences clusters.
+type ClusterOrder int
+
+const (
+	// OrderGreedySharing is the paper's sharing-graph greedy schedule (§8).
+	OrderGreedySharing ClusterOrder = iota
+	// OrderRandom processes clusters in random order (random-SC, §9.1).
+	OrderRandom
+	// OrderCreation processes clusters in creation order (ablation).
+	OrderCreation
+)
+
+// ClusteredOptions configures the clustered join executor.
+type ClusteredOptions struct {
+	Order ClusterOrder
+	Seed  int64 // for OrderRandom
+	// PreprocessSeconds is added to the report (the caller models the
+	// clustering cost; see ModelSCPreprocess / ModelCCPreprocess).
+	PreprocessSeconds float64
+}
+
+// Clustered runs the clustered join: clusters are scheduled, then each
+// cluster's marked row and column pages are fetched (missing pages in
+// ascending page order per file — optimal disk scheduling [40]) and pinned,
+// and the cluster's marked page pairs are joined entirely in memory
+// (Lemma 2).
+func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster.Cluster, j ObjectJoiner, opts ClusteredOptions) (*Report, error) {
+	if err := e.validate(r, s); err != nil {
+		return nil, err
+	}
+	for i, c := range clusters {
+		if c.Pages() > e.BufferSize {
+			return nil, fmt.Errorf("join: cluster %d needs %d pages > buffer %d", i, c.Pages(), e.BufferSize)
+		}
+	}
+	method := "SC"
+	switch opts.Order {
+	case OrderRandom:
+		method = "random-SC"
+	case OrderCreation:
+		method = "creation-SC"
+	}
+
+	return e.run(method, func(pool *buffer.Pool, rep *Report) error {
+		rep.MarkedEntries = m.Marked()
+		rep.Clusters = len(clusters)
+		rep.PreprocessSeconds = opts.PreprocessSeconds
+		emit := e.emit(rep)
+
+		pageSets := make([]sched.PageSet, len(clusters))
+		for i, c := range clusters {
+			ps := make(sched.PageSet, c.Pages())
+			for _, row := range c.Rows() {
+				ps[disk.PageAddr{File: r.File, Page: row}] = struct{}{}
+			}
+			for _, col := range c.Cols() {
+				ps[disk.PageAddr{File: s.File, Page: col}] = struct{}{}
+			}
+			pageSets[i] = ps
+		}
+
+		var order []int
+		switch opts.Order {
+		case OrderGreedySharing:
+			edges := sched.SharingGraph(pageSets)
+			order = sched.GreedyOrder(len(clusters), edges)
+			rep.PreprocessSeconds += ModelSchedulePreprocess(len(edges))
+		case OrderRandom:
+			order = sched.RandomOrder(len(clusters), opts.Seed)
+		case OrderCreation:
+			order = sched.IdentityOrder(len(clusters))
+		}
+
+		for _, ci := range order {
+			c := clusters[ci]
+			// Fetch missing pages in ascending (file, page) order; pin all.
+			addrs := make([]disk.PageAddr, 0, c.Pages())
+			for a := range pageSets[ci] {
+				addrs = append(addrs, a.(disk.PageAddr))
+			}
+			sort.Slice(addrs, func(i, k int) bool {
+				if addrs[i].File != addrs[k].File {
+					return addrs[i].File < addrs[k].File
+				}
+				return addrs[i].Page < addrs[k].Page
+			})
+			for _, a := range addrs {
+				if _, err := pool.GetPinned(a); err != nil {
+					return err
+				}
+			}
+			for _, en := range c.Entries {
+				if err := e.joinPair(pool, r, s, en.R, en.C, j, rep, emit); err != nil {
+					return err
+				}
+			}
+			pool.UnpinAll()
+		}
+		return nil
+	})
+}
+
+// ModelSCPreprocess returns the modeled seconds of SC clustering over m
+// marked entries (two linear passes, §7.1).
+func ModelSCPreprocess(markedEntries int) float64 {
+	return float64(markedEntries) * SCEntryCost
+}
+
+// ModelCCPreprocess returns the modeled seconds of CC clustering (O(m^1.5)
+// threshold-algorithm expansions, §7.2).
+func ModelCCPreprocess(markedEntries int) float64 {
+	m := float64(markedEntries)
+	return math.Pow(m, 1.5) * CCEntryCost
+}
+
+// ModelSchedulePreprocess returns the modeled seconds of the greedy sharing
+// graph schedule over the given number of edges (O(|E| log |E|), §8).
+func ModelSchedulePreprocess(edges int) float64 {
+	if edges < 2 {
+		return float64(edges) * SchedEdgeCost
+	}
+	e := float64(edges)
+	return e * math.Log2(e) * SchedEdgeCost
+}

@@ -1,0 +1,351 @@
+package join
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmjoin/internal/cluster"
+	"pmjoin/internal/disk"
+	"pmjoin/internal/geom"
+	"pmjoin/internal/predmat"
+	"pmjoin/internal/rstar"
+)
+
+// buildVectorDataset materializes n random 2-d points as a packed R*-tree
+// dataset on d and returns it with the per-page vectors.
+func buildVectorDataset(t *testing.T, d *disk.Disk, rng *rand.Rand, name string, n, leafCap int) (*Dataset, [][]geom.Vector) {
+	t.Helper()
+	items := make([]rstar.Item, n)
+	for i := range items {
+		items[i] = rstar.PointItem(i, geom.Vector{rng.Float64(), rng.Float64()})
+	}
+	tr, err := rstar.BulkLoadSTR(2, rstar.DefaultConfig(leafCap), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := tr.Pack()
+	f := d.CreateFile()
+	raw := make([][]geom.Vector, len(pages))
+	for p, pg := range pages {
+		payload := &VectorPage{}
+		for _, it := range pg {
+			payload.IDs = append(payload.IDs, it.ID)
+			payload.Vecs = append(payload.Vecs, it.MBR.Min)
+			raw[p] = append(raw[p], it.MBR.Min)
+		}
+		if _, err := d.AppendPage(f, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &Dataset{Name: name, File: f, Root: tr.Root(), Pages: len(pages)}, raw
+}
+
+func bruteCount(pa, pb [][]geom.Vector, eps float64) int64 {
+	var count int64
+	for _, pageA := range pa {
+		for _, va := range pageA {
+			for _, pageB := range pb {
+				for _, vb := range pageB {
+					if geom.L2.Dist(va, vb) <= eps {
+						count++
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+func testSetup(t *testing.T, seed int64, nA, nB int) (*disk.Disk, *Dataset, *Dataset, int64, float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := disk.New(disk.DefaultModel())
+	const eps = 0.05
+	da, rawA := buildVectorDataset(t, d, rng, "A", nA, 8)
+	db, rawB := buildVectorDataset(t, d, rng, "B", nB, 8)
+	want := bruteCount(rawA, rawB, eps)
+	if want == 0 {
+		t.Fatal("workload has no results")
+	}
+	return d, da, db, want, eps
+}
+
+func buildMatrix(t *testing.T, da, db *Dataset, eps float64) *predmat.Matrix {
+	t.Helper()
+	m, err := predmat.Build(da.Root, db.Root, da.Pages, db.Pages, eps,
+		predmat.NormPredictor{Norm: geom.L2}, predmat.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNLJMatchesBruteForce(t *testing.T) {
+	d, da, db, want, eps := testSetup(t, 1, 300, 200)
+	e := &Engine{Disk: d, BufferSize: 8}
+	rep, err := e.NLJ(da, db, VectorJoiner{Norm: geom.L2, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != want {
+		t.Fatalf("results = %d, want %d", rep.Results, want)
+	}
+	if rep.PageReads == 0 || rep.IOSeconds <= 0 || rep.CPUJoinSeconds <= 0 {
+		t.Fatalf("report not populated: %+v", rep)
+	}
+	if rep.Comparisons != int64(300*200) {
+		t.Fatalf("NLJ comparisons = %d, want all pairs", rep.Comparisons)
+	}
+}
+
+func TestPMNLJMatchesNLJ(t *testing.T) {
+	d, da, db, want, eps := testSetup(t, 2, 300, 200)
+	e := &Engine{Disk: d, BufferSize: 8}
+	m := buildMatrix(t, da, db, eps)
+	rep, err := e.PMNLJ(da, db, m, VectorJoiner{Norm: geom.L2, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != want {
+		t.Fatalf("results = %d, want %d", rep.Results, want)
+	}
+	if rep.MarkedEntries != m.Marked() {
+		t.Fatal("marked entries not reported")
+	}
+	// Prediction must reduce comparisons.
+	if rep.Comparisons >= int64(300*200) {
+		t.Fatalf("pm-NLJ compared %d pairs, no reduction", rep.Comparisons)
+	}
+}
+
+func TestPMNLJWithFullMatrixEqualsNLJ(t *testing.T) {
+	d, da, db, want, eps := testSetup(t, 3, 200, 150)
+	e := &Engine{Disk: d, BufferSize: 8}
+	full := predmat.Full(da.Pages, db.Pages)
+	rep, err := e.PMNLJ(da, db, full, VectorJoiner{Norm: geom.L2, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results != want {
+		t.Fatalf("results = %d, want %d", rep.Results, want)
+	}
+	if rep.Comparisons != int64(200*150) {
+		t.Fatalf("comparisons = %d", rep.Comparisons)
+	}
+}
+
+func TestPMNLJMatrixShapeMismatch(t *testing.T) {
+	d, da, db, _, eps := testSetup(t, 4, 100, 100)
+	e := &Engine{Disk: d, BufferSize: 8}
+	bad := predmat.NewMatrix(da.Pages+1, db.Pages)
+	if _, err := e.PMNLJ(da, db, bad, VectorJoiner{Norm: geom.L2, Eps: eps}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestClusteredMatchesNLJAllOrders(t *testing.T) {
+	d, da, db, want, eps := testSetup(t, 5, 300, 200)
+	m := buildMatrix(t, da, db, eps)
+	clusters, err := cluster.Square(m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range []ClusterOrder{OrderGreedySharing, OrderRandom, OrderCreation} {
+		e := &Engine{Disk: d, BufferSize: 12}
+		rep, err := e.Clustered(da, db, m, clusters, VectorJoiner{Norm: geom.L2, Eps: eps},
+			ClusteredOptions{Order: order, Seed: 9})
+		if err != nil {
+			t.Fatalf("order %v: %v", order, err)
+		}
+		if rep.Results != want {
+			t.Fatalf("order %v: results = %d, want %d", order, rep.Results, want)
+		}
+		if rep.Clusters != len(clusters) {
+			t.Fatalf("clusters = %d", rep.Clusters)
+		}
+	}
+}
+
+func TestClusteredRejectsOversizedCluster(t *testing.T) {
+	d, da, db, _, eps := testSetup(t, 6, 200, 150)
+	m := buildMatrix(t, da, db, eps)
+	clusters, err := cluster.Square(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Disk: d, BufferSize: 8} // smaller than the clusters were built for
+	_, err = e.Clustered(da, db, m, clusters, VectorJoiner{Norm: geom.L2, Eps: eps}, ClusteredOptions{})
+	if err == nil {
+		t.Fatal("oversized cluster accepted")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	d, da, db, _, eps := testSetup(t, 7, 100, 100)
+	j := VectorJoiner{Norm: geom.L2, Eps: eps}
+	if _, err := (&Engine{Disk: nil, BufferSize: 8}).NLJ(da, db, j); err == nil {
+		t.Fatal("nil disk accepted")
+	}
+	if _, err := (&Engine{Disk: d, BufferSize: 2}).NLJ(da, db, j); err == nil {
+		t.Fatal("tiny buffer accepted")
+	}
+	bad := &Dataset{Name: "bad", File: da.File, Root: da.Root, Pages: da.Pages + 5}
+	if _, err := (&Engine{Disk: d, BufferSize: 8}).NLJ(bad, db, j); err == nil {
+		t.Fatal("page count mismatch accepted")
+	}
+	noRoot := &Dataset{Name: "x", File: da.File, Pages: da.Pages}
+	if _, err := (&Engine{Disk: d, BufferSize: 8}).NLJ(noRoot, db, j); err == nil {
+		t.Fatal("missing root accepted")
+	}
+}
+
+func TestOnPairCallback(t *testing.T) {
+	d, da, db, want, eps := testSetup(t, 8, 150, 150)
+	var got int64
+	e := &Engine{Disk: d, BufferSize: 8, OnPair: func(a, b int) { got++ }}
+	rep, err := e.NLJ(da, db, VectorJoiner{Norm: geom.L2, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || rep.Results != want {
+		t.Fatalf("callback count %d, results %d, want %d", got, rep.Results, want)
+	}
+}
+
+func TestSelfJoinConsistentAcrossExecutors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := disk.New(disk.DefaultModel())
+	da, raw := buildVectorDataset(t, d, rng, "A", 250, 8)
+	const eps = 0.04
+	var want int64
+	for _, pa := range raw {
+		for _, va := range pa {
+			for _, pb := range raw {
+				for _, vb := range pb {
+					if geom.L2.Dist(va, vb) <= eps {
+						want++
+					}
+				}
+			}
+		}
+	}
+	// Self joiner counts each unordered pair once; brute force counted
+	// ordered pairs including identity.
+	want = (want - 250) / 2
+	j := VectorJoiner{Norm: geom.L2, Eps: eps, Self: true}
+	e := &Engine{Disk: d, BufferSize: 10}
+
+	nlj, err := e.NLJ(da, da, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nlj.Results != want {
+		t.Fatalf("NLJ self = %d, want %d", nlj.Results, want)
+	}
+	m := buildMatrix(t, da, da, eps)
+	pm, err := e.PMNLJ(da, da, m, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Results != want {
+		t.Fatalf("pm-NLJ self = %d, want %d", pm.Results, want)
+	}
+	clusters, err := cluster.Square(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := e.Clustered(da, da, m, clusters, j, ClusteredOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Results != want {
+		t.Fatalf("SC self = %d, want %d", sc.Results, want)
+	}
+}
+
+func TestReportTotalAndString(t *testing.T) {
+	r := &Report{Method: "x", IOSeconds: 1, CPUJoinSeconds: 2, PreprocessSeconds: 0.5}
+	if r.Total() != 3.5 {
+		t.Fatalf("total = %g", r.Total())
+	}
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestPreprocessModels(t *testing.T) {
+	if ModelSCPreprocess(1000) <= 0 || ModelCCPreprocess(1000) <= ModelSCPreprocess(1000) {
+		t.Fatal("CC preprocessing must exceed SC's")
+	}
+	if ModelSchedulePreprocess(0) != 0 {
+		t.Fatal("zero edges must cost zero")
+	}
+	if ModelSchedulePreprocess(1000) <= ModelSchedulePreprocess(10) {
+		t.Fatal("schedule cost must grow")
+	}
+}
+
+// TestClusteredIOBeatsPMNLJOnBandedWorkload checks the core I/O claim
+// (Theorem 2): with a small buffer, the clustered executor reads fewer
+// pages than pm-NLJ's row-at-a-time pattern.
+func TestClusteredIOBeatsPMNLJOnBandedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := disk.New(disk.DefaultModel())
+	// Clustered points give a banded, dense matrix at a large epsilon.
+	da, _ := buildVectorDataset(t, d, rng, "A", 900, 6)
+	db, _ := buildVectorDataset(t, d, rng, "B", 900, 6)
+	const eps = 0.12
+	m := buildMatrix(t, da, db, eps)
+	if m.Density() < 0.02 {
+		t.Skipf("matrix density %g too low for the thrash regime", m.Density())
+	}
+	j := VectorJoiner{Norm: geom.L2, Eps: eps}
+	const b = 10
+	e := &Engine{Disk: d, BufferSize: b}
+	pm, err := e.PMNLJ(da, db, m, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := cluster.Square(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := e.Clustered(da, db, m, clusters, j, ClusteredOptions{Order: OrderGreedySharing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Results != pm.Results {
+		t.Fatalf("result mismatch: %d vs %d", sc.Results, pm.Results)
+	}
+	if sc.PageReads >= pm.PageReads {
+		t.Fatalf("SC reads %d >= pm-NLJ reads %d", sc.PageReads, pm.PageReads)
+	}
+}
+
+// TestLemma2NoIntraClusterMisses: once a cluster's pages are read, joining
+// its marked pairs causes no further disk I/O (Lemma 2); total misses are
+// bounded by the summed cluster page counts.
+func TestLemma2NoIntraClusterMisses(t *testing.T) {
+	d, da, db, _, eps := testSetup(t, 11, 400, 300)
+	m := buildMatrix(t, da, db, eps)
+	clusters, err := cluster.Square(m, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalPages int64
+	for _, c := range clusters {
+		totalPages += int64(c.Pages())
+	}
+	e := &Engine{Disk: d, BufferSize: 14}
+	rep, err := e.Clustered(da, db, m, clusters, VectorJoiner{Norm: geom.L2, Eps: eps},
+		ClusteredOptions{Order: OrderGreedySharing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misses > totalPages {
+		t.Fatalf("misses %d exceed cluster page total %d: intra-cluster I/O", rep.Misses, totalPages)
+	}
+	if rep.PageReads != rep.Misses {
+		t.Fatalf("page reads %d != misses %d", rep.PageReads, rep.Misses)
+	}
+}

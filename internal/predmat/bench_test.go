@@ -1,0 +1,61 @@
+package predmat
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmjoin/internal/geom"
+	"pmjoin/internal/rstar"
+)
+
+func benchTree(b *testing.B, n int) *rstar.Tree {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	items := make([]rstar.Item, n)
+	for i := range items {
+		items[i] = rstar.PointItem(i, geom.Vector{rng.Float64(), rng.Float64()})
+	}
+	tr, err := rstar.BulkLoadSTR(2, rstar.DefaultConfig(32), items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr.Pack()
+	return tr
+}
+
+func BenchmarkBuildMatrix(b *testing.B) {
+	ta := benchTree(b, 20000)
+	tb := benchTree(b, 20000)
+	pred := NormPredictor{Norm: geom.L2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ta.Root(), tb.Root(), ta.NumPages(), tb.NumPages(), 0.01, pred,
+			BuildOptions{FilterDepth: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildMatrixNoFilter(b *testing.B) {
+	ta := benchTree(b, 20000)
+	tb := benchTree(b, 20000)
+	pred := NormPredictor{Norm: geom.L2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ta.Root(), tb.Root(), ta.NumPages(), tb.NumPages(), 0.01, pred,
+			BuildOptions{FilterDepth: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatrixMark(b *testing.B) {
+	m := NewMatrix(1000, 1000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Mark(rng.Intn(1000), rng.Intn(1000))
+	}
+}

@@ -1,0 +1,150 @@
+// Package predmat builds and represents the prediction matrix of the paper
+// (§5): a sparse boolean page×page matrix in which entry (i,j) is marked iff
+// a lower-bounding distance predictor cannot rule out that page i of the
+// first dataset and page j of the second dataset contribute to the join.
+//
+// Construction uses the hierarchical plane sweep of Figure 1 with the
+// iterative intersection-refinement filter of Figure 2 (default depth k=5).
+// Completeness (Theorem 1): if a result pair lives in page pair (i,j), then
+// entry (i,j) is marked.
+package predmat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one marked cell of the prediction matrix: row r (page of the
+// first dataset) and column c (page of the second dataset).
+type Entry struct {
+	R, C int
+}
+
+// Matrix is a sparse boolean matrix over page pairs.
+type Matrix struct {
+	rows, cols int
+	byRow      map[int][]int // row -> ascending marked columns
+	byCol      map[int][]int // col -> ascending marked rows
+	marked     int
+}
+
+// NewMatrix creates an empty rows×cols prediction matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{
+		rows:  rows,
+		cols:  cols,
+		byRow: make(map[int][]int),
+		byCol: make(map[int][]int),
+	}
+}
+
+// Rows returns the number of pages of the first dataset.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of pages of the second dataset.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Marked returns the number of marked entries.
+func (m *Matrix) Marked() int { return m.marked }
+
+// Mark sets entry (r,c). Marking twice is a no-op. Out-of-range panics
+// (programming error).
+func (m *Matrix) Mark(r, c int) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("predmat: mark (%d,%d) outside %dx%d", r, c, m.rows, m.cols))
+	}
+	cols := m.byRow[r]
+	pos := sort.SearchInts(cols, c)
+	if pos < len(cols) && cols[pos] == c {
+		return
+	}
+	cols = append(cols, 0)
+	copy(cols[pos+1:], cols[pos:])
+	cols[pos] = c
+	m.byRow[r] = cols
+
+	rows := m.byCol[c]
+	rpos := sort.SearchInts(rows, r)
+	rows = append(rows, 0)
+	copy(rows[rpos+1:], rows[rpos:])
+	rows[rpos] = r
+	m.byCol[c] = rows
+	m.marked++
+}
+
+// IsMarked reports whether entry (r,c) is marked.
+func (m *Matrix) IsMarked(r, c int) bool {
+	cols := m.byRow[r]
+	pos := sort.SearchInts(cols, c)
+	return pos < len(cols) && cols[pos] == c
+}
+
+// RowCols returns the ascending marked columns of row r (shared slice; do
+// not modify).
+func (m *Matrix) RowCols(r int) []int { return m.byRow[r] }
+
+// ColRows returns the ascending marked rows of column c (shared slice; do
+// not modify).
+func (m *Matrix) ColRows(c int) []int { return m.byCol[c] }
+
+// MarkedRows returns the ascending list of rows with at least one mark.
+func (m *Matrix) MarkedRows() []int {
+	out := make([]int, 0, len(m.byRow))
+	for r := range m.byRow {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MarkedCols returns the ascending list of columns with at least one mark.
+func (m *Matrix) MarkedCols() []int {
+	out := make([]int, 0, len(m.byCol))
+	for c := range m.byCol {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Entries returns all marked entries in (row, col) order.
+func (m *Matrix) Entries() []Entry {
+	out := make([]Entry, 0, m.marked)
+	for _, r := range m.MarkedRows() {
+		for _, c := range m.byRow[r] {
+			out = append(out, Entry{R: r, C: c})
+		}
+	}
+	return out
+}
+
+// Density returns marked / (rows*cols), the page-level selectivity.
+func (m *Matrix) Density() float64 {
+	total := float64(m.rows) * float64(m.cols)
+	if total == 0 {
+		return 0
+	}
+	return float64(m.marked) / total
+}
+
+// Full returns a fully marked rows×cols matrix. NLJ is pm-NLJ over a full
+// matrix (§6), which tests exploit.
+func Full(rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		cols2 := make([]int, cols)
+		for c := 0; c < cols; c++ {
+			cols2[c] = c
+		}
+		m.byRow[r] = cols2
+	}
+	for c := 0; c < cols; c++ {
+		rows2 := make([]int, rows)
+		for r := 0; r < rows; r++ {
+			rows2[r] = r
+		}
+		m.byCol[c] = rows2
+	}
+	m.marked = rows * cols
+	return m
+}

@@ -1,0 +1,93 @@
+package predmat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmjoin/internal/geom"
+)
+
+// TestQuickMatrixMarkIdempotent: marking any in-range cell any number of
+// times leaves exactly one entry, queryable from both axes.
+func TestQuickMatrixMarkIdempotent(t *testing.T) {
+	f := func(r, c uint8, repeats uint8) bool {
+		m := NewMatrix(256, 256)
+		n := int(repeats%5) + 1
+		for i := 0; i < n; i++ {
+			m.Mark(int(r), int(c))
+		}
+		if m.Marked() != 1 || !m.IsMarked(int(r), int(c)) {
+			return false
+		}
+		rows := m.ColRows(int(c))
+		cols := m.RowCols(int(r))
+		return len(rows) == 1 && rows[0] == int(r) && len(cols) == 1 && cols[0] == int(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRowColConsistency: after arbitrary marks, the row-wise and
+// column-wise views describe the same entry set.
+func TestQuickRowColConsistency(t *testing.T) {
+	f := func(cells []uint16) bool {
+		m := NewMatrix(128, 128)
+		for _, cell := range cells {
+			m.Mark(int(cell>>8)%128, int(cell&0xff)%128)
+		}
+		count := 0
+		for _, r := range m.MarkedRows() {
+			for _, c := range m.RowCols(r) {
+				if !m.IsMarked(r, c) {
+					return false
+				}
+				found := false
+				for _, rr := range m.ColRows(c) {
+					if rr == r {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+				count++
+			}
+		}
+		return count == m.Marked() && len(m.Entries()) == m.Marked()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNormPredictorLowerBound: for arbitrary point pairs, the predictor
+// bound between their degenerate MBRs equals the scaled distance, and the
+// bound between any enclosing boxes never exceeds it.
+func TestQuickNormPredictorLowerBound(t *testing.T) {
+	clamp := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e3)
+	}
+	f := func(ax, ay, bx, by, gx, gy float64) bool {
+		a := geom.Vector{clamp(ax), clamp(ay)}
+		b := geom.Vector{clamp(bx), clamp(by)}
+		boxA := geom.NewMBR(a)
+		boxB := geom.NewMBR(b)
+		grownA := boxA.Extended(math.Abs(clamp(gx)))
+		grownB := boxB.Extended(math.Abs(clamp(gy)))
+		p := NormPredictor{Norm: geom.L2}
+		d := geom.L2.Dist(a, b)
+		if math.Abs(p.LowerBound(boxA, boxB)-d) > 1e-9*(1+d) {
+			return false
+		}
+		return p.LowerBound(grownA, grownB) <= d+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

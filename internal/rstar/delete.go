@@ -1,0 +1,108 @@
+package rstar
+
+import (
+	"fmt"
+
+	"pmjoin/internal/geom"
+)
+
+// Delete removes the item with the given ID whose MBR matches m, using the
+// classic R-tree deletion with tree condensation: underfull nodes along the
+// deletion path are dissolved and their entries reinserted. It reports
+// whether the item was found.
+func (t *Tree) Delete(id int, m geom.MBR) (bool, error) {
+	if t.packed != nil {
+		return false, fmt.Errorf("rstar: delete after Pack")
+	}
+	leaf, path := t.findLeaf(t.root, nil, id, m)
+	if leaf == nil {
+		return false, nil
+	}
+	// Remove the entry from the leaf.
+	for i, e := range leaf.entries {
+		if e.child == nil && e.item.ID == id {
+			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+			break
+		}
+	}
+	t.size--
+	t.condense(leaf, path)
+	// Shrink the root when it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	return true, nil
+}
+
+// findLeaf locates the leaf containing the item, returning it and the root
+// path.
+func (t *Tree) findLeaf(n *node, path []*node, id int, m geom.MBR) (*node, []*node) {
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.item.ID == id && mbrEq(e.mbr, m) {
+				return n, path
+			}
+		}
+		return nil, nil
+	}
+	for _, e := range n.entries {
+		if !e.mbr.Intersects(m) {
+			continue
+		}
+		if leaf, p := t.findLeaf(e.child, append(path, n), id, m); leaf != nil {
+			return leaf, p
+		}
+	}
+	return nil, nil
+}
+
+func mbrEq(a, b geom.MBR) bool {
+	if a.Dim() != b.Dim() {
+		return false
+	}
+	for i := range a.Min {
+		if a.Min[i] != b.Min[i] || a.Max[i] != b.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// condense walks the deletion path bottom-up: underfull non-root nodes are
+// removed and their orphaned entries reinserted at their original level.
+func (t *Tree) condense(n *node, path []*node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+
+	cur := n
+	for i := len(path) - 1; i >= 0; i-- {
+		parent := path[i]
+		if len(cur.entries) < t.minEntries(cur) {
+			// Dissolve cur: detach from parent, orphan its entries.
+			for j, e := range parent.entries {
+				if e.child == cur {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			for _, e := range cur.entries {
+				orphans = append(orphans, orphan{e: e, level: cur.level})
+			}
+		}
+		recomputeEntryMBRs(parent)
+		cur = parent
+	}
+
+	reinserted := make(map[int]bool)
+	for _, o := range orphans {
+		if o.e.child != nil {
+			// Reinsert an entire subtree at its level.
+			t.insertEntry(o.e, o.level, reinserted)
+		} else {
+			t.insertEntry(o.e, 0, reinserted)
+		}
+	}
+}

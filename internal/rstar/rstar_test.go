@@ -1,0 +1,336 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmjoin/internal/geom"
+)
+
+func randItems(rng *rand.Rand, n, dim int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		items[i] = PointItem(i, v)
+	}
+	return items
+}
+
+func insertAll(t *testing.T, tr *Tree, items []Item) {
+	t.Helper()
+	for _, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, DefaultConfig(8)); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	bad := DefaultConfig(8)
+	bad.MaxLeafEntries = 1
+	if _, err := New(2, bad); err == nil {
+		t.Fatal("leaf capacity 1 accepted")
+	}
+	bad = DefaultConfig(8)
+	bad.MinFill = 0.9
+	if _, err := New(2, bad); err == nil {
+		t.Fatal("min fill 0.9 accepted")
+	}
+	bad = DefaultConfig(8)
+	bad.ReinsertFraction = 0.9
+	if _, err := New(2, bad); err == nil {
+		t.Fatal("reinsert fraction 0.9 accepted")
+	}
+	bad = DefaultConfig(8)
+	bad.MaxBranchEntries = 1
+	if _, err := New(2, bad); err == nil {
+		t.Fatal("branch capacity 1 accepted")
+	}
+}
+
+func TestInsertRejectsWrongDimension(t *testing.T) {
+	tr, _ := New(2, DefaultConfig(8))
+	if err := tr.Insert(PointItem(0, geom.Vector{1})); err == nil {
+		t.Fatal("wrong dimension accepted")
+	}
+}
+
+func TestInsertMaintainsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr, _ := New(2, DefaultConfig(8))
+	items := randItems(rng, 500, 2)
+	insertAll(t, tr, items)
+	if tr.Size() != 500 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("height = %d, expected >= 3 for 500 items at fanout 8", tr.Height())
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randItems(rng, 400, 3)
+	tr, _ := New(3, DefaultConfig(10))
+	insertAll(t, tr, items)
+	for iter := 0; iter < 50; iter++ {
+		lo := make(geom.Vector, 3)
+		hi := make(geom.Vector, 3)
+		for d := 0; d < 3; d++ {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		q := geom.MBR{Min: lo, Max: hi}
+		got := tr.RangeSearch(q)
+		sort.Ints(got)
+		var want []int
+		for _, it := range items {
+			if q.Contains(it.MBR.Min) {
+				want = append(want, it.ID)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: result mismatch at %d", iter, i)
+			}
+		}
+	}
+}
+
+func TestBulkLoadSTRInvariantsAndSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 1000, 2)
+	tr, err := BulkLoadSTR(2, DefaultConfig(16), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 1000 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MBR{Min: geom.Vector{0.2, 0.2}, Max: geom.Vector{0.4, 0.4}}
+	got := tr.RangeSearch(q)
+	var want int
+	for _, it := range items {
+		if q.Contains(it.MBR.Min) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("STR search: got %d, want %d", len(got), want)
+	}
+}
+
+func TestBulkLoadSTRRejectsWrongDim(t *testing.T) {
+	items := []Item{PointItem(0, geom.Vector{1})}
+	if _, err := BulkLoadSTR(2, DefaultConfig(4), items); err == nil {
+		t.Fatal("wrong dim accepted")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tr, err := BulkLoadSTR(2, DefaultConfig(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 0 {
+		t.Fatal("empty size")
+	}
+	if pages := tr.Pack(); len(pages) != 0 {
+		t.Fatalf("pages = %d", len(pages))
+	}
+}
+
+func TestPackCoversAllItemsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randItems(rng, 300, 2)
+	tr, _ := BulkLoadSTR(2, DefaultConfig(8), items)
+	pages := tr.Pack()
+	seen := make(map[int]bool)
+	for _, pg := range pages {
+		if len(pg) == 0 {
+			t.Fatal("empty page")
+		}
+		if len(pg) > 8 {
+			t.Fatalf("page with %d items exceeds capacity", len(pg))
+		}
+		for _, it := range pg {
+			if seen[it.ID] {
+				t.Fatalf("item %d packed twice", it.ID)
+			}
+			seen[it.ID] = true
+		}
+	}
+	if len(seen) != 300 {
+		t.Fatalf("packed %d of 300 items", len(seen))
+	}
+	if tr.NumPages() != len(pages) {
+		t.Fatal("NumPages mismatch")
+	}
+	// Pack must be idempotent.
+	again := tr.Pack()
+	if len(again) != len(pages) {
+		t.Fatal("second Pack differs")
+	}
+}
+
+func TestInsertAfterPackFails(t *testing.T) {
+	tr, _ := New(2, DefaultConfig(4))
+	insertAll(t, tr, randItems(rand.New(rand.NewSource(5)), 10, 2))
+	tr.Pack()
+	if err := tr.Insert(PointItem(99, geom.Vector{0, 0})); err == nil {
+		t.Fatal("insert after Pack accepted")
+	}
+}
+
+func TestRootHierarchyMatchesPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, build := range []string{"insert", "str"} {
+		items := randItems(rng, 250, 2)
+		var tr *Tree
+		var err error
+		if build == "insert" {
+			tr, err = New(2, DefaultConfig(8))
+			if err == nil {
+				for _, it := range items {
+					if err = tr.Insert(it); err != nil {
+						break
+					}
+				}
+			}
+		} else {
+			tr, err = BulkLoadSTR(2, DefaultConfig(8), items)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages := tr.Pack()
+		root := tr.Root()
+		if err := root.Validate(); err != nil {
+			t.Fatalf("%s: %v", build, err)
+		}
+		leaves := root.Leaves(nil)
+		if len(leaves) != len(pages) {
+			t.Fatalf("%s: %d leaves for %d pages", build, len(leaves), len(pages))
+		}
+		for i, l := range leaves {
+			if l.Page != i {
+				t.Fatalf("%s: leaf %d has page %d (must be left-to-right order)", build, i, l.Page)
+			}
+			// The leaf MBR must cover every item of its page.
+			for _, it := range pages[l.Page] {
+				if !l.MBR.ContainsMBR(it.MBR) {
+					t.Fatalf("%s: leaf %d does not cover item %d", build, i, it.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestSpatialObjectsWithExtent(t *testing.T) {
+	// Rectangles, not just points.
+	rng := rand.New(rand.NewSource(7))
+	items := make([]Item, 200)
+	for i := range items {
+		lo := geom.Vector{rng.Float64(), rng.Float64()}
+		m := geom.NewMBR(lo)
+		m.ExtendPoint(geom.Vector{lo[0] + rng.Float64()*0.1, lo[1] + rng.Float64()*0.1})
+		items[i] = Item{ID: i, MBR: m}
+	}
+	tr, _ := New(2, DefaultConfig(8))
+	for _, it := range items {
+		if err := tr.Insert(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.MBR{Min: geom.Vector{0.4, 0.4}, Max: geom.Vector{0.6, 0.6}}
+	got := tr.RangeSearch(q)
+	var want int
+	for _, it := range items {
+		if q.Intersects(it.MBR) {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("rect search: got %d, want %d", len(got), want)
+	}
+}
+
+func TestDuplicatePointsSurvive(t *testing.T) {
+	tr, _ := New(2, DefaultConfig(4))
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert(PointItem(i, geom.Vector{0.5, 0.5})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	q := geom.NewMBR(geom.Vector{0.5, 0.5})
+	if got := tr.RangeSearch(q); len(got) != 50 {
+		t.Fatalf("got %d of 50 duplicates", len(got))
+	}
+}
+
+func TestClusteredInsertInvariants(t *testing.T) {
+	// Highly clustered data exercises forced reinsertion and splits.
+	rng := rand.New(rand.NewSource(8))
+	tr, _ := New(2, DefaultConfig(6))
+	id := 0
+	for c := 0; c < 10; c++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		for i := 0; i < 60; i++ {
+			v := geom.Vector{cx + rng.NormFloat64()*0.001, cy + rng.NormFloat64()*0.001}
+			if err := tr.Insert(PointItem(id, v)); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != 600 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	all := tr.RangeSearch(geom.MBR{Min: geom.Vector{-1, -1}, Max: geom.Vector{2, 2}})
+	if len(all) != 600 {
+		t.Fatalf("full-range search found %d of 600", len(all))
+	}
+}
+
+func TestHighDimensionalBulkLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := randItems(rng, 300, 60)
+	tr, err := BulkLoadSTR(60, DefaultConfig(8), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Root().Leaves(nil)); got != tr.NumPages() {
+		t.Fatalf("leaves %d != pages %d", got, tr.NumPages())
+	}
+}

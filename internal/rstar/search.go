@@ -1,0 +1,113 @@
+package rstar
+
+import (
+	"container/heap"
+	"math"
+
+	"pmjoin/internal/geom"
+)
+
+// Neighbor is one k-NN result: an item and its distance to the query.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// nnEntry is a priority-queue element of the branch-and-bound search: either
+// an internal node (child != nil) or a leaf item, keyed by its MinDist to
+// the query.
+type nnEntry struct {
+	dist  float64
+	child *node
+	item  Item
+	leaf  bool
+}
+
+type nnQueue []nnEntry
+
+func (q nnQueue) Len() int           { return len(q) }
+func (q nnQueue) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x any)        { *q = append(*q, x.(nnEntry)) }
+func (q *nnQueue) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// NearestNeighbors returns the k items closest to q under the norm, in
+// ascending distance order, using the best-first branch-and-bound traversal
+// of Hjaltason & Samet (the incremental NN algorithm cited in §2.2).
+func (t *Tree) NearestNeighbors(q geom.Vector, k int, norm geom.Norm) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &nnQueue{}
+	heap.Init(pq)
+	push := func(n *node) {
+		for _, e := range n.entries {
+			if n.leaf {
+				heap.Push(pq, nnEntry{dist: norm.MinDistPoint(q, e.mbr), item: e.item, leaf: true})
+			} else {
+				heap.Push(pq, nnEntry{dist: norm.MinDistPoint(q, e.mbr), child: e.child})
+			}
+		}
+	}
+	push(t.root)
+	out := make([]Neighbor, 0, k)
+	for pq.Len() > 0 && len(out) < k {
+		e := heap.Pop(pq).(nnEntry)
+		if e.leaf {
+			out = append(out, Neighbor{Item: e.item, Dist: e.dist})
+			continue
+		}
+		push(e.child)
+	}
+	return out
+}
+
+// DistanceRange returns the IDs of all items whose MBR is within eps of q
+// under the norm (a distance range query; for point items this is the
+// within-eps neighborhood).
+func (t *Tree) DistanceRange(q geom.Vector, eps float64, norm geom.Norm) []int {
+	var out []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		for _, e := range n.entries {
+			if norm.MinDistPoint(q, e.mbr) > eps {
+				continue
+			}
+			if n.leaf {
+				out = append(out, e.item.ID)
+			} else {
+				walk(e.child)
+			}
+		}
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+	return out
+}
+
+// MaxDepthSpread reports the minimum and maximum leaf depths (equal in a
+// valid R-tree); exported for balance checks in tests.
+func (t *Tree) MaxDepthSpread() (minDepth, maxDepth int) {
+	minDepth, maxDepth = math.MaxInt, 0
+	var walk func(n *node, d int)
+	walk = func(n *node, d int) {
+		if n.leaf {
+			if d < minDepth {
+				minDepth = d
+			}
+			if d > maxDepth {
+				maxDepth = d
+			}
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child, d+1)
+		}
+	}
+	walk(t.root, 1)
+	if minDepth == math.MaxInt {
+		minDepth = 1
+	}
+	return minDepth, maxDepth
+}

@@ -1,0 +1,163 @@
+// Package sched orders clusters to maximize buffer reuse (§8): it builds the
+// sharing graph of Definition 1 (vertices = clusters, edge weights = number
+// of shared pages) and constructs a high-weight Hamiltonian path with the
+// paper's greedy heuristic (take edges in descending weight unless they
+// close a cycle or raise a vertex degree to three), since the exact problem
+// is the NP-complete TSP (Lemmas 3 and 4).
+package sched
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// PageSet is the set of pages a cluster needs, as opaque comparable keys
+// (the join layer uses disk.PageAddr).
+type PageSet map[any]struct{}
+
+// Edge is one weighted sharing-graph edge between cluster indices A < B.
+type Edge struct {
+	A, B   int
+	Weight int
+}
+
+// SharingGraph computes all positive-weight edges between the page sets.
+func SharingGraph(pages []PageSet) []Edge {
+	var edges []Edge
+	for i := 0; i < len(pages); i++ {
+		for j := i + 1; j < len(pages); j++ {
+			small, large := pages[i], pages[j]
+			if len(large) < len(small) {
+				small, large = large, small
+			}
+			w := 0
+			for p := range small {
+				if _, ok := large[p]; ok {
+					w++
+				}
+			}
+			if w > 0 {
+				edges = append(edges, Edge{A: i, B: j, Weight: w})
+			}
+		}
+	}
+	return edges
+}
+
+// PathSavings returns the total page reads saved by visiting clusters in the
+// given order: the sum of shared pages between consecutive clusters
+// (Lemma 4).
+func PathSavings(pages []PageSet, order []int) int {
+	total := 0
+	for i := 1; i < len(order); i++ {
+		a, b := pages[order[i-1]], pages[order[i]]
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		for p := range a {
+			if _, ok := b[p]; ok {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// GreedyOrder returns a processing order over all n clusters maximizing
+// (greedily) the summed weight of consecutive-cluster edges. Every cluster
+// appears exactly once (Lemma 3). Isolated clusters are appended at the end
+// of the stitched path.
+func GreedyOrder(n int, edges []Edge) []int {
+	if n == 0 {
+		return nil
+	}
+	sorted := append([]Edge(nil), edges...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Weight != sorted[j].Weight {
+			return sorted[i].Weight > sorted[j].Weight
+		}
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+
+	degree := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	adj := make([][]int, n)
+	for _, e := range sorted {
+		if degree[e.A] >= 2 || degree[e.B] >= 2 {
+			continue
+		}
+		ra, rb := find(e.A), find(e.B)
+		if ra == rb {
+			continue // would close a cycle
+		}
+		parent[ra] = rb
+		degree[e.A]++
+		degree[e.B]++
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+
+	// Walk each path from an endpoint (degree ≤ 1); stitch paths and
+	// isolated vertices in ascending endpoint order for determinism.
+	visited := make([]bool, n)
+	var order []int
+	for v := 0; v < n; v++ {
+		if visited[v] || degree[v] > 1 {
+			continue
+		}
+		cur, prev := v, -1
+		for cur != -1 {
+			visited[cur] = true
+			order = append(order, cur)
+			next := -1
+			for _, nb := range adj[cur] {
+				if nb != prev && !visited[nb] {
+					next = nb
+					break
+				}
+			}
+			prev, cur = cur, next
+		}
+	}
+	// Degenerate case: a perfect cycle remainder cannot occur (edges that
+	// close cycles are rejected), but guard anyway.
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			visited[v] = true
+			order = append(order, v)
+		}
+	}
+	return order
+}
+
+// RandomOrder returns a uniformly random permutation of n clusters (the
+// random-SC comparator of §9.1).
+func RandomOrder(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	return order
+}
+
+// IdentityOrder returns 0..n-1 (row-major cluster creation order), used by
+// the scheduling ablation.
+func IdentityOrder(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package seqdist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSeqs(n int) ([]byte, []byte) {
+	rng := rand.New(rand.NewSource(1))
+	return randDNA(rng, n), randDNA(rng, n)
+}
+
+func BenchmarkEditDistance500(b *testing.B) {
+	x, y := benchSeqs(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EditDistance(x, y)
+	}
+}
+
+func BenchmarkEditDistanceBounded500(b *testing.B) {
+	x, y := benchSeqs(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EditDistanceBounded(x, y, 5)
+	}
+}
+
+func BenchmarkFreqDistance(b *testing.B) {
+	u := []int{147, 102, 103, 148}
+	v := []int{150, 100, 101, 149}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FreqDistance(u, v)
+	}
+}
+
+func BenchmarkFreqVector500(b *testing.B) {
+	x, _ := benchSeqs(500)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DNA.FreqVector(x)
+	}
+}

@@ -1,0 +1,231 @@
+// Package seqdist implements the sequence distance measures of Table 1:
+// edit distance for string data and its lower-bounding frequency distance
+// (the MRS-index predictor, Kahveci & Singh, VLDB 2001).
+package seqdist
+
+import "fmt"
+
+// EditDistance returns the Levenshtein distance between a and b using unit
+// costs for insertion, deletion, and substitution.
+func EditDistance(a, b []byte) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost // substitution / match
+			if d := prev[j] + 1; d < m {
+				m = d // deletion
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d // insertion
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// EditDistanceBounded returns the edit distance if it is at most bound, and
+// (bound+1, false) otherwise. It evaluates only a diagonal band of width
+// 2*bound+1, so refusing distant pairs is O(bound*max(len)).
+func EditDistanceBounded(a, b []byte, bound int) (int, bool) {
+	if bound < 0 {
+		return 0, false
+	}
+	diff := len(a) - len(b)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > bound {
+		return bound + 1, false
+	}
+	if len(a) == 0 {
+		return len(b), len(b) <= bound
+	}
+	if len(b) == 0 {
+		return len(a), len(a) <= bound
+	}
+	const inf = int(^uint(0) >> 2)
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := 0; j <= len(b); j++ {
+		if j <= bound {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(a); i++ {
+		lo := i - bound
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + bound
+		if hi > len(b) {
+			hi = len(b)
+		}
+		if lo > 1 {
+			cur[lo-1] = inf
+		} else {
+			cur[0] = i
+		}
+		ai := a[i-1]
+		rowMin := inf
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if prev[j]+1 < m {
+				m = prev[j] + 1
+			}
+			if j > lo || lo == 1 {
+				if cur[j-1]+1 < m {
+					m = cur[j-1] + 1
+				}
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < len(b) {
+			cur[hi+1] = inf
+		}
+		if rowMin > bound {
+			return bound + 1, false
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[len(b)]
+	return d, d <= bound
+}
+
+// Alphabet maps the symbols of a sequence dataset to dense indices. DNA uses
+// the 4-letter alphabet ACGT.
+type Alphabet struct {
+	index [256]int8
+	size  int
+}
+
+// NewAlphabet builds an alphabet over the given symbols.
+func NewAlphabet(symbols string) (*Alphabet, error) {
+	if len(symbols) == 0 || len(symbols) > 127 {
+		return nil, fmt.Errorf("seqdist: alphabet size %d out of range", len(symbols))
+	}
+	a := &Alphabet{size: len(symbols)}
+	for i := range a.index {
+		a.index[i] = -1
+	}
+	for i := 0; i < len(symbols); i++ {
+		if a.index[symbols[i]] >= 0 {
+			return nil, fmt.Errorf("seqdist: duplicate symbol %q", symbols[i])
+		}
+		a.index[symbols[i]] = int8(i)
+	}
+	return a, nil
+}
+
+// DNA is the 4-symbol nucleotide alphabet.
+var DNA = mustAlphabet("ACGT")
+
+func mustAlphabet(s string) *Alphabet {
+	a, err := NewAlphabet(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Size returns the number of symbols.
+func (a *Alphabet) Size() int { return a.size }
+
+// Index returns the dense index of symbol c, or -1 if c is not in the
+// alphabet.
+func (a *Alphabet) Index(c byte) int { return int(a.index[c]) }
+
+// FreqVector returns the frequency vector of s: component i counts the
+// occurrences of symbol i. Symbols outside the alphabet are ignored.
+func (a *Alphabet) FreqVector(s []byte) []int {
+	f := make([]int, a.size)
+	for _, c := range s {
+		if i := a.index[c]; i >= 0 {
+			f[i]++
+		}
+	}
+	return f
+}
+
+// SlideFreq updates frequency vector f in place for a window slide that
+// drops symbol out and gains symbol in.
+func (a *Alphabet) SlideFreq(f []int, out, in byte) {
+	if i := a.index[out]; i >= 0 {
+		f[i]--
+	}
+	if i := a.index[in]; i >= 0 {
+		f[i]++
+	}
+}
+
+// FreqDistance returns the frequency distance between two frequency vectors:
+// FD(u,v) = max(Σ_i max(u_i-v_i,0), Σ_i max(v_i-u_i,0)).
+//
+// FD lower-bounds the edit distance between the underlying strings (each
+// edit operation changes at most one positive and one negative frequency
+// difference by one), which makes it the lower-bounding predictor for string
+// data in Table 1.
+func FreqDistance(u, v []int) int {
+	if len(u) != len(v) {
+		panic(fmt.Sprintf("seqdist: frequency dimension mismatch %d vs %d", len(u), len(v)))
+	}
+	var pos, neg int
+	for i := range u {
+		d := u[i] - v[i]
+		if d > 0 {
+			pos += d
+		} else {
+			neg -= d
+		}
+	}
+	if pos > neg {
+		return pos
+	}
+	return neg
+}
+
+// FreqDistanceMBR returns a lower bound of FreqDistance(u,v) for any u in the
+// integer box [uMin,uMax] and v in [vMin,vMax]: for each component the
+// smallest achievable positive and negative difference is used.
+func FreqDistanceMBR(uMin, uMax, vMin, vMax []int) int {
+	var pos, neg int
+	for i := range uMin {
+		// smallest possible u_i - v_i is uMin[i]-vMax[i]; largest is uMax[i]-vMin[i].
+		if d := uMin[i] - vMax[i]; d > 0 {
+			pos += d
+		}
+		if d := vMin[i] - uMax[i]; d > 0 {
+			neg += d
+		}
+	}
+	if pos > neg {
+		return pos
+	}
+	return neg
+}

@@ -1,0 +1,262 @@
+package seqdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// editRef is a straightforward full-matrix reference implementation.
+func editRef(a, b []byte) int {
+	m := make([][]int, len(a)+1)
+	for i := range m {
+		m[i] = make([]int, len(b)+1)
+		m[i][0] = i
+	}
+	for j := 0; j <= len(b); j++ {
+		m[0][j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := m[i-1][j-1] + cost
+			if v := m[i-1][j] + 1; v < best {
+				best = v
+			}
+			if v := m[i][j-1] + 1; v < best {
+				best = v
+			}
+			m[i][j] = best
+		}
+	}
+	return m[len(a)][len(b)]
+}
+
+func randDNA(rng *rand.Rand, n int) []byte {
+	bases := []byte("ACGT")
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = bases[rng.Intn(4)]
+	}
+	return out
+}
+
+func TestEditDistanceKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"A", "", 1},
+		{"", "ACGT", 4},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "AGGT", 1},
+		{"ACGT", "CGT", 1},
+		{"KITTEN", "SITTING", 3},
+		{"FLAW", "LAWN", 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		a := randDNA(rng, rng.Intn(30))
+		b := randDNA(rng, rng.Intn(30))
+		if got, want := EditDistance(a, b), editRef(a, b); got != want {
+			t.Fatalf("EditDistance(%q,%q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		if len(b) > 50 {
+			b = b[:50]
+		}
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditDistanceBoundedAgreesWithExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 400; iter++ {
+		a := randDNA(rng, rng.Intn(40))
+		b := randDNA(rng, rng.Intn(40))
+		exact := EditDistance(a, b)
+		for _, bound := range []int{0, 1, 3, 5, 10, 40} {
+			got, ok := EditDistanceBounded(a, b, bound)
+			if exact <= bound {
+				if !ok || got != exact {
+					t.Fatalf("bounded(%q,%q,%d) = (%d,%v), exact %d", a, b, bound, got, ok, exact)
+				}
+			} else if ok {
+				t.Fatalf("bounded(%q,%q,%d) accepted, exact %d", a, b, bound, exact)
+			}
+		}
+	}
+}
+
+func TestEditDistanceBoundedNegative(t *testing.T) {
+	if _, ok := EditDistanceBounded([]byte("A"), []byte("A"), -1); ok {
+		t.Fatal("negative bound accepted")
+	}
+}
+
+func TestEditDistanceBoundedLengthGate(t *testing.T) {
+	// Length difference alone exceeds the bound.
+	if _, ok := EditDistanceBounded([]byte("AAAAAA"), []byte("A"), 3); ok {
+		t.Fatal("length gate failed")
+	}
+}
+
+func TestEditDistanceBoundedEmpty(t *testing.T) {
+	if d, ok := EditDistanceBounded(nil, []byte("AC"), 3); !ok || d != 2 {
+		t.Fatalf("(%d,%v)", d, ok)
+	}
+	if d, ok := EditDistanceBounded([]byte("AC"), nil, 1); ok || d != 2 {
+		t.Fatalf("(%d,%v)", d, ok) // rejected pairs report bound+1
+	}
+}
+
+func TestNewAlphabetErrors(t *testing.T) {
+	if _, err := NewAlphabet(""); err == nil {
+		t.Fatal("empty alphabet accepted")
+	}
+	if _, err := NewAlphabet("AA"); err == nil {
+		t.Fatal("duplicate symbol accepted")
+	}
+}
+
+func TestAlphabetIndexAndSize(t *testing.T) {
+	if DNA.Size() != 4 {
+		t.Fatal("DNA size")
+	}
+	if DNA.Index('A') != 0 || DNA.Index('T') != 3 {
+		t.Fatal("DNA index")
+	}
+	if DNA.Index('X') != -1 {
+		t.Fatal("unknown symbol index")
+	}
+}
+
+func TestFreqVector(t *testing.T) {
+	f := DNA.FreqVector([]byte("AACGTTTX"))
+	want := []int{2, 1, 1, 3}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Fatalf("freq = %v", f)
+		}
+	}
+}
+
+func TestSlideFreqMatchesRecount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randDNA(rng, 200)
+	const w = 16
+	f := DNA.FreqVector(s[:w])
+	for st := 1; st+w <= len(s); st++ {
+		DNA.SlideFreq(f, s[st-1], s[st+w-1])
+		want := DNA.FreqVector(s[st : st+w])
+		for i := range f {
+			if f[i] != want[i] {
+				t.Fatalf("slide at %d: %v != %v", st, f, want)
+			}
+		}
+	}
+}
+
+func TestFreqDistanceKnown(t *testing.T) {
+	if d := FreqDistance([]int{3, 1}, []int{1, 2}); d != 2 {
+		t.Fatalf("FD = %d, want 2", d)
+	}
+	if d := FreqDistance([]int{5, 5}, []int{5, 5}); d != 0 {
+		t.Fatal("FD of equal vectors")
+	}
+}
+
+func TestFreqDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FreqDistance([]int{1}, []int{1, 2})
+}
+
+// TestFreqDistanceLowerBoundsEditDistance is the Table 1 predictor property:
+// FD(freq(a), freq(b)) <= EditDistance(a, b) for all strings.
+func TestFreqDistanceLowerBoundsEditDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 500; iter++ {
+		a := randDNA(rng, rng.Intn(40))
+		b := randDNA(rng, rng.Intn(40))
+		fd := FreqDistance(DNA.FreqVector(a), DNA.FreqVector(b))
+		ed := EditDistance(a, b)
+		if fd > ed {
+			t.Fatalf("FD %d > edit %d for %q vs %q", fd, ed, a, b)
+		}
+	}
+}
+
+func TestFreqDistanceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		u := []int{rng.Intn(20), rng.Intn(20), rng.Intn(20), rng.Intn(20)}
+		v := []int{rng.Intn(20), rng.Intn(20), rng.Intn(20), rng.Intn(20)}
+		if FreqDistance(u, v) != FreqDistance(v, u) {
+			t.Fatal("FD not symmetric")
+		}
+	}
+}
+
+// TestFreqDistanceMBRLowerBounds checks that the box bound never exceeds the
+// point distance of any vectors inside the boxes.
+func TestFreqDistanceMBRLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 500; iter++ {
+		dim := 1 + rng.Intn(5)
+		u := make([]int, dim)
+		v := make([]int, dim)
+		uMin := make([]int, dim)
+		uMax := make([]int, dim)
+		vMin := make([]int, dim)
+		vMax := make([]int, dim)
+		for d := 0; d < dim; d++ {
+			u[d] = rng.Intn(30)
+			v[d] = rng.Intn(30)
+			uMin[d] = u[d] - rng.Intn(3)
+			uMax[d] = u[d] + rng.Intn(3)
+			vMin[d] = v[d] - rng.Intn(3)
+			vMax[d] = v[d] + rng.Intn(3)
+		}
+		if got := FreqDistanceMBR(uMin, uMax, vMin, vMax); got > FreqDistance(u, v) {
+			t.Fatalf("box FD %d > point FD %d", got, FreqDistance(u, v))
+		}
+	}
+}
+
+func TestFreqDistanceMBRTightForPoints(t *testing.T) {
+	// Degenerate boxes must reproduce the exact frequency distance.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		u := []int{rng.Intn(9), rng.Intn(9), rng.Intn(9)}
+		v := []int{rng.Intn(9), rng.Intn(9), rng.Intn(9)}
+		if FreqDistanceMBR(u, u, v, v) != FreqDistance(u, v) {
+			t.Fatal("degenerate box FD mismatch")
+		}
+	}
+}

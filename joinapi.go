@@ -1,0 +1,346 @@
+package pmjoin
+
+import (
+	"fmt"
+	"math"
+
+	"pmjoin/internal/bfrj"
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/cluster"
+	"pmjoin/internal/ego"
+	"pmjoin/internal/geom"
+	"pmjoin/internal/join"
+	"pmjoin/internal/mrsindex"
+	"pmjoin/internal/pbsm"
+	"pmjoin/internal/predmat"
+)
+
+// Method selects the join algorithm.
+type Method int
+
+const (
+	// NLJ is block nested loop join (the no-information baseline, §2.1).
+	NLJ Method = iota
+	// PMNLJ restricts NLJ to the marked prediction-matrix entries (§6).
+	PMNLJ
+	// RandomSC is square clustering with clusters processed in random
+	// order (isolates the scheduling optimization, §9.1).
+	RandomSC
+	// SC is square clustering with greedy sharing-graph scheduling — the
+	// paper's primary technique (§7.1, §8).
+	SC
+	// CC is cost-based clustering with greedy scheduling, the approximate
+	// I/O lower bound (§7.2).
+	CC
+	// EGO is the epsilon grid ordering join baseline (§9).
+	EGO
+	// BFRJ is the breadth-first R-tree join baseline (§9).
+	BFRJ
+	// PBSM is the Partition Based Spatial-Merge join of Patel & DeWitt,
+	// surveyed in §2.1 — an extension baseline beyond the paper's
+	// evaluation, available for vector data only.
+	PBSM
+)
+
+func (m Method) String() string {
+	switch m {
+	case NLJ:
+		return "NLJ"
+	case PMNLJ:
+		return "pm-NLJ"
+	case RandomSC:
+		return "random-SC"
+	case SC:
+		return "SC"
+	case CC:
+		return "CC"
+	case EGO:
+		return "EGO"
+	case BFRJ:
+		return "BFRJ"
+	case PBSM:
+		return "PBSM"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ReplacementPolicy selects the buffer replacement policy.
+type ReplacementPolicy int
+
+const (
+	// LRU is the paper's default policy.
+	LRU ReplacementPolicy = iota
+	// FIFO is provided for the replacement ablation.
+	FIFO
+)
+
+// Options configures one join execution.
+type Options struct {
+	Method Method
+	// Epsilon is the distance threshold: an Lp distance for vector and
+	// series data, a maximum edit distance for string data.
+	Epsilon float64
+	// BufferPages is B, the buffer size in pages (minimum 4).
+	BufferPages int
+	// Policy is the buffer replacement policy (default LRU).
+	Policy ReplacementPolicy
+	// Seed drives the random choices of RandomSC and CC (deterministic).
+	Seed int64
+	// CollectPairs stores up to MaxPairs result pairs in the Result.
+	CollectPairs bool
+	// MaxPairs caps collected pairs (default 100000; 0 means the default).
+	MaxPairs int
+	// FilterDepth bounds the prediction-matrix filter iterations
+	// (default 5, the paper's k; -1 disables filtering).
+	FilterDepth int
+	// ClusterRowFraction is the SC buffer fraction devoted to rows
+	// (default 0.5, the paper's square shape; ablation knob).
+	ClusterRowFraction float64
+	// HistogramBins is CC's density-histogram resolution (default 100).
+	HistogramBins int
+}
+
+// Result reports the outcome and simulated cost of a join.
+type Result struct {
+	// Report is the cost breakdown (simulated I/O seconds, modeled CPU and
+	// preprocessing seconds, page reads, seeks, comparisons, result count).
+	Report join.Report
+	// Matrix statistics (zero for NLJ, EGO, BFRJ).
+	MarkedEntries int
+	MatrixDensity float64
+	// MatrixSeconds is the modeled cost of prediction-matrix construction,
+	// reported separately: the paper folds it into index preprocessing and
+	// excludes it from Figure 10's join costs.
+	MatrixSeconds float64
+	// Pairs holds collected result pairs when Options.CollectPairs is set.
+	Pairs [][2]int
+	// Truncated reports that more pairs matched than were collected.
+	Truncated bool
+}
+
+// Count returns the number of result pairs found.
+func (r *Result) Count() int64 { return r.Report.Results }
+
+// TotalSeconds returns the total simulated join cost.
+func (r *Result) TotalSeconds() float64 { return r.Report.Total() }
+
+// Join executes the join of a and b under opt. For a self join pass the
+// same dataset twice: each unordered result pair is then reported once, and
+// for sequence data trivially overlapping window pairs (start distance less
+// than the window length) are excluded.
+func (s *System) Join(a, b *Dataset, opt Options) (*Result, error) {
+	if a.sys != s || b.sys != s {
+		return nil, fmt.Errorf("pmjoin: datasets belong to a different system")
+	}
+	if a.kind != b.kind {
+		return nil, fmt.Errorf("pmjoin: cannot join %v with %v data", a.kind, b.kind)
+	}
+	if opt.BufferPages < 4 {
+		return nil, fmt.Errorf("pmjoin: buffer of %d pages too small (minimum 4)", opt.BufferPages)
+	}
+	if opt.Epsilon < 0 {
+		return nil, fmt.Errorf("pmjoin: negative epsilon %g", opt.Epsilon)
+	}
+	if err := s.checkCompatible(a, b); err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	eng := &join.Engine{
+		Disk:       s.d,
+		BufferSize: opt.BufferPages,
+		Policy:     buffer.Policy(opt.Policy),
+	}
+	if opt.CollectPairs {
+		maxPairs := opt.MaxPairs
+		if maxPairs == 0 {
+			maxPairs = 100000
+		}
+		eng.OnPair = func(i, j int) {
+			if len(res.Pairs) < maxPairs {
+				res.Pairs = append(res.Pairs, [2]int{i, j})
+			} else {
+				res.Truncated = true
+			}
+		}
+	}
+
+	self := a == b || a.ds.File == b.ds.File
+	joiner := s.joiner(a, opt.Epsilon, self)
+
+	var rep *join.Report
+	var err error
+	switch opt.Method {
+	case NLJ:
+		rep, err = eng.NLJ(&a.ds, &b.ds, joiner)
+	case PMNLJ:
+		var m *predmat.Matrix
+		m, err = s.buildMatrix(a, b, opt, res)
+		if err == nil {
+			rep, err = eng.PMNLJ(&a.ds, &b.ds, m, joiner)
+		}
+	case RandomSC, SC, CC:
+		var m *predmat.Matrix
+		m, err = s.buildMatrix(a, b, opt, res)
+		if err != nil {
+			break
+		}
+		var clusters []*cluster.Cluster
+		var pre float64
+		if opt.Method == CC {
+			clusters, err = cluster.Cost(m, opt.BufferPages, cluster.CostOptions{
+				HistogramBins: opt.HistogramBins,
+				Seed:          opt.Seed,
+				IO: cluster.IOModel{
+					SeekTime:     s.model.SeekSeconds,
+					TransferTime: s.model.TransferSeconds,
+				},
+			})
+			pre = join.ModelCCPreprocess(m.Marked())
+		} else {
+			clusters, err = cluster.SquareOpts(m, opt.BufferPages, cluster.SquareOptions{
+				RowFraction: opt.ClusterRowFraction,
+			})
+			pre = join.ModelSCPreprocess(m.Marked())
+		}
+		if err != nil {
+			break
+		}
+		order := join.OrderGreedySharing
+		if opt.Method == RandomSC {
+			order = join.OrderRandom
+		}
+		rep, err = eng.Clustered(&a.ds, &b.ds, m, clusters, joiner, join.ClusteredOptions{
+			Order:             order,
+			Seed:              opt.Seed,
+			PreprocessSeconds: pre,
+		})
+		if rep != nil && opt.Method == CC {
+			rep.Method = "CC"
+		}
+	case EGO:
+		rep, err = ego.Run(eng, &a.ds, &b.ds, s.egoAdapter(a, opt.Epsilon, self), ego.Options{SelfJoin: self})
+	case BFRJ:
+		rep, err = bfrj.Run(eng, &a.ds, &b.ds, joiner, bfrj.Options{
+			Eps:      s.matrixEpsilon(a, opt.Epsilon),
+			Pred:     s.predictor(a),
+			SelfJoin: self,
+		})
+	case PBSM:
+		if a.kind != KindVector {
+			err = fmt.Errorf("pmjoin: PBSM supports vector data only, got %v", a.kind)
+			break
+		}
+		rep, err = pbsm.Run(eng, &a.ds, &b.ds, joiner, pbsm.Options{
+			Eps:      opt.Epsilon,
+			SelfJoin: self,
+		})
+	default:
+		err = fmt.Errorf("pmjoin: unknown method %v", opt.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Report = *rep
+	return res, nil
+}
+
+func (s *System) checkCompatible(a, b *Dataset) error {
+	switch a.kind {
+	case KindVector:
+		if a.dim != b.dim {
+			return fmt.Errorf("pmjoin: dimension mismatch %d vs %d", a.dim, b.dim)
+		}
+		if a.norm != b.norm {
+			return fmt.Errorf("pmjoin: norm mismatch %v vs %v", a.norm, b.norm)
+		}
+	case KindSeries, KindString:
+		if a.window != b.window {
+			return fmt.Errorf("pmjoin: window mismatch %d vs %d", a.window, b.window)
+		}
+	}
+	return nil
+}
+
+// joiner builds the object joiner for the data kind.
+func (s *System) joiner(a *Dataset, eps float64, self bool) join.ObjectJoiner {
+	switch a.kind {
+	case KindVector:
+		return join.VectorJoiner{Norm: a.norm, Eps: eps, Self: self}
+	case KindSeries:
+		return join.SeriesJoiner{Eps: eps, Self: self, ExcludeOverlap: a.window}
+	default:
+		return join.StringJoiner{MaxEdit: int(eps), Self: self, ExcludeOverlap: a.window}
+	}
+}
+
+// predictor builds the lower-bounding predictor of Table 1.
+func (s *System) predictor(a *Dataset) predmat.Predictor {
+	switch a.kind {
+	case KindVector:
+		return predmat.NormPredictor{Norm: a.norm}
+	case KindSeries:
+		return predmat.NormPredictor{Norm: geom.L2, Scale: a.scale}
+	default:
+		return mrsindex.Predictor{}
+	}
+}
+
+// matrixEpsilon returns the threshold in the predictor's space (identical
+// to the join epsilon for every kind; kept as a seam for future predictors).
+func (s *System) matrixEpsilon(a *Dataset, eps float64) float64 { return eps }
+
+func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result) (*predmat.Matrix, error) {
+	depth := opt.FilterDepth
+	switch {
+	case depth == 0:
+		depth = predmat.DefaultFilterDepth
+	case depth < 0:
+		depth = 0
+	}
+	key := matrixKey{fileA: a.ds.File, fileB: b.ds.File, eps: opt.Epsilon, depth: depth}
+	if e, ok := s.matrixCache[key]; ok {
+		res.MarkedEntries = e.m.Marked()
+		res.MatrixDensity = e.m.Density()
+		res.MatrixSeconds = e.seconds
+		return e.m, nil
+	}
+	var stats predmat.BuildStats
+	m, err := predmat.Build(a.ds.Root, b.ds.Root, a.ds.Pages, b.ds.Pages,
+		s.matrixEpsilon(a, opt.Epsilon), s.predictor(a),
+		predmat.BuildOptions{FilterDepth: depth, Stats: &stats})
+	if err != nil {
+		return nil, err
+	}
+	seconds := float64(stats.SweepEvents+stats.PairTests) * join.MatrixEntryCost
+	s.matrixCache[key] = &matrixEntry{m: m, seconds: seconds}
+	res.MarkedEntries = m.Marked()
+	res.MatrixDensity = m.Density()
+	res.MatrixSeconds = seconds
+	return m, nil
+}
+
+// egoAdapter builds the EGO grid adapter for the data kind.
+func (s *System) egoAdapter(a *Dataset, eps float64, self bool) ego.Adapter {
+	switch a.kind {
+	case KindVector:
+		cell := eps
+		if cell <= 0 {
+			cell = math.SmallestNonzeroFloat64
+		}
+		return &vectorEGO{norm: a.norm, eps: eps, cell: cell, self: self}
+	case KindSeries:
+		cell := eps / a.scale
+		if cell <= 0 {
+			cell = math.SmallestNonzeroFloat64
+		}
+		return &seriesEGO{eps: eps, cell: cell, self: self, window: a.window, features: a.features}
+	default:
+		cell := eps
+		if cell < 1 {
+			cell = 1
+		}
+		return &stringEGO{maxEdit: int(eps), cell: int(cell), self: self, window: a.window}
+	}
+}

@@ -1,0 +1,392 @@
+// Package pmjoin is a buffer-aware similarity-join library for massive
+// spatial and sequence datasets, reproducing Kahveci, Lang & Singh,
+// "Joining Massive High-Dimensional Datasets" (ICDE 2003).
+//
+// The library joins two datasets under a distance threshold ε while
+// minimizing disk I/O. It builds a boolean prediction matrix over the page
+// pairs of the datasets using a lower-bounding distance predictor, clusters
+// the marked entries into buffer-sized groups (square clustering SC or
+// cost-based clustering CC), schedules the clusters to maximize buffer
+// reuse, and joins one cluster at a time entirely in memory. Block nested
+// loop join (NLJ), prediction-matrix NLJ (pm-NLJ), epsilon grid ordering
+// (EGO) and breadth-first R-tree join (BFRJ) are provided as comparators.
+//
+// Three data kinds are supported, mirroring Table 1 of the paper:
+//
+//   - Vector data (points, spatial objects, feature vectors), indexed with
+//     an R*-tree, joined under an Lp norm.
+//   - Time-series data, indexed with an MR-index over sliding windows,
+//     subsequence-joined under L2.
+//   - String data, indexed with an MRS-index over sliding windows,
+//     subsequence-joined under edit distance with the frequency distance as
+//     the lower-bounding predictor.
+//
+// All I/O runs against a simulated linear-model disk with an LRU buffer, so
+// costs are deterministic and hardware independent; see DESIGN.md.
+package pmjoin
+
+import (
+	"fmt"
+
+	"pmjoin/internal/disk"
+	"pmjoin/internal/geom"
+	"pmjoin/internal/index"
+	"pmjoin/internal/join"
+	"pmjoin/internal/mrindex"
+	"pmjoin/internal/mrsindex"
+	"pmjoin/internal/predmat"
+	"pmjoin/internal/rstar"
+	"pmjoin/internal/seqdist"
+)
+
+// Kind identifies the data kind of a dataset.
+type Kind int
+
+const (
+	// KindVector is point/spatial/high-dimensional feature data.
+	KindVector Kind = iota
+	// KindSeries is time-series data joined by subsequence.
+	KindSeries
+	// KindString is string data joined by subsequence under edit distance.
+	KindString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindVector:
+		return "vector"
+	case KindSeries:
+		return "series"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// DiskModel is the linear disk cost model of the simulator.
+type DiskModel struct {
+	SeekSeconds     float64 // cost of one random seek
+	TransferSeconds float64 // cost of one sequential page transfer
+	PageBytes       int     // page size in bytes
+	// ReadaheadPages is the largest forward gap (within one file) served by
+	// streaming instead of seeking; skipped pages are charged as transfers
+	// and a gap never streams when seeking would be cheaper. 0 means the
+	// default (16); negative disables readahead.
+	ReadaheadPages int
+}
+
+// DefaultDiskModel returns the default model (10 ms seek, 1 ms transfer,
+// 4 KB pages).
+func DefaultDiskModel() DiskModel {
+	return DiskModel{
+		SeekSeconds:     disk.DefaultSeekTime,
+		TransferSeconds: disk.DefaultTransferTime,
+		PageBytes:       disk.DefaultPageSize,
+	}
+}
+
+// System owns the simulated disk and the datasets materialized on it.
+// A System is not safe for concurrent use.
+type System struct {
+	d     *disk.Disk
+	model DiskModel
+	// matrixCache memoizes prediction matrices: they depend only on the
+	// dataset pair, epsilon, and filter depth, so repeated joins (e.g.
+	// buffer-size sweeps) reuse them. Construction is index-only and
+	// charges no simulated I/O either way.
+	matrixCache map[matrixKey]*matrixEntry
+}
+
+type matrixKey struct {
+	fileA, fileB disk.FileID
+	eps          float64
+	depth        int
+}
+
+type matrixEntry struct {
+	m       *predmat.Matrix
+	seconds float64
+}
+
+// NewSystem creates a system with the given disk model. Zero-value fields
+// fall back to the defaults.
+func NewSystem(model DiskModel) *System {
+	def := DefaultDiskModel()
+	if model.SeekSeconds == 0 {
+		model.SeekSeconds = def.SeekSeconds
+	}
+	if model.TransferSeconds == 0 {
+		model.TransferSeconds = def.TransferSeconds
+	}
+	if model.PageBytes == 0 {
+		model.PageBytes = def.PageBytes
+	}
+	d := disk.New(disk.Model{
+		SeekTime:     model.SeekSeconds,
+		TransferTime: model.TransferSeconds,
+		PageSize:     model.PageBytes,
+		Readahead:    model.ReadaheadPages,
+	})
+	return &System{d: d, model: model, matrixCache: make(map[matrixKey]*matrixEntry)}
+}
+
+// New creates a system with the default disk model.
+func New() *System { return NewSystem(DefaultDiskModel()) }
+
+// Model returns the system's disk model.
+func (s *System) Model() DiskModel { return s.model }
+
+// ResetIOStats zeroes the simulated disk counters (datasets survive).
+func (s *System) ResetIOStats() { s.d.ResetStats() }
+
+// Dataset is a dataset materialized on the system's disk, ready to join.
+type Dataset struct {
+	sys  *System
+	kind Kind
+	ds   join.Dataset
+
+	// vector data
+	dim  int
+	norm geom.Norm
+
+	// sequence data
+	window   int
+	stride   int
+	scale    float64 // MR-index predictor scale
+	features int     // MR-index PAA features
+	alphabet *seqdist.Alphabet
+
+	objects int
+}
+
+// Name returns the dataset name.
+func (d *Dataset) Name() string { return d.ds.Name }
+
+// Kind returns the data kind.
+func (d *Dataset) Kind() Kind { return d.kind }
+
+// Pages returns the number of data pages on disk.
+func (d *Dataset) Pages() int { return d.ds.Pages }
+
+// Objects returns the number of joinable objects (vectors or windows).
+func (d *Dataset) Objects() int { return d.objects }
+
+// Window returns the subsequence length for sequence datasets (0 for
+// vector data).
+func (d *Dataset) Window() int { return d.window }
+
+// VectorOptions configures AddVectors.
+type VectorOptions struct {
+	// PageBytes overrides the system page size for this dataset (the paper
+	// uses 1 KB pages for the 2-d road data and 4 KB elsewhere).
+	PageBytes int
+	// NormP selects the Lp norm: 1, 2, ...; -1 selects L∞. The zero value
+	// means L2.
+	NormP int
+	// UseInsert builds the R*-tree by one-by-one R* insertion instead of
+	// STR bulk loading (slower; mainly for tests and ablations).
+	UseInsert bool
+	// BranchFanout overrides the internal-node fanout (default 32).
+	BranchFanout int
+}
+
+// AddVectors indexes dim-dimensional vectors with an R*-tree whose leaves
+// are one page each, lays the vectors out page-contiguously on the
+// simulated disk (§5.1), and returns the joinable dataset. Object IDs are
+// the indices into vecs.
+func (s *System) AddVectors(name string, vecs [][]float64, opts VectorOptions) (*Dataset, error) {
+	if len(vecs) == 0 {
+		return nil, fmt.Errorf("pmjoin: dataset %q is empty", name)
+	}
+	dim := len(vecs[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("pmjoin: dataset %q has zero-dimensional vectors", name)
+	}
+	for i, v := range vecs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("pmjoin: dataset %q vector %d has dim %d, want %d", name, i, len(v), dim)
+		}
+	}
+	pageBytes := opts.PageBytes
+	if pageBytes == 0 {
+		pageBytes = s.model.PageBytes
+	}
+	perPage := pageBytes / (8*dim + 8) // 8 bytes per coordinate + object id
+	if perPage < 2 {
+		perPage = 2
+	}
+	cfg := rstar.DefaultConfig(perPage)
+	if opts.BranchFanout != 0 {
+		cfg.MaxBranchEntries = opts.BranchFanout
+	}
+
+	items := make([]rstar.Item, len(vecs))
+	for i, v := range vecs {
+		items[i] = rstar.PointItem(i, geom.Vector(v))
+	}
+	var tree *rstar.Tree
+	var err error
+	if opts.UseInsert {
+		tree, err = rstar.New(dim, cfg)
+		if err == nil {
+			for _, it := range items {
+				if err = tree.Insert(it); err != nil {
+					break
+				}
+			}
+		}
+	} else {
+		tree, err = rstar.BulkLoadSTR(dim, cfg, items)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pmjoin: indexing %q: %w", name, err)
+	}
+
+	pages := tree.Pack()
+	file := s.d.CreateFile()
+	for _, pg := range pages {
+		payload := &join.VectorPage{
+			IDs:  make([]int, len(pg)),
+			Vecs: make([]geom.Vector, len(pg)),
+		}
+		for i, it := range pg {
+			payload.IDs[i] = it.ID
+			payload.Vecs[i] = it.MBR.Min // points: Min == Max
+		}
+		if _, err := s.d.AppendPage(file, payload); err != nil {
+			return nil, err
+		}
+	}
+
+	norm := geom.Norm{P: opts.NormP}
+	if opts.NormP == 0 {
+		norm = geom.L2
+	}
+	if opts.NormP == -1 { // explicit L∞ request
+		norm = geom.LInf
+	}
+	return &Dataset{
+		sys:     s,
+		kind:    KindVector,
+		ds:      join.Dataset{Name: name, File: file, Root: tree.Root(), Pages: len(pages)},
+		dim:     dim,
+		norm:    norm,
+		objects: len(vecs),
+	}, nil
+}
+
+// SeriesOptions configures AddSeries.
+type SeriesOptions struct {
+	// Window is the subsequence length w of the subsequence join (required).
+	Window int
+	// Stride between window starts (default 1).
+	Stride int
+	// Features is the MR-index PAA dimensionality (default 8).
+	Features int
+	// PageBytes overrides the system page size.
+	PageBytes int
+}
+
+// AddSeries indexes the sliding windows of a time series with an MR-index
+// and lays the samples out page-contiguously. Window IDs number the windows
+// in position order.
+func (s *System) AddSeries(name string, series []float64, opts SeriesOptions) (*Dataset, error) {
+	pageBytes := opts.PageBytes
+	if pageBytes == 0 {
+		pageBytes = s.model.PageBytes
+	}
+	stride := opts.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	cfg := mrindex.Config{
+		Window:      opts.Window,
+		Stride:      stride,
+		Features:    opts.Features,
+		PageSamples: pageBytes / 8,
+	}
+	ix, err := mrindex.Build(series, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pmjoin: indexing %q: %w", name, err)
+	}
+	file := s.d.CreateFile()
+	for p := 0; p < ix.NumPages(); p++ {
+		ids, starts, windows := ix.PageWindows(p)
+		if _, err := s.d.AppendPage(file, &join.SeriesPage{IDs: ids, Starts: starts, Windows: windows}); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{
+		sys:      s,
+		kind:     KindSeries,
+		ds:       join.Dataset{Name: name, File: file, Root: ix.Root(), Pages: ix.NumPages()},
+		window:   ix.Config().Window,
+		stride:   ix.Config().Stride,
+		scale:    ix.Scale(),
+		features: ix.Config().Features,
+		objects:  ix.NumWindows(),
+	}, nil
+}
+
+// StringOptions configures AddString.
+type StringOptions struct {
+	// Window is the subsequence length w of the subsequence join (required).
+	Window int
+	// Stride between window starts (default 1).
+	Stride int
+	// Alphabet lists the symbols (default "ACGT").
+	Alphabet string
+	// PageBytes overrides the system page size.
+	PageBytes int
+}
+
+// AddString indexes the sliding windows of a string with an MRS-index and
+// lays the characters out page-contiguously. Window IDs number the windows
+// in position order.
+func (s *System) AddString(name string, seq []byte, opts StringOptions) (*Dataset, error) {
+	pageBytes := opts.PageBytes
+	if pageBytes == 0 {
+		pageBytes = s.model.PageBytes
+	}
+	stride := opts.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	alpha := seqdist.DNA
+	if opts.Alphabet != "" {
+		var err error
+		alpha, err = seqdist.NewAlphabet(opts.Alphabet)
+		if err != nil {
+			return nil, fmt.Errorf("pmjoin: dataset %q: %w", name, err)
+		}
+	}
+	cfg := mrsindex.Config{
+		Window:    opts.Window,
+		Stride:    stride,
+		PageBytes: pageBytes,
+	}
+	ix, err := mrsindex.Build(seq, alpha, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pmjoin: indexing %q: %w", name, err)
+	}
+	file := s.d.CreateFile()
+	for p := 0; p < ix.NumPages(); p++ {
+		ids, starts, windows, freqs := ix.PageWindows(p)
+		if _, err := s.d.AppendPage(file, &join.StringPage{IDs: ids, Starts: starts, Windows: windows, Freqs: freqs}); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{
+		sys:      s,
+		kind:     KindString,
+		ds:       join.Dataset{Name: name, File: file, Root: ix.Root(), Pages: ix.NumPages()},
+		window:   ix.Config().Window,
+		stride:   ix.Config().Stride,
+		alphabet: alpha,
+		objects:  ix.NumWindows(),
+	}, nil
+}
+
+// root exposes the dataset's MBR hierarchy for tests in this package.
+func (d *Dataset) root() *index.Node { return d.ds.Root }

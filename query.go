@@ -1,0 +1,170 @@
+package pmjoin
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+	"pmjoin/internal/geom"
+	"pmjoin/internal/index"
+	"pmjoin/internal/join"
+)
+
+// QueryResult reports the outcome and simulated I/O of a single-dataset
+// query (range or k-nearest-neighbor).
+type QueryResult struct {
+	// IDs of the matching objects. Range queries return them in ascending
+	// ID order; k-NN in ascending distance order.
+	IDs []int
+	// Distances parallel IDs for k-NN queries (nil for range queries).
+	Distances []float64
+	// IOSeconds and PageReads charge the data pages the query touched
+	// (index nodes are memory resident, as in the paper's setting).
+	IOSeconds float64
+	PageReads int64
+}
+
+// RangeQuery returns all objects of the vector dataset d within eps of
+// center under the dataset's norm, reading candidate data pages through a
+// buffer of bufferPages frames.
+func (s *System) RangeQuery(d *Dataset, center []float64, eps float64, bufferPages int) (*QueryResult, error) {
+	if err := s.checkQuery(d, center, bufferPages); err != nil {
+		return nil, err
+	}
+	if eps < 0 {
+		return nil, fmt.Errorf("pmjoin: negative epsilon %g", eps)
+	}
+	pool, err := buffer.NewPool(s.d, bufferPages, buffer.LRU)
+	if err != nil {
+		return nil, err
+	}
+	before := s.d.Stats()
+	q := geom.Vector(center)
+	res := &QueryResult{}
+
+	var walk func(n *index.Node) error
+	walk = func(n *index.Node) error {
+		if d.norm.MinDistPoint(q, n.MBR) > eps {
+			return nil
+		}
+		if n.IsLeaf() {
+			pg, err := pool.Get(disk.PageAddr{File: d.ds.File, Page: n.Page})
+			if err != nil {
+				return err
+			}
+			vp := pg.Payload.(*join.VectorPage)
+			for i, v := range vp.Vecs {
+				if d.norm.Dist(q, v) <= eps {
+					res.IDs = append(res.IDs, vp.IDs[i])
+				}
+			}
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(d.ds.Root); err != nil {
+		return nil, err
+	}
+	sort.Ints(res.IDs)
+	s.chargeQuery(res, before)
+	return res, nil
+}
+
+// nnPQ is the best-first queue of the k-NN search over the MBR hierarchy.
+type nnPQ []nnItem
+
+type nnItem struct {
+	dist float64
+	node *index.Node // nil for object entries
+	id   int
+}
+
+func (q nnPQ) Len() int           { return len(q) }
+func (q nnPQ) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q nnPQ) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nnPQ) Push(x any)        { *q = append(*q, x.(nnItem)) }
+func (q *nnPQ) Pop() any          { o := *q; n := len(o); e := o[n-1]; *q = o[:n-1]; return e }
+
+// NearestNeighbors returns the k objects of the vector dataset d closest to
+// center, best-first over the index hierarchy (Hjaltason & Samet, cited in
+// §2.2); data pages are fetched through a buffer only when a leaf reaches
+// the head of the queue.
+func (s *System) NearestNeighbors(d *Dataset, center []float64, k, bufferPages int) (*QueryResult, error) {
+	if err := s.checkQuery(d, center, bufferPages); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("pmjoin: k = %d", k)
+	}
+	pool, err := buffer.NewPool(s.d, bufferPages, buffer.LRU)
+	if err != nil {
+		return nil, err
+	}
+	before := s.d.Stats()
+	q := geom.Vector(center)
+	pq := &nnPQ{}
+	heap.Init(pq)
+	heap.Push(pq, nnItem{dist: d.norm.MinDistPoint(q, d.ds.Root.MBR), node: d.ds.Root})
+
+	res := &QueryResult{}
+	for pq.Len() > 0 && len(res.IDs) < k {
+		e := heap.Pop(pq).(nnItem)
+		if e.node == nil {
+			res.IDs = append(res.IDs, e.id)
+			res.Distances = append(res.Distances, e.dist)
+			continue
+		}
+		if e.node.IsLeaf() {
+			pg, err := pool.Get(disk.PageAddr{File: d.ds.File, Page: e.node.Page})
+			if err != nil {
+				return nil, err
+			}
+			vp := pg.Payload.(*join.VectorPage)
+			for i, v := range vp.Vecs {
+				heap.Push(pq, nnItem{dist: d.norm.Dist(q, v), id: vp.IDs[i]})
+			}
+			continue
+		}
+		for _, c := range e.node.Children {
+			heap.Push(pq, nnItem{dist: d.norm.MinDistPoint(q, c.MBR), node: c})
+		}
+	}
+	s.chargeQuery(res, before)
+	return res, nil
+}
+
+func (s *System) checkQuery(d *Dataset, center []float64, bufferPages int) error {
+	if d.sys != s {
+		return fmt.Errorf("pmjoin: dataset belongs to a different system")
+	}
+	if d.kind != KindVector {
+		return fmt.Errorf("pmjoin: %v datasets do not support point queries", d.kind)
+	}
+	if len(center) != d.dim {
+		return fmt.Errorf("pmjoin: query dimension %d, dataset dimension %d", len(center), d.dim)
+	}
+	if bufferPages < 1 {
+		return fmt.Errorf("pmjoin: buffer of %d pages", bufferPages)
+	}
+	return nil
+}
+
+func (s *System) chargeQuery(res *QueryResult, before disk.Stats) {
+	after := s.d.Stats()
+	delta := disk.Stats{
+		Reads:      after.Reads - before.Reads,
+		Seeks:      after.Seeks - before.Seeks,
+		GapPages:   after.GapPages - before.GapPages,
+		Writes:     after.Writes - before.Writes,
+		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
+	}
+	res.PageReads = delta.Reads
+	res.IOSeconds = s.d.Model().Cost(delta)
+}

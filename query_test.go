@@ -1,0 +1,127 @@
+package pmjoin
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func queryFixture(t *testing.T) (*System, *Dataset, [][]float64) {
+	t.Helper()
+	vecs := randomVecs(500, 2, 40)
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	ds, err := sys.AddVectors("pts", vecs, VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, ds, vecs
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	sys, ds, vecs := queryFixture(t)
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 25; iter++ {
+		center := []float64{rng.Float64(), rng.Float64()}
+		eps := 0.02 + rng.Float64()*0.1
+		res, err := sys.RangeQuery(ds, center, eps, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []int
+		for id, v := range vecs {
+			d := math.Hypot(v[0]-center[0], v[1]-center[1])
+			if d <= eps {
+				want = append(want, id)
+			}
+		}
+		sort.Ints(want)
+		if len(res.IDs) != len(want) {
+			t.Fatalf("iter %d: %d results, want %d", iter, len(res.IDs), len(want))
+		}
+		for i := range want {
+			if res.IDs[i] != want[i] {
+				t.Fatal("result mismatch")
+			}
+		}
+		if len(res.IDs) > 0 && (res.PageReads == 0 || res.IOSeconds <= 0) {
+			t.Fatal("query I/O not charged")
+		}
+		if res.PageReads > int64(ds.Pages()) {
+			t.Fatal("range query read more pages than exist")
+		}
+	}
+}
+
+func TestNearestNeighborsMatchBruteForce(t *testing.T) {
+	sys, ds, vecs := queryFixture(t)
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 25; iter++ {
+		center := []float64{rng.Float64(), rng.Float64()}
+		k := 1 + rng.Intn(12)
+		res, err := sys.NearestNeighbors(ds, center, k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.IDs) != k || len(res.Distances) != k {
+			t.Fatalf("got %d results for k=%d", len(res.IDs), k)
+		}
+		dists := make([]float64, len(vecs))
+		for id, v := range vecs {
+			dists[id] = math.Hypot(v[0]-center[0], v[1]-center[1])
+		}
+		sorted := append([]float64(nil), dists...)
+		sort.Float64s(sorted)
+		for i := 0; i < k; i++ {
+			if d := res.Distances[i] - sorted[i]; d > 1e-12 || d < -1e-12 {
+				t.Fatalf("iter %d: distance %d = %g, want %g", iter, i, res.Distances[i], sorted[i])
+			}
+			if d := dists[res.IDs[i]] - res.Distances[i]; d > 1e-12 || d < -1e-12 {
+				t.Fatal("ID does not match its distance")
+			}
+		}
+	}
+}
+
+func TestNearestNeighborsPrunesPages(t *testing.T) {
+	sys, ds, _ := queryFixture(t)
+	res, err := sys.NearestNeighbors(ds, []float64{0.5, 0.5}, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-first search should touch a small fraction of the pages.
+	if res.PageReads > int64(ds.Pages())/2 {
+		t.Fatalf("kNN read %d of %d pages", res.PageReads, ds.Pages())
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	sys, ds, _ := queryFixture(t)
+	if _, err := sys.RangeQuery(ds, []float64{0.5}, 0.1, 8); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := sys.RangeQuery(ds, []float64{0.5, 0.5}, -1, 8); err == nil {
+		t.Fatal("negative eps accepted")
+	}
+	if _, err := sys.RangeQuery(ds, []float64{0.5, 0.5}, 0.1, 0); err == nil {
+		t.Fatal("zero buffer accepted")
+	}
+	if _, err := sys.NearestNeighbors(ds, []float64{0.5, 0.5}, 0, 8); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	other := New()
+	dc, err := other.AddVectors("c", randomVecs(64, 2, 43), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RangeQuery(dc, []float64{0.5, 0.5}, 0.1, 8); err == nil {
+		t.Fatal("cross-system query accepted")
+	}
+	seq, err := sys.AddString("s", []byte("ACGTACGTACGTACGTACGT"), StringOptions{Window: 8, Stride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.NearestNeighbors(seq, []float64{0, 0, 0, 0}, 1, 8); err == nil {
+		t.Fatal("sequence kNN accepted")
+	}
+}
