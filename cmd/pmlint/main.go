@@ -1,0 +1,148 @@
+// Command pmlint runs the project's static-analysis suite (internal/lint)
+// over the module and reports violations of the buffer/I-O/determinism
+// invariants the paper's measurements depend on.
+//
+// Usage:
+//
+//	pmlint [-rules pinleak,floateq] [packages]
+//
+// Package patterns are directory-based, relative to the working directory:
+// "./..." (default) analyzes the whole module, "./internal/..." a subtree,
+// "./internal/join" a single package. The whole module is always loaded and
+// type-checked (analyzers need cross-package types); patterns select which
+// packages' findings are reported.
+//
+// Exit codes: 0 no findings, 1 findings reported, 2 load or usage error.
+// That contract makes `go run ./cmd/pmlint ./...` a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pmjoin/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pmlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule ids to run (default: all)")
+	list := fs.Bool("list", false, "list the available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *rules != "" {
+		want := map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			want[strings.TrimSpace(r)] = true
+		}
+		var sel []*lint.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for r := range want {
+			fmt.Fprintf(stderr, "pmlint: unknown rule %q\n", r)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "pmlint: %v\n", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "pmlint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "pmlint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := filterPackages(pkgs, cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "pmlint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(selected, analyzers)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Rule, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "pmlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// filterPackages keeps the packages whose directory matches one of the
+// go-style directory patterns, resolved relative to cwd.
+func filterPackages(pkgs []*lint.Package, cwd string, patterns []string) ([]*lint.Package, error) {
+	type match struct {
+		dir       string
+		recursive bool
+	}
+	var matches []match
+	for _, pat := range patterns {
+		rec := false
+		if pat == "all" {
+			pat = "./..."
+		}
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			rec = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		abs := pat
+		if !filepath.IsAbs(pat) {
+			abs = filepath.Join(cwd, pat)
+		}
+		matches = append(matches, match{dir: filepath.Clean(abs), recursive: rec})
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, m := range matches {
+			if p.Dir == m.dir || (m.recursive && strings.HasPrefix(p.Dir, m.dir+string(filepath.Separator))) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return out, nil
+}

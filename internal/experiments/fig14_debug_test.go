@@ -12,6 +12,9 @@ func TestFig14EGOMonotonicityDiagnostic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("diagnostic")
 	}
+	if raceDetectorEnabled {
+		t.Skip("diagnostic only; too slow under the race detector")
+	}
 	cfg := &Config{Scale: 0.25, Seed: 7}
 	fixedEps := 0.0
 	for _, f := range []float64{0.125, 0.25, 0.375, 0.5} {

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether the test binary was built with -race.
+// Heavy replication diagnostics skip themselves under the detector: race
+// instrumentation slows the EGO/BFRJ inner loops by roughly an order of
+// magnitude, and the same code paths are already exercised race-enabled by
+// the smaller experiment tests.
+const raceDetectorEnabled = true

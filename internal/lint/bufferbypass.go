@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// bufferBypassAnalyzer flags direct page I/O on disk.Disk from outside
+// internal/buffer. Every page the join phase touches must be charged through
+// a buffer.Pool: the pool is what turns residency into free hits, and the
+// paper's reported I/O counts (reads, seeks, hit ratios behind Figures
+// 10-16) assume all page traffic is pool-mediated. A direct disk.Disk
+// Read/Write/Peek from an executor bypasses hit/miss accounting and head
+// tracking, so costs stop matching what a real buffered system would pay.
+//
+// Deliberate bypasses exist — staging writes of partition files, external
+// sort cost charging, zero-cost metadata Peeks — because the pool has no
+// write path; each must carry a `//lint:ignore bufferbypass <reason>`
+// explaining why the access is charged (or free) by design.
+func bufferBypassAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "bufferbypass",
+		Doc:  "direct disk.Disk page I/O outside internal/buffer bypasses pool accounting",
+		Run:  runBufferBypass,
+	}
+}
+
+var diskPageMethods = []string{"Read", "Write", "Peek"}
+
+func runBufferBypass(p *Package) []Diagnostic {
+	if p.Path == bufferPkgPath || p.Path == diskPkgPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeOf(call)
+			for _, m := range diskPageMethods {
+				if isMethodOf(fn, diskPkgPath, "Disk", m) {
+					diags = append(diags, p.diag(call, "bufferbypass",
+						"disk.Disk.%s outside internal/buffer bypasses buffer-pool I/O accounting; route page access through buffer.Pool", m))
+					break
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

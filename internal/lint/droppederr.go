@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// droppedErrAnalyzer flags discarded error results from the disk and buffer
+// APIs. Those errors are not incidental: ErrNoSuchPage means an executor
+// computed a bad page address, ErrBufferFull means a schedule pinned more
+// pages than the buffer holds, and an Unpin error means the pin ledger is
+// already corrupt. Swallowing any of them lets a run continue and report
+// I/O numbers that no longer mean anything, which is worse than crashing.
+//
+// A result is "dropped" when the call is an expression statement, when the
+// error position of a multi-assign is the blank identifier, or when the
+// call is deferred / spawned with go (the error is unobservable there).
+func droppedErrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "ignored error result from a disk/buffer API call",
+		Run:  runDroppedErr,
+	}
+}
+
+func runDroppedErr(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	report := func(call *ast.CallExpr, how string) {
+		fn := p.calleeOf(call)
+		diags = append(diags, p.diag(call, "droppederr",
+			"error result of %s.%s %s; these errors mean the run's I/O accounting is already wrong — handle or return them", fn.Pkg().Name(), fn.Name(), how))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok && p.guardedCallReturnsError(call) {
+					report(call, "is discarded")
+				}
+			case *ast.DeferStmt:
+				if p.guardedCallReturnsError(n.Call) {
+					report(n.Call, "is unobservable in defer")
+				}
+			case *ast.GoStmt:
+				if p.guardedCallReturnsError(n.Call) {
+					report(n.Call, "is unobservable in go statement")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || !p.guardedCallReturnsError(call) {
+					return true
+				}
+				idx := p.errResultIndex(call)
+				if idx < 0 || idx >= len(n.Lhs) {
+					return true
+				}
+				if id, ok := n.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+					report(call, "is assigned to _")
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// guardedCallReturnsError reports whether call statically targets a function
+// or method of the disk or buffer package whose results include an error.
+func (p *Package) guardedCallReturnsError(call *ast.CallExpr) bool {
+	fn := p.calleeOf(call)
+	if !fromPackage(fn, diskPkgPath) && !fromPackage(fn, bufferPkgPath) {
+		return false
+	}
+	return p.errResultIndex(call) >= 0
+}
+
+// errResultIndex returns the index of the (last) error result of the call's
+// callee, or -1 when it has none.
+func (p *Package) errResultIndex(call *ast.CallExpr) int {
+	fn := p.calleeOf(call)
+	if fn == nil {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return -1
+	}
+	last := res.At(res.Len() - 1).Type()
+	if named, ok := last.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+		return res.Len() - 1
+	}
+	return -1
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqAnalyzer flags == and != between two computed floating-point
+// values in the distance-bearing packages (geom, seqdist, cluster). The
+// correctness of the prediction matrix rests on lower-bound inequalities
+// (MinDist ≤ true distance, Theorem 1); exact equality between computed
+// distances is almost always a latent bug that breaks ties differently
+// across architectures and compiler versions, silently changing cluster
+// shapes and therefore the reported I/O counts.
+//
+// Comparisons where either side is a compile-time constant are exempt:
+// `x == 0` as an is-unset sentinel check is idiomatic and exact.
+func floatEqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "==/!= between computed floats in geom/seqdist/cluster",
+		Run:  runFloatEq,
+	}
+}
+
+// floatEqPackages are the packages where float equality is policed: the ones
+// computing and comparing distance and cost values.
+var floatEqPackages = map[string]bool{
+	"pmjoin/internal/geom":    true,
+	"pmjoin/internal/seqdist": true,
+	"pmjoin/internal/cluster": true,
+}
+
+func runFloatEq(p *Package) []Diagnostic {
+	if !floatEqPackages[p.Path] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !p.isComputedFloat(bin.X) || !p.isComputedFloat(bin.Y) {
+				return true
+			}
+			diags = append(diags, p.diag(bin, "floateq",
+				"floating-point %s between computed values; compare with an epsilon or restructure around an inequality", bin.Op))
+			return true
+		})
+	}
+	return diags
+}
+
+// isComputedFloat reports whether e has floating-point type and is not a
+// compile-time constant.
+func (p *Package) isComputedFloat(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

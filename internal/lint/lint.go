@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Paths of the packages whose invariants the analyzers guard. The analyzers
+// match call targets by these import paths, so the suite keeps working if
+// files move around within the packages.
+const (
+	bufferPkgPath = "pmjoin/internal/buffer"
+	diskPkgPath   = "pmjoin/internal/disk"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one pmlint rule.
+type Analyzer struct {
+	Name string // rule id, used in output and //lint:ignore directives
+	Doc  string // one-line description
+	Run  func(p *Package) []Diagnostic
+}
+
+// Analyzers returns the full pmlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		pinleakAnalyzer(),
+		bufferBypassAnalyzer(),
+		unseededRandAnalyzer(),
+		floatEqAnalyzer(),
+		droppedErrAnalyzer(),
+	}
+}
+
+// IgnorePrefix introduces a suppression comment:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed on the flagged line or on the line directly above it. The reason is
+// mandatory; a directive without one is itself reported under the rule id
+// "lintdirective".
+const IgnorePrefix = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment. A directive in a function
+// or method's doc comment scopes to the whole declaration (endLine > 0);
+// otherwise it covers only its own line and the next.
+type directive struct {
+	pos     token.Position
+	endLine int // last line covered by a decl-scoped directive, 0 if line-scoped
+	rules   []string
+	reason  string
+}
+
+// directives extracts the suppression directives of a package, and emits a
+// diagnostic for every malformed one.
+func directives(p *Package) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		// Doc comments of function declarations scope their directives to
+		// the whole function: rules like pinleak report at a return or pin
+		// site deep inside the body.
+		declEnd := make(map[*ast.CommentGroup]int)
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Doc != nil {
+				declEnd[fn.Doc] = p.Fset.Position(fn.End()).Line
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, IgnorePrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos:     pos,
+						Rule:    "lintdirective",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				dirs = append(dirs, directive{
+					pos:     pos,
+					endLine: declEnd[cg],
+					rules:   strings.Split(fields[0], ","),
+					reason:  strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// suppressed reports whether d is silenced by a directive on its own line,
+// on the line above, or in the doc comment of the enclosing declaration.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	for _, dir := range dirs {
+		if dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		inLineScope := dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1
+		inDeclScope := dir.endLine > 0 && d.Pos.Line > dir.pos.Line && d.Pos.Line <= dir.endLine
+		if !inLineScope && !inDeclScope {
+			continue
+		}
+		for _, r := range dir.rules {
+			if r == d.Rule || r == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the packages, applies //lint:ignore
+// suppression, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		dirs, malformed := directives(p)
+		out = append(out, malformed...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if !suppressed(d, dirs) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// calleeOf resolves the static callee of a call expression, or nil when the
+// callee is dynamic (a function value, a conversion, a builtin).
+func (p *Package) calleeOf(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isMethodOf reports whether fn is the method recv.name (pointer or value
+// receiver) of the named type recv declared in package pkgPath.
+func isMethodOf(fn *types.Func, pkgPath, recv, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == recv
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fromPackage reports whether fn (function or method) is declared in pkgPath.
+func fromPackage(fn *types.Func, pkgPath string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// diag builds a Diagnostic at the position of node.
+func (p *Package) diag(node ast.Node, rule, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(node.Pos()),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// funcBodies yields every function body of the file — declarations and
+// literals — with a printable name. Each body is visited independently;
+// analyzers that track state per function skip nested literals themselves.
+func funcBodies(f *ast.File) []namedBody {
+	var out []namedBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, namedBody{name: fn.Name.Name, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, namedBody{name: "function literal", body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+type namedBody struct {
+	name string
+	body *ast.BlockStmt
+}
+
+// walkSkipFuncLits walks body in source order, invoking fn with the node and
+// the stack of its ancestors (innermost last), without descending into
+// nested function literals.
+func walkSkipFuncLits(body *ast.BlockStmt, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit && len(stack) > 0 {
+			return false
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}

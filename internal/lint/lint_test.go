@@ -1,0 +1,664 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// Stub declarations of the guarded packages. Fixtures are type-checked
+// against these under the real import paths, so the analyzers' path-based
+// matching works exactly as it does on the real tree.
+const stubDisk = `package disk
+
+type FileID int
+
+type PageAddr struct {
+	File FileID
+	Page int
+}
+
+type Page struct {
+	Addr    PageAddr
+	Payload any
+}
+
+type Disk struct{}
+
+func (d *Disk) Read(a PageAddr) (*Page, error)            { return nil, nil }
+func (d *Disk) Write(a PageAddr, payload any) error       { return nil }
+func (d *Disk) Peek(a PageAddr) (*Page, error)            { return nil, nil }
+func (d *Disk) AppendPage(f FileID, p any) (PageAddr, error) { return PageAddr{}, nil }
+func (d *Disk) NumPages(f FileID) int                     { return 0 }
+`
+
+const stubBuffer = `package buffer
+
+import "pmjoin/internal/disk"
+
+type Pool struct{}
+
+func (p *Pool) Get(a disk.PageAddr) (*disk.Page, error)       { return nil, nil }
+func (p *Pool) GetPinned(a disk.PageAddr) (*disk.Page, error) { return nil, nil }
+func (p *Pool) Unpin(a disk.PageAddr) error                   { return nil }
+func (p *Pool) UnpinAll()                                     {}
+func (p *Pool) Flush()                                        {}
+`
+
+// checkFixture type-checks the stub packages plus one fixture source under
+// the given import path and returns the fixture as a *Package ready for
+// analysis.
+func checkFixture(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	checked := map[string]*types.Package{}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if pkg, ok := checked[p]; ok {
+			return pkg, nil
+		}
+		return std.Import(p)
+	})
+	check := func(path, filename, src string) *Package {
+		f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", filename, err)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-check %s: %v", path, err)
+		}
+		checked[path] = tpkg
+		return &Package{Path: path, Fset: fset, Files: []*ast.File{f}, Types: tpkg, Info: info}
+	}
+	check(diskPkgPath, "disk.go", stubDisk)
+	check(bufferPkgPath, "buffer.go", stubBuffer)
+	return check(path, "fixture.go", src)
+}
+
+// runOne runs a single analyzer (with suppression applied) over a fixture.
+func runOne(t *testing.T, name, path, src string) []Diagnostic {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return Run([]*Package{checkFixture(t, path, src)}, []*Analyzer{a})
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// expectDiags asserts the diagnostics hit exactly the given lines (in order)
+// under the given rule.
+func expectDiags(t *testing.T, diags []Diagnostic, rule string, lines []int) {
+	t.Helper()
+	if len(diags) != len(lines) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(lines), formatDiags(diags))
+	}
+	for i, d := range diags {
+		if d.Rule != rule {
+			t.Errorf("diag %d: rule %q, want %q", i, d.Rule, rule)
+		}
+		if d.Pos.Line != lines[i] {
+			t.Errorf("diag %d: line %d, want %d (%s)", i, d.Pos.Line, lines[i], d.Message)
+		}
+	}
+}
+
+func formatDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+func TestPinleak(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int // expected diagnostic lines; empty = clean
+	}{
+		{
+			name: "leak on fall-through return",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func leak(p *buffer.Pool, a disk.PageAddr) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+			lines: []int{12},
+		},
+		{
+			name: "leak with no return at all",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func leak(p *buffer.Pool, a disk.PageAddr) {
+	p.GetPinned(a)
+}
+`,
+			lines: []int{9},
+		},
+		{
+			name: "unpin on the success path is clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	return p.Unpin(a)
+}
+`,
+		},
+		{
+			name: "deferred UnpinAll is clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr) error {
+	defer p.UnpinAll()
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	return nil
+}
+`,
+		},
+		{
+			name: "deferred closure unpin is clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr) error {
+	defer func() { p.UnpinAll() }()
+	_, err := p.GetPinned(a)
+	return err
+}
+`,
+		},
+		{
+			name: "pin loop with UnpinAll per block is clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, f disk.FileID, n int) error {
+	for lo := 0; lo < n; lo += 4 {
+		for i := lo; i < lo+4 && i < n; i++ {
+			if _, err := p.GetPinned(disk.PageAddr{File: f, Page: i}); err != nil {
+				return err
+			}
+		}
+		p.UnpinAll()
+	}
+	return nil
+}
+`,
+		},
+		{
+			name: "leaking function literal is flagged",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func run(body func() error) error { return body() }
+
+func caller(p *buffer.Pool, a disk.PageAddr) error {
+	return run(func() error {
+		if _, err := p.GetPinned(a); err != nil {
+			return err
+		}
+		return nil
+	})
+}
+`,
+			lines: []int{15},
+		},
+		{
+			name: "success-path return before unpin is flagged",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func mixed(p *buffer.Pool, a disk.PageAddr, early bool) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	if early {
+		return nil
+	}
+	return p.Unpin(a)
+}
+`,
+			lines: []int{13},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "pinleak", fixturePath, tc.src), "pinleak", tc.lines)
+		})
+	}
+}
+
+func TestBufferBypass(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "direct disk read, write, peek are flagged",
+			src: `package fixture
+
+import "pmjoin/internal/disk"
+
+func bad(d *disk.Disk, a disk.PageAddr) error {
+	if _, err := d.Read(a); err != nil {
+		return err
+	}
+	if _, err := d.Peek(a); err != nil {
+		return err
+	}
+	return d.Write(a, nil)
+}
+`,
+			lines: []int{6, 9, 12},
+		},
+		{
+			name: "pool-mediated access is clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr) error {
+	_, err := p.Get(a)
+	return err
+}
+`,
+		},
+		{
+			name: "uncharged metadata methods are clean",
+			src: `package fixture
+
+import "pmjoin/internal/disk"
+
+func ok(d *disk.Disk, f disk.FileID) int {
+	return d.NumPages(f)
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "bufferbypass", fixturePath, tc.src), "bufferbypass", tc.lines)
+		})
+	}
+}
+
+func TestUnseededRand(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "global rand functions are flagged",
+			src: `package fixture
+
+import "math/rand"
+
+func bad(n int) int {
+	rand.Shuffle(n, func(i, j int) {})
+	return rand.Intn(n)
+}
+`,
+			lines: []int{6, 7},
+		},
+		{
+			name: "rand.New with indirect source is flagged",
+			src: `package fixture
+
+import "math/rand"
+
+func bad(src rand.Source) *rand.Rand {
+	return rand.New(src)
+}
+`,
+			lines: []int{6},
+		},
+		{
+			name: "seeded source is clean",
+			src: `package fixture
+
+import "math/rand"
+
+func ok(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "unseededrand", fixturePath, tc.src), "unseededrand", tc.lines)
+		})
+	}
+}
+
+func TestFloatEq(t *testing.T) {
+	cases := []struct {
+		name  string
+		path  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "computed float equality in a distance package is flagged",
+			path: "pmjoin/internal/geom",
+			src: `package geom
+
+func bad(a, b, c float64) bool {
+	return a+b == c || a != c
+}
+`,
+			lines: []int{4, 4},
+		},
+		{
+			name: "constant sentinel comparison is clean",
+			path: "pmjoin/internal/cluster",
+			src: `package cluster
+
+func ok(x float64) bool {
+	return x == 0
+}
+`,
+		},
+		{
+			name: "inequalities are clean",
+			path: "pmjoin/internal/seqdist",
+			src: `package seqdist
+
+func ok(a, b float64) bool {
+	return a <= b
+}
+`,
+		},
+		{
+			name: "packages outside the distance set are not policed",
+			path: "pmjoin/internal/fixture",
+			src: `package fixture
+
+func elsewhere(a, b float64) bool {
+	return a == b
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "floateq", tc.path, tc.src), "floateq", tc.lines)
+		})
+	}
+}
+
+func TestDroppedErr(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "expression statement discards the error",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func bad(p *buffer.Pool, a disk.PageAddr) {
+	p.Unpin(a)
+}
+`,
+			lines: []int{9},
+		},
+		{
+			name: "blank identifier in the error slot",
+			src: `package fixture
+
+import "pmjoin/internal/disk"
+
+func bad(d *disk.Disk, a disk.PageAddr) any {
+	pg, _ := d.Read(a)
+	return pg
+}
+`,
+			lines: []int{6},
+		},
+		{
+			name: "deferred unpin hides the error",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func bad(p *buffer.Pool, a disk.PageAddr) {
+	defer p.Unpin(a)
+}
+`,
+			lines: []int{9},
+		},
+		{
+			name: "handled errors are clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr) error {
+	if err := p.Unpin(a); err != nil {
+		return err
+	}
+	_, err := p.Get(a)
+	return err
+}
+`,
+		},
+		{
+			name: "void disk/buffer calls are clean",
+			src: `package fixture
+
+import "pmjoin/internal/buffer"
+
+func ok(p *buffer.Pool) {
+	p.UnpinAll()
+	p.Flush()
+}
+`,
+		},
+		{
+			name: "non-guarded packages are not policed",
+			src: `package fixture
+
+import "strconv"
+
+func ok(s string) {
+	strconv.Atoi(s)
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "droppederr", fixturePath, tc.src), "droppederr", tc.lines)
+		})
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	t.Run("line-above directive silences the finding", func(t *testing.T) {
+		src := `package fixture
+
+import "pmjoin/internal/disk"
+
+func bad(d *disk.Disk, a disk.PageAddr) error {
+	//lint:ignore bufferbypass cost-model scan charged directly
+	_, err := d.Read(a)
+	return err
+}
+`
+		expectDiags(t, runOne(t, "bufferbypass", fixturePath, src), "bufferbypass", nil)
+	})
+	t.Run("same-line directive silences the finding", func(t *testing.T) {
+		src := `package fixture
+
+import "pmjoin/internal/disk"
+
+func bad(d *disk.Disk, a disk.PageAddr) error {
+	_, err := d.Read(a) //lint:ignore bufferbypass cost-model scan charged directly
+	return err
+}
+`
+		expectDiags(t, runOne(t, "bufferbypass", fixturePath, src), "bufferbypass", nil)
+	})
+	t.Run("doc-comment directive covers the whole function", func(t *testing.T) {
+		src := `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+// pin pins on behalf of the caller.
+//
+//lint:ignore pinleak pins are owned by the caller
+func pin(p *buffer.Pool, a disk.PageAddr) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	return nil
+}
+`
+		expectDiags(t, runOne(t, "pinleak", fixturePath, src), "pinleak", nil)
+	})
+	t.Run("directive for another rule does not silence", func(t *testing.T) {
+		src := `package fixture
+
+import "pmjoin/internal/disk"
+
+func bad(d *disk.Disk, a disk.PageAddr) error {
+	//lint:ignore floateq wrong rule
+	_, err := d.Read(a)
+	return err
+}
+`
+		expectDiags(t, runOne(t, "bufferbypass", fixturePath, src), "bufferbypass", []int{7})
+	})
+	t.Run("missing reason is itself reported", func(t *testing.T) {
+		src := `package fixture
+
+import "pmjoin/internal/disk"
+
+func bad(d *disk.Disk, a disk.PageAddr) error {
+	//lint:ignore bufferbypass
+	_, err := d.Read(a)
+	return err
+}
+`
+		diags := runOne(t, "bufferbypass", fixturePath, src)
+		if len(diags) != 2 {
+			t.Fatalf("got %d diagnostics, want 2 (lintdirective + unsuppressed finding):\n%s",
+				len(diags), formatDiags(diags))
+		}
+		if diags[0].Rule != "lintdirective" {
+			t.Errorf("first diag rule %q, want lintdirective", diags[0].Rule)
+		}
+		if diags[1].Rule != "bufferbypass" {
+			t.Errorf("second diag rule %q, want bufferbypass", diags[1].Rule)
+		}
+	})
+}
+
+// TestModuleIsClean is the lint gate as a test: the whole module must load,
+// type-check, and produce zero diagnostics. This is the same check CI runs
+// via `go run ./cmd/pmlint ./...`.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the loader is missing parts of the module", len(pkgs))
+	}
+	diags := Run(pkgs, Analyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pinleakAnalyzer flags functions that pin pages via buffer.Pool.GetPinned
+// but can exit without a matching Unpin/UnpinAll. Pinned pages are exempt
+// from eviction, so a leaked pin shrinks the effective buffer for the rest
+// of the run and silently distorts every I/O count the paper's figures are
+// built from (a pinned-out frame turns would-be hits into misses).
+//
+// The check is a source-order approximation of the pin state, precise for
+// the shapes this codebase uses:
+//
+//   - A deferred Unpin/UnpinAll anywhere in the function satisfies all paths.
+//   - Otherwise the body is scanned in source order, tracking whether a
+//     GetPinned has happened without a later Unpin/UnpinAll. A return while
+//     pins are outstanding is flagged, except returns inside an
+//     `if err != nil` error branch: on those paths the whole join run is
+//     abandoned and the pool is discarded with it, which this repository
+//     treats as the error-path contract.
+//   - Falling off the end of the function (or its final return) with
+//     outstanding pins is flagged at the pinning call.
+//
+// Helpers that pin on behalf of a caller (the caller unpins) are the
+// intended use of a `//lint:ignore pinleak <reason>` suppression.
+func pinleakAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "pinleak",
+		Doc:  "GetPinned without a matching Unpin/UnpinAll on all non-error return paths",
+		Run:  runPinleak,
+	}
+}
+
+func runPinleak(p *Package) []Diagnostic {
+	if p.Path == bufferPkgPath {
+		return nil // the pool's own implementation manages pin counts freely
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, nb := range funcBodies(f) {
+			diags = append(diags, p.pinleakBody(nb)...)
+		}
+	}
+	return diags
+}
+
+func (p *Package) pinleakBody(nb namedBody) []Diagnostic {
+	// Pass 1: does the function pin at all, and does it defer an unpin?
+	hasPin := false
+	deferredUnpin := false
+	walkSkipFuncLits(nb.body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if p.isPoolMethod(n, "GetPinned") {
+				hasPin = true
+			}
+		case *ast.DeferStmt:
+			if p.deferUnpins(n) {
+				deferredUnpin = true
+			}
+		}
+	})
+	if !hasPin || deferredUnpin {
+		return nil
+	}
+
+	// Pass 2: source-order pin-state scan.
+	var diags []Diagnostic
+	pinned := false
+	var pinnedAt token.Pos
+	walkSkipFuncLits(nb.body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch {
+			case p.isPoolMethod(n, "GetPinned"):
+				if !pinned {
+					pinnedAt = n.Pos()
+				}
+				pinned = true
+			case p.isPoolMethod(n, "Unpin"), p.isPoolMethod(n, "UnpinAll"):
+				pinned = false
+			}
+		case *ast.ReturnStmt:
+			// `return pool.Unpin(a)` releases the pin as part of the return.
+			for _, res := range n.Results {
+				ast.Inspect(res, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok &&
+						(p.isPoolMethod(call, "Unpin") || p.isPoolMethod(call, "UnpinAll")) {
+						pinned = false
+					}
+					return true
+				})
+			}
+			if pinned && !p.inErrorBranch(stack) && len(diags) == 0 {
+				diags = append(diags, p.diag(n, "pinleak",
+					"%s returns while page(s) pinned since this function's GetPinned; add Unpin/UnpinAll (or defer one)", nb.name))
+			}
+		}
+	})
+	if pinned && len(diags) == 0 {
+		diags = append(diags, Diagnostic{
+			Pos:  p.Fset.Position(pinnedAt),
+			Rule: "pinleak",
+			Message: nb.name + " pins page(s) here but no Unpin/UnpinAll follows before the function exits; " +
+				"leaked pins freeze buffer frames and corrupt I/O accounting",
+		})
+	}
+	return diags
+}
+
+// isPoolMethod reports whether call invokes buffer.Pool.<name>.
+func (p *Package) isPoolMethod(call *ast.CallExpr, name string) bool {
+	return isMethodOf(p.calleeOf(call), bufferPkgPath, "Pool", name)
+}
+
+// deferUnpins reports whether the deferred call unpins, directly or via a
+// deferred function literal containing an unpin call.
+func (p *Package) deferUnpins(d *ast.DeferStmt) bool {
+	if p.isPoolMethod(d.Call, "Unpin") || p.isPoolMethod(d.Call, "UnpinAll") {
+		return true
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if p.isPoolMethod(call, "Unpin") || p.isPoolMethod(call, "UnpinAll") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// inErrorBranch reports whether the node stack passes through the body of an
+// `if <err> != nil` statement (including `if ..., err := f(); err != nil`).
+func (p *Package) inErrorBranch(stack []ast.Node) bool {
+	for i, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok || !p.isErrNilCheck(ifStmt.Cond) {
+			continue
+		}
+		// Only the taken (error) branch is exempt, not the init/cond.
+		if i+1 < len(stack) && stack[i+1] == ifStmt.Body {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrNilCheck matches `x != nil` where x has the error interface type.
+func (p *Package) isErrNilCheck(cond ast.Expr) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	var x ast.Expr
+	switch {
+	case isNil(bin.Y):
+		x = bin.X
+	case isNil(bin.X):
+		x = bin.Y
+	default:
+		return false
+	}
+	tv, ok := p.Info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errType != nil && types.Implements(tv.Type, errType)
+}

@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// unseededRandAnalyzer flags randomness whose seed is not explicit. Every
+// figure and table of the reproduction must be bit-for-bit repeatable, so
+// all randomness in non-test code must flow from rand.New(rand.NewSource(
+// seed)) with a seed that is a parameter or constant. The process-global
+// rand functions (rand.Intn, rand.Perm, rand.Shuffle, ...) are auto-seeded
+// per process since Go 1.20 and therefore non-reproducible; rand.New over
+// anything but a direct rand.NewSource call hides the seed's provenance.
+func unseededRandAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "unseededrand",
+		Doc:  "global math/rand use, or rand.New without a direct rand.NewSource(seed)",
+		Run:  runUnseededRand,
+	}
+}
+
+// randConstructors are the math/rand (and v2) package functions that do not
+// themselves draw randomness.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand: the seeding happened upstream
+	"NewPCG":     true, // math/rand/v2 explicit-seed sources
+	"NewChaCha8": true,
+}
+
+func runUnseededRand(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeOf(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if !isPkgFunc(fn, path, fn.Name()) {
+				return true // methods on *rand.Rand: the Rand was seeded at construction
+			}
+			switch {
+			case !randConstructors[fn.Name()]:
+				diags = append(diags, p.diag(call, "unseededrand",
+					"%s.%s uses the process-global generator; build a seeded source with rand.New(rand.NewSource(seed)) so runs reproduce", path, fn.Name()))
+			case fn.Name() == "New" && !p.argIsExplicitSource(call):
+				diags = append(diags, p.diag(call, "unseededrand",
+					"rand.New without a direct rand.NewSource(seed) argument hides the seed; construct the source inline so the seed is auditable"))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// argIsExplicitSource reports whether the first argument of a rand.New call
+// is itself a direct call to an explicit-seed source constructor.
+func (p *Package) argIsExplicitSource(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	inner, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := p.calleeOf(inner)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	switch fn.Name() {
+	case "NewSource", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}

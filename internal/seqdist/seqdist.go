@@ -114,8 +114,14 @@ func EditDistanceBounded(a, b []byte, bound int) (int, bool) {
 		}
 		prev, cur = cur, prev
 	}
+	// Beyond the band the DP cells are untracked, so a final value above the
+	// bound is only a lower bound of the true distance: clamp it to the
+	// documented refusal value instead of leaking it.
 	d := prev[len(b)]
-	return d, d <= bound
+	if d > bound {
+		return bound + 1, false
+	}
+	return d, true
 }
 
 // Alphabet maps the symbols of a sequence dataset to dense indices. DNA uses

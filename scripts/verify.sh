@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# verify.sh — the correctness gate every change must pass.
+#
+# Order matters: cheap structural checks first, then the project lint suite
+# (pmlint: buffer/I-O/determinism invariants the compiler cannot see), then
+# the full test suite under the race detector.
+#
+# Usage: scripts/verify.sh [-short]
+#   -short  passes -short to `go test` (skips the whole-module lint test,
+#           which pmlint already covers here) and trims race-mode timeouts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SHORT_FLAG=""
+if [[ "${1:-}" == "-short" ]]; then
+  SHORT_FLAG="-short"
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> pmlint ./..."
+go run ./cmd/pmlint ./...
+
+echo "==> go test -race ${SHORT_FLAG} ./..."
+# Race instrumentation slows the experiment replications several-fold;
+# give the heaviest package headroom beyond the 10m default.
+go test -race -timeout=20m ${SHORT_FLAG} ./...
+
+echo "verify: OK"
