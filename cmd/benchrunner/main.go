@@ -18,14 +18,17 @@ import (
 	"os"
 	"time"
 
+	"pmjoin"
 	"pmjoin/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations, parallel")
 	scale := flag.Float64("scale", 0.25, "dataset/buffer scale factor (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	method := pmjoin.SC
+	flag.TextVar(&method, "method", method, "join method for -exp parallel")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -120,6 +123,20 @@ func main() {
 			_, err := experiments.AblationSeekRatio(c)
 			return err
 		})},
+	}
+
+	// Wall-clock experiments run only when named: their timings depend on
+	// the host, so they are excluded from -exp all (whose outputs are
+	// deterministic).
+	if *exp == "parallel" {
+		start := time.Now()
+		fmt.Printf("== parallel (scale %g) ==\n", *scale)
+		if _, err := experiments.ParallelSpeedup(cfg, method, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "parallel: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- parallel done in %v --\n\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	ran := false

@@ -17,7 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"pmjoin"
 	"pmjoin/internal/dataset"
@@ -25,38 +24,40 @@ import (
 
 func main() {
 	var (
-		kind      = flag.String("kind", "vector", "data kind: vector, series, string")
+		kind   = pmjoin.KindVector
+		m      = pmjoin.SC
+		policy = pmjoin.LRU
+	)
+	flag.TextVar(&kind, "kind", kind, "data kind: vector, series, string")
+	flag.TextVar(&m, "method", m, "join method: NLJ, pm-NLJ, random-SC, SC, CC, EGO, BFRJ, PBSM")
+	flag.TextVar(&policy, "policy", policy, "buffer replacement policy: LRU, FIFO")
+	var (
 		data      = flag.String("data", "", "vector generator: roads (default for dim 2) or landsat (default otherwise)")
 		n         = flag.Int("n", 10000, "size of the first dataset (vectors / samples / bases)")
 		n2        = flag.Int("n2", 0, "size of the second dataset (0: self join)")
 		dim       = flag.Int("dim", 2, "vector dimensionality")
 		window    = flag.Int("window", 32, "subsequence length for sequence kinds")
 		stride    = flag.Int("stride", 4, "window stride for sequence kinds")
-		method    = flag.String("method", "SC", "join method: NLJ, PMNLJ, random-SC, SC, CC, EGO, BFRJ, PBSM")
 		eps       = flag.Float64("eps", 0, "distance threshold (edit distance for strings)")
 		calibrate = flag.Float64("calibrate", 0, "calibrate eps to this prediction-matrix density instead of -eps")
 		buffer    = flag.Int("buffer", 100, "buffer size in pages")
 		pageBytes = flag.Int("page", 4096, "page size in bytes")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		pairs     = flag.Int("pairs", 0, "print up to this many result pairs")
+		parallel  = flag.Int("parallel", 0, "comparison workers (0: GOMAXPROCS, 1: serial)")
 	)
 	flag.Parse()
 
-	m, err := parseMethod(*method)
-	if err != nil {
-		fatal(err)
-	}
 	sys := pmjoin.NewSystem(pmjoin.DiskModel{PageBytes: *pageBytes})
 	var da, db *pmjoin.Dataset
-	switch *kind {
-	case "vector":
+	var err error
+	switch kind {
+	case pmjoin.KindVector:
 		da, db, err = buildVectors(sys, *data, *n, *n2, *dim, *seed)
-	case "series":
+	case pmjoin.KindSeries:
 		da, db, err = buildSeries(sys, *n, *n2, *window, *stride, *seed)
-	case "string":
+	case pmjoin.KindString:
 		da, db, err = buildStrings(sys, *n, *n2, *window, *stride, *seed)
-	default:
-		err = fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
 		fatal(err)
@@ -80,6 +81,8 @@ func main() {
 		Method:       m,
 		Epsilon:      epsilon,
 		BufferPages:  *buffer,
+		Policy:       policy,
+		Parallelism:  *parallel,
 		Seed:         *seed,
 		CollectPairs: *pairs > 0,
 		MaxPairs:     *pairs,
@@ -105,29 +108,6 @@ func main() {
 	}
 	if res.Truncated {
 		fmt.Printf("  ... more pairs not shown\n")
-	}
-}
-
-func parseMethod(s string) (pmjoin.Method, error) {
-	switch strings.ToLower(s) {
-	case "nlj":
-		return pmjoin.NLJ, nil
-	case "pmnlj", "pm-nlj":
-		return pmjoin.PMNLJ, nil
-	case "random-sc", "randomsc", "rand-sc":
-		return pmjoin.RandomSC, nil
-	case "sc":
-		return pmjoin.SC, nil
-	case "cc":
-		return pmjoin.CC, nil
-	case "ego":
-		return pmjoin.EGO, nil
-	case "bfrj":
-		return pmjoin.BFRJ, nil
-	case "pbsm":
-		return pmjoin.PBSM, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
 	}
 }
 

@@ -1,6 +1,7 @@
 package pmjoin_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,6 +73,55 @@ func ExampleSystem_Join_selfJoin() {
 	fmt.Println("close pairs:", res.Count())
 	// Output:
 	// close pairs: 2
+}
+
+// ExampleSystem_JoinContext runs the join on a worker pool with
+// cancellation support. The Result is bit-for-bit identical to a serial
+// run — Parallelism only changes wall-clock time, never counts or costs.
+func ExampleSystem_JoinContext() {
+	sys := pmjoin.NewSystem(pmjoin.DiskModel{PageBytes: 256})
+	a, err := sys.AddVectors("a", grid(10, 1.0), pmjoin.VectorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.AddVectors("b", grid(10, 1.0), pmjoin.VectorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.JoinContext(context.Background(), a, b, pmjoin.Options{
+		Method:      pmjoin.SC,
+		Epsilon:     0.5,
+		BufferPages: 8,
+		Parallelism: 4, // 0 means GOMAXPROCS; 1 forces serial execution
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pairs:", res.Count())
+	fmt.Println("workers:", res.Exec.Workers)
+	// Output:
+	// pairs: 100
+	// workers: 4
+}
+
+// ExampleSystem_RangeQueryOpts caps a range query's result set; Truncated
+// reports that more objects matched than were returned.
+func ExampleSystem_RangeQueryOpts() {
+	sys := pmjoin.NewSystem(pmjoin.DiskModel{PageBytes: 256})
+	ds, err := sys.AddVectors("pts", grid(8, 1.0), pmjoin.VectorOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RangeQueryOpts(ds, []float64{3.5, 3.5}, 1.0, pmjoin.QueryOptions{
+		BufferPages: 8,
+		MaxResults:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("returned:", len(res.IDs), "truncated:", res.Truncated)
+	// Output:
+	// returned: 2 truncated: true
 }
 
 // ExampleSystem_Explain inspects the join plan without executing it.

@@ -1,6 +1,7 @@
 package pmjoin
 
 import (
+	"context"
 	"fmt"
 
 	"pmjoin/internal/cluster"
@@ -55,22 +56,28 @@ func (p *Plan) String() string {
 // Explain builds the prediction matrix and SC clustering for joining a and b
 // under opt and returns the plan with the paper's analytic page-read bounds
 // (Lemmas 1-4), without reading any data pages. Only Epsilon, BufferPages,
-// FilterDepth and ClusterRowFraction of opt are used.
+// FilterDepth and ClusterRowFraction of opt are used. Explain shares Join's
+// option validation: an Options value Join accepts, Explain accepts too.
 func (s *System) Explain(a, b *Dataset, opt Options) (*Plan, error) {
-	if a.sys != s || b.sys != s {
-		return nil, fmt.Errorf("pmjoin: datasets belong to a different system")
-	}
-	if a.kind != b.kind {
-		return nil, fmt.Errorf("pmjoin: cannot join %v with %v data", a.kind, b.kind)
-	}
-	if opt.BufferPages < 4 {
-		return nil, fmt.Errorf("pmjoin: buffer of %d pages too small (minimum 4)", opt.BufferPages)
-	}
-	if err := s.checkCompatible(a, b); err != nil {
+	return s.ExplainContext(context.Background(), a, b, opt)
+}
+
+// ExplainContext is Explain with cancellation: an already-cancelled ctx
+// returns ctx's error before any work is done.
+func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options) (*Plan, error) {
+	if err := s.checkJoinable(a, b); err != nil {
 		return nil, err
 	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	res := &Result{}
-	m, err := s.buildMatrix(a, b, opt, res)
+	m, err := s.buildMatrix(a, b, opt, res, nil)
 	if err != nil {
 		return nil, err
 	}

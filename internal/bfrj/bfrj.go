@@ -12,7 +12,6 @@ package bfrj
 import (
 	"sort"
 
-	"pmjoin/internal/buffer"
 	"pmjoin/internal/disk"
 	"pmjoin/internal/index"
 	"pmjoin/internal/join"
@@ -26,13 +25,13 @@ type nodeFile struct {
 	pages map[*index.Node]int
 }
 
-func materialize(d *disk.Disk, root *index.Node) (*nodeFile, error) {
-	nf := &nodeFile{file: d.CreateFile(), pages: make(map[*index.Node]int)}
+func materialize(io *disk.Session, root *index.Node) (*nodeFile, error) {
+	nf := &nodeFile{file: io.CreateFile(), pages: make(map[*index.Node]int)}
 	queue := []*index.Node{root}
 	for len(queue) > 0 {
 		n := queue[0]
 		queue = queue[1:]
-		addr, err := d.AppendPage(nf.file, n)
+		addr, err := io.AppendPage(nf.file, n)
 		if err != nil {
 			return nil, err
 		}
@@ -61,169 +60,140 @@ func Run(e *join.Engine, r, s *join.Dataset, j join.ObjectJoiner, opts Options) 
 	if opts.PairsPerPage == 0 {
 		opts.PairsPerPage = 256
 	}
-	pool, err := buffer.NewPool(e.Disk, e.BufferSize, e.Policy)
-	if err != nil {
-		return nil, err
-	}
-	before := e.Disk.Stats()
-	rep := &join.Report{Method: "BFRJ"}
-
-	rNodes, err := materialize(e.Disk, r.Root)
-	if err != nil {
-		return nil, err
-	}
-	sNodes, err := materialize(e.Disk, s.Root)
-	if err != nil {
-		return nil, err
-	}
-
-	emit := func(a, b int) {
-		rep.Results++
-		if e.OnPair != nil {
-			e.OnPair(a, b)
+	return e.Run("BFRJ", func(x *join.Exec) error {
+		rNodes, err := materialize(x.IO, r.Root)
+		if err != nil {
+			return err
 		}
-	}
-
-	// Intermediate pair lists may not fit in memory: the executor keeps at
-	// most half the buffer's worth of pairs in memory and charges spill
-	// write+read for the excess.
-	spillFile := e.Disk.CreateFile()
-	spillCap := (e.BufferSize / 2) * opts.PairsPerPage
-
-	sortPairs := func(ps []pair) {
-		// Global ordering: sort the pair list by node page addresses so the
-		// expansion reads each node file in ascending order.
-		sort.Slice(ps, func(i, k int) bool {
-			pi, pk := ps[i], ps[k]
-			if rNodes.pages[pi.a] != rNodes.pages[pk.a] {
-				return rNodes.pages[pi.a] < rNodes.pages[pk.a]
-			}
-			return sNodes.pages[pi.b] < sNodes.pages[pk.b]
-		})
-	}
-
-	// Leaf-level candidates collapse to data page pairs eagerly: several
-	// leaf boxes can share one data page (multi-resolution sequence
-	// indexes), and materializing box-level pairs first would explode
-	// memory at genome scale.
-	type pagePair struct{ a, b int }
-	leafSeen := make(map[pagePair]struct{})
-	var leafPairs []pagePair
-	addLeaf := func(a, b *index.Node) {
-		pp := pagePair{a: a.Page, b: b.Page}
-		if _, dup := leafSeen[pp]; dup {
-			return
+		sNodes, err := materialize(x.IO, s.Root)
+		if err != nil {
+			return err
 		}
-		leafSeen[pp] = struct{}{}
-		leafPairs = append(leafPairs, pp)
-	}
-	current := []pair{{a: r.Root, b: s.Root}}
-	if r.Root.IsLeaf() && s.Root.IsLeaf() {
-		addLeaf(r.Root, s.Root)
-		current = nil
-	}
-	for len(current) > 0 {
-		sortPairs(current)
-		if len(current) > spillCap {
-			if err := chargeSpill(e, spillFile, (len(current)-spillCap+opts.PairsPerPage-1)/opts.PairsPerPage); err != nil {
-				return nil, err
-			}
+
+		// Intermediate pair lists may not fit in memory: the executor keeps
+		// at most half the buffer's worth of pairs in memory and charges
+		// spill write+read for the excess.
+		spillFile := x.IO.CreateFile()
+		spillCap := (e.BufferSize / 2) * opts.PairsPerPage
+
+		sortPairs := func(ps []pair) {
+			// Global ordering: sort the pair list by node page addresses so
+			// the expansion reads each node file in ascending order.
+			sort.Slice(ps, func(i, k int) bool {
+				pi, pk := ps[i], ps[k]
+				if rNodes.pages[pi.a] != rNodes.pages[pk.a] {
+					return rNodes.pages[pi.a] < rNodes.pages[pk.a]
+				}
+				return sNodes.pages[pi.b] < sNodes.pages[pk.b]
+			})
 		}
-		var next []pair
-		for _, p := range current {
-			// Read the two node pages through the buffer.
-			if _, err := pool.Get(disk.PageAddr{File: rNodes.file, Page: rNodes.pages[p.a]}); err != nil {
-				return nil, err
+
+		// Leaf-level candidates collapse to data page pairs eagerly: several
+		// leaf boxes can share one data page (multi-resolution sequence
+		// indexes), and materializing box-level pairs first would explode
+		// memory at genome scale.
+		type pagePair struct{ a, b int }
+		leafSeen := make(map[pagePair]struct{})
+		var leafPairs []pagePair
+		addLeaf := func(a, b *index.Node) {
+			pp := pagePair{a: a.Page, b: b.Page}
+			if _, dup := leafSeen[pp]; dup {
+				return
 			}
-			if _, err := pool.Get(disk.PageAddr{File: sNodes.file, Page: sNodes.pages[p.b]}); err != nil {
-				return nil, err
+			leafSeen[pp] = struct{}{}
+			leafPairs = append(leafPairs, pp)
+		}
+		current := []pair{{a: r.Root, b: s.Root}}
+		if r.Root.IsLeaf() && s.Root.IsLeaf() {
+			addLeaf(r.Root, s.Root)
+			current = nil
+		}
+		for len(current) > 0 {
+			// One index level is one unit of work; cancellation is honored
+			// at its boundary.
+			if err := x.Err(); err != nil {
+				return err
 			}
-			aKids := p.a.Children
-			bKids := p.b.Children
-			if p.a.IsLeaf() {
-				aKids = []*index.Node{p.a}
+			sortPairs(current)
+			if len(current) > spillCap {
+				if err := chargeSpill(x, spillFile, (len(current)-spillCap+opts.PairsPerPage-1)/opts.PairsPerPage); err != nil {
+					return err
+				}
 			}
-			if p.b.IsLeaf() {
-				bKids = []*index.Node{p.b}
-			}
-			for _, ac := range aKids {
-				for _, bc := range bKids {
-					if opts.Pred.LowerBound(ac.MBR, bc.MBR) <= opts.Eps {
-						if ac.IsLeaf() && bc.IsLeaf() {
-							addLeaf(ac, bc)
-						} else {
-							next = append(next, pair{a: ac, b: bc})
+			var next []pair
+			for _, p := range current {
+				// Read the two node pages through the buffer.
+				if _, err := x.Pool.Get(disk.PageAddr{File: rNodes.file, Page: rNodes.pages[p.a]}); err != nil {
+					return err
+				}
+				if _, err := x.Pool.Get(disk.PageAddr{File: sNodes.file, Page: sNodes.pages[p.b]}); err != nil {
+					return err
+				}
+				aKids := p.a.Children
+				bKids := p.b.Children
+				if p.a.IsLeaf() {
+					aKids = []*index.Node{p.a}
+				}
+				if p.b.IsLeaf() {
+					bKids = []*index.Node{p.b}
+				}
+				for _, ac := range aKids {
+					for _, bc := range bKids {
+						if opts.Pred.LowerBound(ac.MBR, bc.MBR) <= opts.Eps {
+							if ac.IsLeaf() && bc.IsLeaf() {
+								addLeaf(ac, bc)
+							} else {
+								next = append(next, pair{a: ac, b: bc})
+							}
 						}
 					}
 				}
 			}
+			current = next
 		}
-		current = next
-	}
 
-	// Join the candidate data page pairs in global page order.
-	sort.Slice(leafPairs, func(i, k int) bool {
-		if leafPairs[i].a != leafPairs[k].a {
-			return leafPairs[i].a < leafPairs[k].a
+		// Join the candidate data page pairs in global page order.
+		sort.Slice(leafPairs, func(i, k int) bool {
+			if leafPairs[i].a != leafPairs[k].a {
+				return leafPairs[i].a < leafPairs[k].a
+			}
+			return leafPairs[i].b < leafPairs[k].b
+		})
+		if len(leafPairs) > spillCap {
+			if err := chargeSpill(x, spillFile, (len(leafPairs)-spillCap+opts.PairsPerPage-1)/opts.PairsPerPage); err != nil {
+				return err
+			}
 		}
-		return leafPairs[i].b < leafPairs[k].b
+		for _, pp := range leafPairs {
+			if err := x.JoinPair(r, s, pp.a, pp.b, j); err != nil {
+				return err
+			}
+		}
+		x.Flush()
+		return nil
 	})
-	if len(leafPairs) > spillCap {
-		if err := chargeSpill(e, spillFile, (len(leafPairs)-spillCap+opts.PairsPerPage-1)/opts.PairsPerPage); err != nil {
-			return nil, err
-		}
-	}
-	for _, pp := range leafPairs {
-		pa, err := pool.Get(disk.PageAddr{File: r.File, Page: pp.a})
-		if err != nil {
-			return nil, err
-		}
-		pb, err := pool.Get(disk.PageAddr{File: s.File, Page: pp.b})
-		if err != nil {
-			return nil, err
-		}
-		comps, cpu := j.JoinPages(pa.Payload, pb.Payload, emit)
-		rep.Comparisons += comps
-		rep.CPUJoinSeconds += cpu
-	}
-
-	after := e.Disk.Stats()
-	model := e.Disk.Model()
-	delta := disk.Stats{
-		Reads:      after.Reads - before.Reads,
-		Seeks:      after.Seeks - before.Seeks,
-		GapPages:   after.GapPages - before.GapPages,
-		Writes:     after.Writes - before.Writes,
-		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
-	}
-	rep.IOSeconds = model.Cost(delta)
-	rep.PageReads = delta.Reads
-	rep.Seeks = delta.Seeks + delta.WriteSeeks
-	bs := pool.Stats()
-	rep.Hits, rep.Misses = bs.Hits, bs.Misses
-	return rep, nil
 }
 
 // chargeSpill writes and re-reads n pages of the intermediate pair list.
 // The spill file is scratch space of the executor itself, never joined
-// against, so its traffic is charged directly on the disk: routing it
+// against, so its traffic is charged directly on the session: routing it
 // through the pool would evict join-relevant pages the real algorithm
 // keeps resident in its separate spill buffers.
-func chargeSpill(e *join.Engine, f disk.FileID, n int) error {
-	base := e.Disk.NumPages(f)
+func chargeSpill(x *join.Exec, f disk.FileID, n int) error {
+	base := x.IO.NumPages(f)
 	for i := 0; i < n; i++ {
-		addr, err := e.Disk.AppendPage(f, nil)
+		addr, err := x.IO.AppendPage(f, nil)
 		if err != nil {
 			return err
 		}
 		//lint:ignore bufferbypass spill scratch traffic is charged directly; see chargeSpill doc
-		if err := e.Disk.Write(addr, nil); err != nil {
+		if err := x.IO.Write(addr, nil); err != nil {
 			return err
 		}
 	}
 	for i := 0; i < n; i++ {
 		//lint:ignore bufferbypass spill scratch traffic is charged directly; see chargeSpill doc
-		if _, err := e.Disk.Read(disk.PageAddr{File: f, Page: base + i}); err != nil {
+		if _, err := x.IO.Read(disk.PageAddr{File: f, Page: base + i}); err != nil {
 			return err
 		}
 	}

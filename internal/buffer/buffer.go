@@ -57,11 +57,18 @@ type frame struct {
 	elem   *list.Element // position in the eviction order list
 }
 
-// Pool is a buffer pool of a fixed number of page frames over one Disk.
-// It is not safe for concurrent use; join executors are single-threaded,
-// matching the paper's setting.
+// Source is the read path beneath a Pool: the shared disk.Disk itself, or a
+// per-run disk.Session whose charges stay out of other runs' accounts.
+type Source interface {
+	Read(addr disk.PageAddr) (*disk.Page, error)
+}
+
+// Pool is a buffer pool of a fixed number of page frames over one page
+// source. It is not safe for concurrent use; join coordinators serialize
+// all page traffic, matching the paper's setting (workers only compute over
+// pages the coordinator already fetched).
 type Pool struct {
-	d        *disk.Disk
+	d        Source
 	capacity int
 	policy   Policy
 	frames   map[disk.PageAddr]*frame
@@ -72,14 +79,14 @@ type Pool struct {
 // ErrBufferFull is returned when every frame is pinned and a miss occurs.
 var ErrBufferFull = errors.New("buffer: all frames pinned")
 
-// NewPool creates a pool of capacity pages over d using the given policy.
+// NewPool creates a pool of capacity pages over src using the given policy.
 // Capacity must be at least 1.
-func NewPool(d *disk.Disk, capacity int, policy Policy) (*Pool, error) {
+func NewPool(src Source, capacity int, policy Policy) (*Pool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("buffer: capacity %d < 1", capacity)
 	}
 	return &Pool{
-		d:        d,
+		d:        src,
 		capacity: capacity,
 		policy:   policy,
 		frames:   make(map[disk.PageAddr]*frame, capacity),

@@ -126,8 +126,16 @@ func New(model Model) *Disk {
 // touch charges the positioning cost of accessing addr and moves the file
 // head. It reports whether the access was a seek.
 func (d *Disk) touch(addr PageAddr) bool {
-	head, ok := d.heads[addr.File]
-	d.heads[addr.File] = addr.Page
+	return d.model.classify(d.heads, addr, &d.stats.GapPages)
+}
+
+// classify decides whether accessing addr from the head positions in heads is
+// a random seek, moving the head and adding any streamed-over pages to
+// *gapPages. It is the one head-movement rule, shared by the Disk's global
+// accounting and per-run Sessions.
+func (m Model) classify(heads map[FileID]int, addr PageAddr, gapPages *int64) bool {
+	head, ok := heads[addr.File]
+	heads[addr.File] = addr.Page
 	if !ok {
 		return true // first access to the file
 	}
@@ -137,8 +145,8 @@ func (d *Disk) touch(addr PageAddr) bool {
 		return true // backward or repeated: reposition
 	case gap == 0:
 		return false // strictly sequential
-	case gap <= d.model.readahead():
-		d.stats.GapPages += int64(gap)
+	case gap <= m.readahead():
+		*gapPages += int64(gap)
 		return false // streamed through the readahead window
 	default:
 		return true
@@ -225,6 +233,36 @@ func (d *Disk) Peek(addr PageAddr) (*Page, error) {
 		return nil, fmt.Errorf("%w: %v", ErrNoSuchPage, addr)
 	}
 	return pages[addr.Page], nil
+}
+
+// store overwrites an existing page's payload without charging any I/O; the
+// caller (a Session) carries the charge.
+func (d *Disk) store(addr PageAddr, payload any) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pages, ok := d.files[addr.File]
+	if !ok || addr.Page < 0 || addr.Page >= len(pages) {
+		return fmt.Errorf("%w: %v", ErrNoSuchPage, addr)
+	}
+	pages[addr.Page].Payload = payload
+	return nil
+}
+
+// addStats folds a Session's per-access charge into the global counters.
+func (d *Disk) addStats(delta Stats) {
+	d.mu.Lock()
+	d.stats.add(delta)
+	d.mu.Unlock()
+}
+
+// add accumulates o into s field by field.
+func (s *Stats) add(o Stats) {
+	s.Reads += o.Reads
+	s.Seeks += o.Seeks
+	s.Sequential += o.Sequential
+	s.GapPages += o.GapPages
+	s.Writes += o.Writes
+	s.WriteSeeks += o.WriteSeeks
 }
 
 // Stats returns a snapshot of the accumulated I/O statistics.

@@ -1,0 +1,98 @@
+package disk
+
+import "sync"
+
+// Session is a per-run I/O accounting scope over a shared Disk. It sees the
+// same files and pages as the Disk, but charges reads and writes against its
+// own head positions and counters, starting from cold heads: a session's
+// I/O account is a pure function of its own access sequence, independent of
+// whatever other sessions (or direct Disk accesses) do concurrently. Every
+// charge is also folded into the Disk's global counters, so aggregate
+// statistics remain the sum of all activity.
+//
+// Sessions are what make per-join reports deterministic under concurrent
+// joins on one System: interleaving two joins cannot perturb either join's
+// seek classification, because neither shares head state with the other.
+//
+// A Session is safe for concurrent use, though join executors serialize
+// their page traffic anyway to keep charge order deterministic.
+type Session struct {
+	d     *Disk
+	mu    sync.Mutex
+	heads map[FileID]int
+	stats Stats
+}
+
+// NewSession creates a fresh accounting scope over the disk. The new
+// session's heads are cold: its first access to any file is a seek.
+func (d *Disk) NewSession() *Session {
+	return &Session{d: d, heads: make(map[FileID]int)}
+}
+
+// Read fetches one page, charging the session (and the global counters) a
+// seek or a sequential transfer per the session's own head positions.
+func (s *Session) Read(addr PageAddr) (*Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pg, err := s.d.Peek(addr)
+	if err != nil {
+		return nil, err
+	}
+	delta := Stats{Reads: 1}
+	if s.d.model.classify(s.heads, addr, &delta.GapPages) {
+		delta.Seeks = 1
+	} else {
+		delta.Sequential = 1
+	}
+	s.stats.add(delta)
+	s.d.addStats(delta)
+	return pg, nil
+}
+
+// Write stores a payload into an existing page, charging like a read.
+func (s *Session) Write(addr PageAddr, payload any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.d.store(addr, payload); err != nil {
+		return err
+	}
+	delta := Stats{Writes: 1}
+	if s.d.model.classify(s.heads, addr, &delta.GapPages) {
+		delta.WriteSeeks = 1
+	}
+	s.stats.add(delta)
+	s.d.addStats(delta)
+	return nil
+}
+
+// Peek returns a page payload without charging any I/O (see Disk.Peek).
+func (s *Session) Peek(addr PageAddr) (*Page, error) { return s.d.Peek(addr) }
+
+// CreateFile allocates a new empty file on the underlying disk.
+func (s *Session) CreateFile() FileID { return s.d.CreateFile() }
+
+// AppendPage appends a page to a file on the underlying disk (uncharged,
+// like Disk.AppendPage; pair with Write to charge the materialization).
+func (s *Session) AppendPage(f FileID, payload any) (PageAddr, error) {
+	return s.d.AppendPage(f, payload)
+}
+
+// NumPages returns the number of pages in the file.
+func (s *Session) NumPages(f FileID) int { return s.d.NumPages(f) }
+
+// Model returns the underlying disk's cost model.
+func (s *Session) Model() Model { return s.d.Model() }
+
+// Stats returns a snapshot of the I/O charged through this session.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Cost returns the session's simulated elapsed I/O time in seconds.
+func (s *Session) Cost() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d.model.Cost(s.stats)
+}

@@ -1,0 +1,172 @@
+package disk
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSessionColdHeads(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 4)
+
+	// Warm the global head on the file.
+	if _, err := d.Read(PageAddr{File: f, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Read(PageAddr{File: f, Page: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh session starts cold: its read of page 2 is a seek even
+	// though the global head sits at page 1 (a direct read would stream).
+	s := d.NewSession()
+	if _, err := s.Read(PageAddr{File: f, Page: 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Reads != 1 || st.Seeks != 1 || st.Sequential != 0 {
+		t.Fatalf("session stats after first read = %+v, want 1 read, 1 seek", st)
+	}
+}
+
+func TestSessionStatsMatchSoloDisk(t *testing.T) {
+	// The same access sequence must cost the same through a session as
+	// through a fresh disk: a session's account is a pure function of its
+	// own accesses.
+	access := []int{0, 1, 2, 9, 10, 3, 0}
+
+	solo := newTestDisk()
+	fs := solo.CreateFile()
+	mustAppend(t, solo, fs, 12)
+	for _, p := range access {
+		if _, err := solo.Read(PageAddr{File: fs, Page: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	shared := newTestDisk()
+	fd := shared.CreateFile()
+	mustAppend(t, shared, fd, 12)
+	// Pollute the global heads with unrelated traffic first.
+	for _, p := range []int{5, 11, 7} {
+		if _, err := shared.Read(PageAddr{File: fd, Page: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess := shared.NewSession()
+	for _, p := range access {
+		if _, err := sess.Read(PageAddr{File: fd, Page: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := sess.Stats(), solo.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("session stats %+v, solo disk stats %+v", got, want)
+	}
+	if got, want := sess.Cost(), solo.Model().Cost(solo.Stats()); got != want {
+		t.Fatalf("session cost %g, solo cost %g", got, want)
+	}
+}
+
+func TestSessionChargesGlobalCounters(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 4)
+
+	before := d.Stats()
+	s := d.NewSession()
+	if _, err := s.Read(PageAddr{File: f, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(PageAddr{File: f, Page: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(PageAddr{File: f, Page: 2}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Stats()
+	if after.Reads-before.Reads != 2 {
+		t.Fatalf("global reads delta = %d, want 2", after.Reads-before.Reads)
+	}
+	if after.Writes-before.Writes != 1 {
+		t.Fatalf("global writes delta = %d, want 1", after.Writes-before.Writes)
+	}
+}
+
+func TestSessionReadsDoNotMoveGlobalHeads(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 8)
+
+	// Global head at page 0.
+	if _, err := d.Read(PageAddr{File: f, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Session jumps to page 7; the global head must stay at 0.
+	s := d.NewSession()
+	if _, err := s.Read(PageAddr{File: f, Page: 7}); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if _, err := d.Read(PageAddr{File: f, Page: 1}); err != nil {
+		t.Fatal(err)
+	}
+	after := d.Stats()
+	if after.Sequential-before.Sequential != 1 {
+		t.Fatalf("direct read after session jump classified as %+v delta, want sequential",
+			Stats{Reads: after.Reads - before.Reads, Seeks: after.Seeks - before.Seeks})
+	}
+}
+
+func TestSessionWriteToMissingPage(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	s := d.NewSession()
+	if err := s.Write(PageAddr{File: f, Page: 3}, "x"); err == nil {
+		t.Fatal("write to missing page succeeded")
+	}
+}
+
+func TestConcurrentSessionsIndependentStats(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	mustAppend(t, d, f, 32)
+
+	// Run several sessions over one disk concurrently; each must report
+	// exactly the solo cost of its own access pattern.
+	solo := newTestDisk()
+	sf := solo.CreateFile()
+	mustAppend(t, solo, sf, 32)
+	for p := 0; p < 32; p++ {
+		if _, err := solo.Read(PageAddr{File: sf, Page: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := solo.Stats()
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	got := make([]Stats, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.NewSession()
+			for p := 0; p < 32; p++ {
+				if _, err := s.Read(PageAddr{File: f, Page: p}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			got[i] = s.Stats()
+		}()
+	}
+	wg.Wait()
+	for i, st := range got {
+		if !reflect.DeepEqual(st, want) {
+			t.Fatalf("session %d stats %+v, want %+v", i, st, want)
+		}
+	}
+}

@@ -14,7 +14,6 @@ package ego
 import (
 	"sort"
 
-	"pmjoin/internal/buffer"
 	"pmjoin/internal/disk"
 	"pmjoin/internal/join"
 )
@@ -53,55 +52,36 @@ type Options struct {
 	SelfJoin bool
 }
 
-// Run executes the EGO join of r and s.
+// Run executes the EGO join of r and s. The executor itself is serial
+// (Engine.Workers is not consulted); it runs inside an Engine.Run scope so
+// its I/O is charged to a per-run session like every other method.
 func Run(e *join.Engine, r, s *join.Dataset, ad Adapter, opts Options) (*join.Report, error) {
-	pool, err := buffer.NewPool(e.Disk, e.BufferSize, e.Policy)
-	if err != nil {
-		return nil, err
-	}
-	before := e.Disk.Stats()
-	rep := &join.Report{Method: "EGO"}
-
-	rRefs, rData, err := prepare(e, pool, r, ad, rep)
-	if err != nil {
-		return nil, err
-	}
-	var sRefs []ObjectRef
-	var sData *join.Dataset
-	if opts.SelfJoin && s.File == r.File {
-		sRefs, sData = rRefs, rData
-	} else {
-		sRefs, sData, err = prepare(e, pool, s, ad, rep)
+	return e.Run("EGO", func(x *join.Exec) error {
+		rRefs, rData, err := prepare(e, x, r, ad)
 		if err != nil {
-			return nil, err
+			return err
 		}
-	}
-
-	if err := sweep(e, pool, rData, sData, rRefs, sRefs, ad, opts, rep); err != nil {
-		return nil, err
-	}
-
-	after := e.Disk.Stats()
-	model := e.Disk.Model()
-	delta := disk.Stats{
-		Reads:      after.Reads - before.Reads,
-		Seeks:      after.Seeks - before.Seeks,
-		GapPages:   after.GapPages - before.GapPages,
-		Writes:     after.Writes - before.Writes,
-		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
-	}
-	rep.IOSeconds = model.Cost(delta)
-	rep.PageReads = delta.Reads
-	rep.Seeks = delta.Seeks + delta.WriteSeeks
-	bs := pool.Stats()
-	rep.Hits, rep.Misses = bs.Hits, bs.Misses
-	return rep, nil
+		var sRefs []ObjectRef
+		var sData *join.Dataset
+		if opts.SelfJoin && s.File == r.File {
+			sRefs, sData = rRefs, rData
+		} else {
+			sRefs, sData, err = prepare(e, x, s, ad)
+			if err != nil {
+				return err
+			}
+		}
+		// Pin as large an R block as the buffer allows: the S range is
+		// walked in one ascending pass, so it needs only the remaining
+		// frames, and the total S pages touched shrink as blocks grow.
+		return sweep(x, rData, sData, rRefs, sRefs, ad, opts, e.BufferSize-2)
+	})
 }
 
 // prepare scans the dataset once (sequential), builds grid-ordered object
 // references, and — when the data is reorderable — materializes a reordered
 // copy on disk, charging the I/O of an external merge sort.
-func prepare(e *join.Engine, pool *buffer.Pool, d *join.Dataset, ad Adapter, rep *join.Report) ([]ObjectRef, *join.Dataset, error) {
+func prepare(e *join.Engine, x *join.Exec, d *join.Dataset, ad Adapter) ([]ObjectRef, *join.Dataset, error) {
 	var refs []ObjectRef
 	perPage := 1
 	for p := 0; p < d.Pages; p++ {
@@ -109,7 +89,7 @@ func prepare(e *join.Engine, pool *buffer.Pool, d *join.Dataset, ad Adapter, rep
 		// charged directly (all sequential transfers) and must not populate
 		// the pool, whose frames belong to the sweep phase.
 		//lint:ignore bufferbypass sequential reference scan charged directly, pool reserved for the sweep
-		pg, err := e.Disk.Read(disk.PageAddr{File: d.File, Page: p})
+		pg, err := x.IO.Read(disk.PageAddr{File: d.File, Page: p})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -137,10 +117,10 @@ func prepare(e *join.Engine, pool *buffer.Pool, d *join.Dataset, ad Adapter, rep
 	// run formation consumes those buffered chunks, so gathering payloads
 	// here is not billed again (Peek). The billed sort I/O is the run
 	// writes below plus the merge passes.
-	tmp := e.Disk.CreateFile()
+	tmp := x.IO.CreateFile()
 	fetch := func(page int) (any, error) {
 		//lint:ignore bufferbypass free re-inspection of pages the scan above already paid for
-		pg, err := e.Disk.Peek(disk.PageAddr{File: d.File, Page: page})
+		pg, err := x.IO.Peek(disk.PageAddr{File: d.File, Page: page})
 		if err != nil {
 			return nil, err
 		}
@@ -156,22 +136,22 @@ func prepare(e *join.Engine, pool *buffer.Pool, d *join.Dataset, ad Adapter, rep
 		if err != nil {
 			return nil, nil, err
 		}
-		addr, err := e.Disk.AppendPage(tmp, payload)
+		addr, err := x.IO.AppendPage(tmp, payload)
 		if err != nil {
 			return nil, nil, err
 		}
 		//lint:ignore bufferbypass run-formation writes are charged directly; the pool has no write path
-		if err := e.Disk.Write(addr, payload); err != nil { // charge the write
+		if err := x.IO.Write(addr, payload); err != nil { // charge the write
 			return nil, nil, err
 		}
 		for i := lo; i < hi; i++ {
 			newRefs = append(newRefs, ObjectRef{Page: addr.Page, Slot: i - lo, Key: refs[i].Key})
 		}
 	}
-	if err := chargeMergePasses(e, tmp); err != nil {
+	if err := chargeMergePasses(e, x, tmp); err != nil {
 		return nil, nil, err
 	}
-	out := &join.Dataset{Name: d.Name + "-ego", File: tmp, Pages: e.Disk.NumPages(tmp)}
+	out := &join.Dataset{Name: d.Name + "-ego", File: tmp, Pages: x.IO.NumPages(tmp)}
 	return newRefs, out, nil
 }
 
@@ -180,8 +160,8 @@ func prepare(e *join.Engine, pool *buffer.Pool, d *join.Dataset, ad Adapter, rep
 // Each pass reads the file with run-interleaved accesses (seek-heavy) and
 // rewrites it sequentially. The sort owns the whole buffer while it runs, so
 // its traffic is charged directly on the disk rather than through the pool.
-func chargeMergePasses(e *join.Engine, f disk.FileID) error {
-	n := e.Disk.NumPages(f)
+func chargeMergePasses(e *join.Engine, x *join.Exec, f disk.FileID) error {
+	n := x.IO.NumPages(f)
 	if n == 0 {
 		return nil
 	}
@@ -199,26 +179,26 @@ func chargeMergePasses(e *join.Engine, f disk.FileID) error {
 		for start := ((runs - 1) * runLen); start >= 0; start -= runLen {
 			if start < n {
 				//lint:ignore bufferbypass external-sort cost model charges merge-pass seeks directly
-				if _, err := e.Disk.Read(disk.PageAddr{File: f, Page: start}); err != nil {
+				if _, err := x.IO.Read(disk.PageAddr{File: f, Page: start}); err != nil {
 					return err
 				}
 			}
 		}
 		for p := 0; p < n; p++ {
 			//lint:ignore bufferbypass external-sort cost model charges merge-pass transfers directly
-			if _, err := e.Disk.Read(disk.PageAddr{File: f, Page: p}); err != nil {
+			if _, err := x.IO.Read(disk.PageAddr{File: f, Page: p}); err != nil {
 				return err
 			}
 		}
 		// Sequential rewrite.
 		for p := 0; p < n; p++ {
 			//lint:ignore bufferbypass free fetch of the payload being rewritten; the Write below carries the charge
-			pg, err := e.Disk.Peek(disk.PageAddr{File: f, Page: p})
+			pg, err := x.IO.Peek(disk.PageAddr{File: f, Page: p})
 			if err != nil {
 				return err
 			}
 			//lint:ignore bufferbypass external-sort rewrite is charged directly; the pool has no write path
-			if err := e.Disk.Write(disk.PageAddr{File: f, Page: p}, pg.Payload); err != nil {
+			if err := x.IO.Write(disk.PageAddr{File: f, Page: p}, pg.Payload); err != nil {
 				return err
 			}
 		}
@@ -242,24 +222,19 @@ func chargeMergePasses(e *join.Engine, f disk.FileID) error {
 // reordered file, making the range walk sequential. For in-place sequence
 // data every touched object faults its home page, which is where the
 // paper's reported degradation on sequence data comes from.
-func sweep(e *join.Engine, pool *buffer.Pool, rData, sData *join.Dataset, rRefs, sRefs []ObjectRef, ad Adapter, opts Options, rep *join.Report) error {
+func sweep(x *join.Exec, rData, sData *join.Dataset, rRefs, sRefs []ObjectRef, ad Adapter, opts Options, blockPages int) error {
 	if len(rRefs) == 0 || len(sRefs) == 0 {
 		return nil
 	}
-	emit := func(a, b int) {
-		rep.Results++
-		if e.OnPair != nil {
-			e.OnPair(a, b)
-		}
-	}
-	// Pin as large an R block as the buffer allows: the S range is walked
-	// in one ascending pass, so it needs only the remaining frames, and the
-	// total S pages touched shrink as blocks grow (fewer range walks).
-	blockPages := e.BufferSize - 2
 	if blockPages < 1 {
 		blockPages = 1
 	}
 	for start := 0; start < len(rRefs); {
+		// A block is one unit of work: cancellation is honored at its
+		// boundary, like a cluster in the clustered executor.
+		if err := x.Err(); err != nil {
+			return err
+		}
 		// Grow the block until it spans blockPages distinct home pages.
 		end := start + 1
 		pages := 1
@@ -279,7 +254,7 @@ func sweep(e *join.Engine, pool *buffer.Pool, rData, sData *join.Dataset, rRefs,
 		for i := range block {
 			touched[block[i].Page] = struct{}{}
 		}
-		if err := prefetch(pool, rData.File, touched); err != nil {
+		if err := prefetch(x, rData.File, touched); err != nil {
 			return err
 		}
 
@@ -298,27 +273,27 @@ func sweep(e *join.Engine, pool *buffer.Pool, rData, sData *join.Dataset, rRefs,
 				}
 				if pb == nil {
 					var err error
-					pb, err = pool.Get(disk.PageAddr{File: sData.File, Page: sb.Page})
+					pb, err = x.Pool.Get(disk.PageAddr{File: sData.File, Page: sb.Page})
 					if err != nil {
 						return err
 					}
 				}
-				pa, err := pool.Get(disk.PageAddr{File: rData.File, Page: block[i].Page})
+				pa, err := x.Pool.Get(disk.PageAddr{File: rData.File, Page: block[i].Page})
 				if err != nil {
 					return err
 				}
 				if opts.SelfJoin && ad.SelfSkip(pa.Payload, block[i].Slot, pb.Payload, sb.Slot) {
 					continue
 				}
-				rep.Comparisons++
+				x.Rep.Comparisons++
 				match, cpu := ad.Compare(pa.Payload, block[i].Slot, pb.Payload, sb.Slot)
-				rep.CPUJoinSeconds += cpu
+				x.Rep.CPUJoinSeconds += cpu
 				if match {
-					emit(ad.ObjectID(pa.Payload, block[i].Slot), ad.ObjectID(pb.Payload, sb.Slot))
+					x.Emit(ad.ObjectID(pa.Payload, block[i].Slot), ad.ObjectID(pb.Payload, sb.Slot))
 				}
 			}
 		}
-		pool.UnpinAll()
+		x.Pool.UnpinAll()
 		start = end
 	}
 	return nil
@@ -330,14 +305,14 @@ func sweep(e *join.Engine, pool *buffer.Pool, rData, sData *join.Dataset, rRefs,
 // UnpinAll once the block is exhausted.
 //
 //lint:ignore pinleak pins are owned by the caller, released via UnpinAll per block in sweep
-func prefetch(pool *buffer.Pool, f disk.FileID, touched map[int]struct{}) error {
+func prefetch(x *join.Exec, f disk.FileID, touched map[int]struct{}) error {
 	pages := make([]int, 0, len(touched))
 	for p := range touched {
 		pages = append(pages, p)
 	}
 	sort.Ints(pages)
 	for _, p := range pages {
-		if _, err := pool.GetPinned(disk.PageAddr{File: f, Page: p}); err != nil {
+		if _, err := x.Pool.GetPinned(disk.PageAddr{File: f, Page: p}); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"pmjoin"
+)
+
+// ParallelPoint is one row of the parallel-speedup experiment.
+type ParallelPoint struct {
+	Workers  int
+	JoinWall time.Duration
+	// Speedup is serial JoinWall / this JoinWall.
+	Speedup float64
+}
+
+// ParallelSpeedup measures the wall-clock effect of Options.Parallelism on
+// the CPU-bound comparison phase of one join, and verifies the determinism
+// contract along the way: every Report of the parallel runs must be
+// byte-identical to the serial baseline's. This is a wall-clock experiment —
+// its timings depend on the host — so it lives in benchrunner, not the test
+// suite; the determinism comparison alone is what must always hold.
+func ParallelSpeedup(cfg *Config, method pmjoin.Method, workers []int) ([]ParallelPoint, error) {
+	cfg.defaults()
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	sys, da, db, eps, err := LandsatPair(cfg, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	opt := pmjoin.Options{
+		Method:      method,
+		Epsilon:     eps,
+		BufferPages: cfg.buf(400),
+	}
+
+	run := func(parallelism int) (*pmjoin.Result, time.Duration, error) {
+		o := opt
+		o.Parallelism = parallelism
+		res, err := sys.Join(da, db, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, res.Exec.JoinWall, nil
+	}
+
+	cfg.printf("\nParallel speedup: %s join of %s x %s (eps=%g, buffer=%d)\n",
+		method, da.Name(), db.Name(), eps, opt.BufferPages)
+	cfg.printf("%8s %14s %8s %10s\n", "workers", "join wall", "speedup", "report")
+
+	base, baseWall, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	points := []ParallelPoint{{Workers: 1, JoinWall: baseWall, Speedup: 1}}
+	cfg.printf("%8d %14v %8.2f %10s\n", 1, baseWall.Round(time.Microsecond), 1.0, "baseline")
+
+	for _, w := range workers {
+		if w <= 1 {
+			continue
+		}
+		res, wall, err := run(w)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(res.Report, base.Report) {
+			return nil, fmt.Errorf("experiments: parallelism %d produced a different report than serial:\n  serial:   %+v\n  parallel: %+v",
+				w, base.Report, res.Report)
+		}
+		sp := float64(baseWall) / float64(wall)
+		points = append(points, ParallelPoint{Workers: w, JoinWall: wall, Speedup: sp})
+		cfg.printf("%8d %14v %8.2f %10s\n", w, wall.Round(time.Microsecond), sp, "identical")
+	}
+	return points, nil
+}

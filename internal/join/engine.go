@@ -1,6 +1,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -13,12 +14,22 @@ import (
 )
 
 // Engine executes joins over one simulated disk with a fixed buffer budget.
+// Each run gets its own disk session and buffer pool (see Run), so engines
+// over one shared disk may run concurrently.
 type Engine struct {
 	Disk       *disk.Disk
 	BufferSize int           // B, in pages
 	Policy     buffer.Policy // LRU by default
-	// OnPair, when non-nil, receives every result pair.
+	// OnPair, when non-nil, receives every result pair. It is always called
+	// on the coordinating goroutine, in deterministic order.
 	OnPair func(idA, idB int)
+	// Workers, when non-nil, receives the CPU-side page-pair comparisons of
+	// NLJ / pm-NLJ / clustered runs; nil executes everything inline. Either
+	// way the report is bit-for-bit identical (see Exec).
+	Workers *WorkerPool
+	// Ctx carries cancellation, checked between clusters / blocks; nil
+	// means never cancelled.
+	Ctx context.Context
 }
 
 func (e *Engine) validate(r, s *Dataset) error {
@@ -37,60 +48,33 @@ func (e *Engine) validate(r, s *Dataset) error {
 	return nil
 }
 
-// run wraps an executor body with per-run stat capture.
-func (e *Engine) run(method string, body func(pool *buffer.Pool, rep *Report) error) (*Report, error) {
-	pool, err := buffer.NewPool(e.Disk, e.BufferSize, e.Policy)
+// Run wraps an executor body with a fresh execution scope: a cold disk
+// session (the run's I/O account is a pure function of its own access
+// sequence), a buffer pool over it, and the report the body fills in. After
+// the body returns, the session's charges are converted to simulated
+// seconds and folded into the report.
+func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
+	io := e.Disk.NewSession()
+	pool, err := buffer.NewPool(io, e.BufferSize, e.Policy)
 	if err != nil {
 		return nil, err
 	}
-	before := e.Disk.Stats()
 	rep := &Report{Method: method}
-	if err := body(pool, rep); err != nil {
+	x := &Exec{IO: io, Pool: pool, Rep: rep, eng: e}
+	// Even on an error path (cancellation included), wait for in-flight
+	// tasks so no worker is left computing over the run's state.
+	defer x.wg.Wait()
+	if err := body(x); err != nil {
 		return nil, err
 	}
-	after := e.Disk.Stats()
-	model := e.Disk.Model()
-	delta := disk.Stats{
-		Reads:      after.Reads - before.Reads,
-		Seeks:      after.Seeks - before.Seeks,
-		Sequential: after.Sequential - before.Sequential,
-		GapPages:   after.GapPages - before.GapPages,
-		Writes:     after.Writes - before.Writes,
-		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
-	}
-	rep.IOSeconds += model.Cost(delta)
-	rep.PageReads = delta.Reads
-	rep.Seeks = delta.Seeks + delta.WriteSeeks
+	st := io.Stats()
+	rep.IOSeconds += e.Disk.Model().Cost(st)
+	rep.PageReads = st.Reads
+	rep.Seeks = st.Seeks + st.WriteSeeks
 	bs := pool.Stats()
 	rep.Hits = bs.Hits
 	rep.Misses = bs.Misses
 	return rep, nil
-}
-
-func (e *Engine) emit(rep *Report) func(int, int) {
-	return func(a, b int) {
-		rep.Results++
-		if e.OnPair != nil {
-			e.OnPair(a, b)
-		}
-	}
-}
-
-// joinPair joins one page pair through the pool, charging CPU to rep.
-// Payloads are fetched via the buffer so residency is rewarded.
-func (e *Engine) joinPair(pool *buffer.Pool, r, s *Dataset, pr, ps int, j ObjectJoiner, rep *Report, emit func(int, int)) error {
-	pa, err := pool.Get(disk.PageAddr{File: r.File, Page: pr})
-	if err != nil {
-		return err
-	}
-	pb, err := pool.Get(disk.PageAddr{File: s.File, Page: ps})
-	if err != nil {
-		return err
-	}
-	comps, cpu := j.JoinPages(pa.Payload, pb.Payload, emit)
-	rep.Comparisons += comps
-	rep.CPUJoinSeconds += cpu
-	return nil
 }
 
 // NLJ runs block nested loop join: blocks of B-1 pages of the outer dataset
@@ -100,8 +84,7 @@ func (e *Engine) NLJ(r, s *Dataset, j ObjectJoiner) (*Report, error) {
 	if err := e.validate(r, s); err != nil {
 		return nil, err
 	}
-	return e.run("NLJ", func(pool *buffer.Pool, rep *Report) error {
-		emit := e.emit(rep)
+	return e.Run("NLJ", func(x *Exec) error {
 		outerIsR := r.Pages <= s.Pages
 		outer, inner := r, s
 		if !outerIsR {
@@ -109,38 +92,38 @@ func (e *Engine) NLJ(r, s *Dataset, j ObjectJoiner) (*Report, error) {
 		}
 		block := e.BufferSize - 1
 		for lo := 0; lo < outer.Pages; lo += block {
+			if err := x.Err(); err != nil {
+				return err
+			}
 			hi := lo + block
 			if hi > outer.Pages {
 				hi = outer.Pages
 			}
-			pool.Flush() // new block: drop everything, then pin the block
+			x.Pool.Flush() // new block: drop everything, then pin the block
 			for p := lo; p < hi; p++ {
-				if _, err := pool.GetPinned(disk.PageAddr{File: outer.File, Page: p}); err != nil {
+				if _, err := x.Pool.GetPinned(disk.PageAddr{File: outer.File, Page: p}); err != nil {
 					return err
 				}
 			}
 			for q := 0; q < inner.Pages; q++ {
-				ip, err := pool.Get(disk.PageAddr{File: inner.File, Page: q})
+				ip, err := x.Pool.Get(disk.PageAddr{File: inner.File, Page: q})
 				if err != nil {
 					return err
 				}
 				for p := lo; p < hi; p++ {
-					op, err := pool.Get(disk.PageAddr{File: outer.File, Page: p})
+					op, err := x.Pool.Get(disk.PageAddr{File: outer.File, Page: p})
 					if err != nil {
 						return err
 					}
-					var comps int64
-					var cpu float64
 					if outerIsR {
-						comps, cpu = j.JoinPages(op.Payload, ip.Payload, emit)
+						x.JoinPayloads(j, op.Payload, ip.Payload)
 					} else {
-						comps, cpu = j.JoinPages(ip.Payload, op.Payload, emit)
+						x.JoinPayloads(j, ip.Payload, op.Payload)
 					}
-					rep.Comparisons += comps
-					rep.CPUJoinSeconds += cpu
 				}
 			}
-			pool.UnpinAll()
+			x.Flush()
+			x.Pool.UnpinAll()
 		}
 		return nil
 	})
@@ -158,9 +141,8 @@ func (e *Engine) PMNLJ(r, s *Dataset, m *predmat.Matrix, j ObjectJoiner) (*Repor
 		return nil, fmt.Errorf("join: matrix is %dx%d, datasets have %dx%d pages",
 			m.Rows(), m.Cols(), r.Pages, s.Pages)
 	}
-	return e.run("pm-NLJ", func(pool *buffer.Pool, rep *Report) error {
-		rep.MarkedEntries = m.Marked()
-		emit := e.emit(rep)
+	return e.Run("pm-NLJ", func(x *Exec) error {
+		x.Rep.MarkedEntries = m.Marked()
 		markedRows := m.MarkedRows()
 		markedCols := m.MarkedCols()
 
@@ -169,32 +151,40 @@ func (e *Engine) PMNLJ(r, s *Dataset, m *predmat.Matrix, j ObjectJoiner) (*Repor
 			// All marked pages of the second dataset fit: read them once,
 			// then stream the marked rows through the remaining frame.
 			for _, c := range markedCols {
-				if _, err := pool.GetPinned(disk.PageAddr{File: s.File, Page: c}); err != nil {
+				if _, err := x.Pool.GetPinned(disk.PageAddr{File: s.File, Page: c}); err != nil {
 					return err
 				}
 			}
 			for _, row := range markedRows {
+				if err := x.Err(); err != nil {
+					return err
+				}
 				for _, c := range m.RowCols(row) {
-					if err := e.joinPair(pool, r, s, row, c, j, rep, emit); err != nil {
+					if err := x.JoinPair(r, s, row, c, j); err != nil {
 						return err
 					}
 				}
+				x.Flush()
 			}
-			pool.UnpinAll()
+			x.Pool.UnpinAll()
 		case len(markedRows) <= e.BufferSize-1:
 			for _, row := range markedRows {
-				if _, err := pool.GetPinned(disk.PageAddr{File: r.File, Page: row}); err != nil {
+				if _, err := x.Pool.GetPinned(disk.PageAddr{File: r.File, Page: row}); err != nil {
 					return err
 				}
 			}
 			for _, c := range markedCols {
+				if err := x.Err(); err != nil {
+					return err
+				}
 				for _, row := range m.ColRows(c) {
-					if err := e.joinPair(pool, r, s, row, c, j, rep, emit); err != nil {
+					if err := x.JoinPair(r, s, row, c, j); err != nil {
 						return err
 					}
 				}
+				x.Flush()
 			}
-			pool.UnpinAll()
+			x.Pool.UnpinAll()
 		default:
 			// Figure 4, else branch: one marked page of the first dataset
 			// at a time; its marked partner pages stream through the rest
@@ -202,15 +192,19 @@ func (e *Engine) PMNLJ(r, s *Dataset, m *predmat.Matrix, j ObjectJoiner) (*Repor
 			// consecutive rows allow). This is the access pattern behind
 			// Lemma 1's m + min(r,c) bound.
 			for _, row := range markedRows {
-				if _, err := pool.GetPinned(disk.PageAddr{File: r.File, Page: row}); err != nil {
+				if err := x.Err(); err != nil {
+					return err
+				}
+				if _, err := x.Pool.GetPinned(disk.PageAddr{File: r.File, Page: row}); err != nil {
 					return err
 				}
 				for _, c := range m.RowCols(row) {
-					if err := e.joinPair(pool, r, s, row, c, j, rep, emit); err != nil {
+					if err := x.JoinPair(r, s, row, c, j); err != nil {
 						return err
 					}
 				}
-				if err := pool.Unpin(disk.PageAddr{File: r.File, Page: row}); err != nil {
+				x.Flush()
+				if err := x.Pool.Unpin(disk.PageAddr{File: r.File, Page: row}); err != nil {
 					return err
 				}
 			}
@@ -262,11 +256,10 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 		method = "creation-SC"
 	}
 
-	return e.run(method, func(pool *buffer.Pool, rep *Report) error {
-		rep.MarkedEntries = m.Marked()
-		rep.Clusters = len(clusters)
-		rep.PreprocessSeconds = opts.PreprocessSeconds
-		emit := e.emit(rep)
+	return e.Run(method, func(x *Exec) error {
+		x.Rep.MarkedEntries = m.Marked()
+		x.Rep.Clusters = len(clusters)
+		x.Rep.PreprocessSeconds = opts.PreprocessSeconds
 
 		pageSets := make([]sched.PageSet, len(clusters))
 		for i, c := range clusters {
@@ -283,9 +276,13 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 		var order []int
 		switch opts.Order {
 		case OrderGreedySharing:
-			edges := sched.SharingGraph(pageSets)
+			var submit func(func())
+			if e.Workers != nil {
+				submit = e.Workers.Run
+			}
+			edges := sched.SharingGraphParallel(pageSets, submit)
 			order = sched.GreedyOrder(len(clusters), edges)
-			rep.PreprocessSeconds += ModelSchedulePreprocess(len(edges))
+			x.Rep.PreprocessSeconds += ModelSchedulePreprocess(len(edges))
 		case OrderRandom:
 			order = sched.RandomOrder(len(clusters), opts.Seed)
 		case OrderCreation:
@@ -293,6 +290,12 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 		}
 
 		for _, ci := range order {
+			// A cluster is one unit of work: cancellation is checked at its
+			// boundary, and its comparison tasks are flushed before the next
+			// cluster's pages are fetched.
+			if err := x.Err(); err != nil {
+				return err
+			}
 			c := clusters[ci]
 			// Fetch missing pages in ascending (file, page) order; pin all.
 			addrs := make([]disk.PageAddr, 0, c.Pages())
@@ -306,16 +309,17 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 				return addrs[i].Page < addrs[k].Page
 			})
 			for _, a := range addrs {
-				if _, err := pool.GetPinned(a); err != nil {
+				if _, err := x.Pool.GetPinned(a); err != nil {
 					return err
 				}
 			}
 			for _, en := range c.Entries {
-				if err := e.joinPair(pool, r, s, en.R, en.C, j, rep, emit); err != nil {
+				if err := x.JoinPair(r, s, en.R, en.C, j); err != nil {
 					return err
 				}
 			}
-			pool.UnpinAll()
+			x.Flush()
+			x.Pool.UnpinAll()
 		}
 		return nil
 	})

@@ -1,0 +1,179 @@
+package join
+
+import (
+	"sync"
+
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+// Exec is the execution scope of one join run: the run's private I/O
+// session, the buffer pool over it, and the report being built. Engine.Run
+// constructs one and passes it to the executor body; external executors
+// (ego, bfrj, pbsm) receive it the same way.
+//
+// The determinism contract, which the parallel path must uphold:
+//
+//   - All I/O goes through Pool/IO on the coordinating goroutine, in
+//     exactly the order the serial executor would issue it. Workers never
+//     touch the disk; they only compute over payloads the coordinator has
+//     already fetched (payloads stay valid after eviction — the simulated
+//     disk keeps pages resident).
+//   - Comparison work is enqueued as tasks in schedule order via
+//     JoinPayloads. Workers fill in each task's counters and pair buffer.
+//   - Flush waits for the in-flight tasks and folds their results into Rep
+//     in submission order, so float64 accumulation order, result counts,
+//     and pair emission order are identical to the serial run.
+type Exec struct {
+	// IO is the run's disk session: its charges are independent of any
+	// concurrent run and also folded into the global disk counters.
+	IO *disk.Session
+	// Pool is the run's buffer pool, reading through IO.
+	Pool *buffer.Pool
+	// Rep is the report under construction.
+	Rep *Report
+
+	eng   *Engine
+	tasks []*pairTask
+	// sent is the index into tasks of the first task not yet submitted to
+	// the pool: tasks are shipped in batches (see execBatchTasks) because
+	// one page pair is microseconds of work — far too fine to pay a pool
+	// round trip for.
+	sent int
+	// free recycles pairTask allocations across Flush boundaries.
+	free []*pairTask
+	wg   sync.WaitGroup
+}
+
+// execBatchTasks is the number of page-pair tasks shipped to a worker per
+// submission. One pair is ~1-10us of comparison work; batching amortizes
+// the queue round trip and WaitGroup traffic without costing parallelism
+// (clusters hold hundreds of pairs).
+const execBatchTasks = 64
+
+// pairTask is one page-pair comparison unit. The coordinator allocates it
+// with the input payloads; a worker (or the coordinator itself, when
+// serial) fills in the outputs; Flush merges them in submission order.
+type pairTask struct {
+	a, b    any
+	joiner  ObjectJoiner
+	capture bool
+
+	comps   int64
+	cpu     float64
+	results int64
+	pairs   [][2]int
+}
+
+func (t *pairTask) run() {
+	emit := func(i, j int) {
+		t.results++
+		if t.capture {
+			t.pairs = append(t.pairs, [2]int{i, j})
+		}
+	}
+	t.comps, t.cpu = t.joiner.JoinPages(t.a, t.b, emit)
+}
+
+// Err returns the engine context's error, if any. Executors call it at
+// cluster/block boundaries so cancellation is honored between units of
+// work without perturbing the I/O accounting of completed units.
+func (x *Exec) Err() error {
+	if x.eng.Ctx == nil {
+		return nil
+	}
+	return x.eng.Ctx.Err()
+}
+
+// Emit records one result pair inline (serial executors that interleave
+// emission with their own bookkeeping use this instead of task dispatch).
+func (x *Exec) Emit(a, b int) {
+	x.Rep.Results++
+	if x.eng.OnPair != nil {
+		x.eng.OnPair(a, b)
+	}
+}
+
+// JoinPayloads schedules the comparison of two already-fetched page
+// payloads (a from the first dataset, b from the second). With a worker
+// pool the task runs concurrently (batched; see execBatchTasks); without
+// one it runs immediately. Either way its counters merge into Rep only at
+// the next Flush, in submission order.
+func (x *Exec) JoinPayloads(j ObjectJoiner, a, b any) {
+	var t *pairTask
+	if n := len(x.free); n > 0 {
+		t = x.free[n-1]
+		x.free = x.free[:n-1]
+		*t = pairTask{pairs: t.pairs[:0]}
+	} else {
+		t = &pairTask{}
+	}
+	t.a, t.b, t.joiner, t.capture = a, b, j, x.eng.OnPair != nil
+	x.tasks = append(x.tasks, t)
+	if x.eng.Workers == nil {
+		t.run()
+		return
+	}
+	if len(x.tasks)-x.sent >= execBatchTasks {
+		x.submit()
+	}
+}
+
+// submit ships the pending task range to the pool as one batch. The batch
+// captures a snapshot slice of *pairTask — stable under later appends to
+// x.tasks, since only the backing array is ever reallocated.
+func (x *Exec) submit() {
+	batch := x.tasks[x.sent:len(x.tasks):len(x.tasks)]
+	if len(batch) == 0 {
+		return
+	}
+	x.sent = len(x.tasks)
+	x.wg.Add(1)
+	x.eng.Workers.Run(func() {
+		defer x.wg.Done()
+		for _, t := range batch {
+			t.run()
+		}
+	})
+}
+
+// JoinPair fetches the page pair (pr of r, ps of s) through the pool — in
+// that order, charging hits/misses exactly as the serial executor would —
+// and schedules its comparison.
+func (x *Exec) JoinPair(r, s *Dataset, pr, ps int, j ObjectJoiner) error {
+	pa, err := x.Pool.Get(disk.PageAddr{File: r.File, Page: pr})
+	if err != nil {
+		return err
+	}
+	pb, err := x.Pool.Get(disk.PageAddr{File: s.File, Page: ps})
+	if err != nil {
+		return err
+	}
+	x.JoinPayloads(j, pa.Payload, pb.Payload)
+	return nil
+}
+
+// Flush waits for every scheduled task and merges their outputs into Rep in
+// submission order. Executors call it at the same boundaries where the
+// buffer's pinned set turns over (cluster end, outer block end), bounding
+// the number of outstanding tasks.
+func (x *Exec) Flush() {
+	if x.eng.Workers != nil {
+		x.submit()
+	}
+	x.wg.Wait()
+	for _, t := range x.tasks {
+		x.Rep.Comparisons += t.comps
+		x.Rep.CPUJoinSeconds += t.cpu
+		x.Rep.Results += t.results
+		if x.eng.OnPair != nil {
+			for _, p := range t.pairs {
+				x.eng.OnPair(p[0], p[1])
+			}
+		}
+		t.a, t.b, t.joiner = nil, nil, nil // drop payload refs while pooled
+	}
+	x.free = append(x.free, x.tasks...)
+	x.tasks = x.tasks[:0]
+	x.sent = 0
+}

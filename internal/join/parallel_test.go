@@ -1,0 +1,64 @@
+package join
+
+import (
+	"reflect"
+	"testing"
+
+	"pmjoin/internal/cluster"
+	"pmjoin/internal/geom"
+)
+
+// runEngine executes one method with the given worker pool (nil = serial)
+// and returns the report plus the emitted pair sequence.
+func runEngine(t *testing.T, method string, workers int, seed int64) (*Report, [][2]int) {
+	t.Helper()
+	d, da, db, _, eps := testSetup(t, seed, 400, 300)
+	var pairs [][2]int
+	e := &Engine{Disk: d, BufferSize: 16, OnPair: func(a, b int) { pairs = append(pairs, [2]int{a, b}) }}
+	if workers > 1 {
+		e.Workers = NewWorkerPool(workers)
+		defer e.Workers.Close()
+	}
+	j := VectorJoiner{Norm: geom.L2, Eps: eps}
+	var rep *Report
+	var err error
+	switch method {
+	case "NLJ":
+		rep, err = e.NLJ(da, db, j)
+	case "PMNLJ":
+		rep, err = e.PMNLJ(da, db, buildMatrix(t, da, db, eps), j)
+	case "SC":
+		m := buildMatrix(t, da, db, eps)
+		clusters, cerr := cluster.Square(m, e.BufferSize)
+		if cerr != nil {
+			t.Fatal(cerr)
+		}
+		rep, err = e.Clustered(da, db, m, clusters, j, ClusteredOptions{})
+	default:
+		t.Fatalf("unknown method %q", method)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, pairs
+}
+
+// TestParallelReportsIdentical is the engine-level determinism contract:
+// for every executor that consults Workers, the report and the emitted pair
+// sequence must be byte-for-byte identical at any worker count.
+func TestParallelReportsIdentical(t *testing.T) {
+	for _, method := range []string{"NLJ", "PMNLJ", "SC"} {
+		t.Run(method, func(t *testing.T) {
+			baseRep, basePairs := runEngine(t, method, 1, 7)
+			for _, workers := range []int{2, 4, 7} {
+				rep, pairs := runEngine(t, method, workers, 7)
+				if !reflect.DeepEqual(rep, baseRep) {
+					t.Errorf("workers=%d report differs:\n serial:   %+v\n parallel: %+v", workers, baseRep, rep)
+				}
+				if !reflect.DeepEqual(pairs, basePairs) {
+					t.Errorf("workers=%d pair sequence differs (len %d vs %d)", workers, len(pairs), len(basePairs))
+				}
+			}
+		})
+	}
+}

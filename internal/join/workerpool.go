@@ -1,0 +1,83 @@
+package join
+
+import "sync"
+
+// WorkerPool is the bounded execution pool behind every goroutine the join
+// layer spawns. Executors hand it CPU-side tasks (page-pair comparisons,
+// plane-sweep recursions); N workers drain them. The queue is unbounded, so
+// a running task may submit further tasks without deadlocking — the
+// prediction-matrix build relies on this for its recursive sub-sweeps.
+//
+// The pool exists so that parallelism is always bounded by Options.
+// Parallelism and always joined on shutdown: Close returns only after every
+// submitted task has finished and every worker has exited, which is what
+// lets JoinContext guarantee it leaks no goroutines. The pmlint rawgo rule
+// enforces that no other production code uses a bare go statement.
+type WorkerPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	closed  bool
+	workers int
+	done    sync.WaitGroup
+}
+
+// NewWorkerPool starts a pool of n workers (n < 1 is clamped to 1).
+func NewWorkerPool(n int) *WorkerPool {
+	if n < 1 {
+		n = 1
+	}
+	p := &WorkerPool{workers: n}
+	p.cond = sync.NewCond(&p.mu)
+	p.done.Add(n)
+	for i := 0; i < n; i++ {
+		go p.work() // the one sanctioned spawn site (see rawgo in LINTING.md)
+	}
+	return p
+}
+
+// Workers returns the number of workers.
+func (p *WorkerPool) Workers() int { return p.workers }
+
+// Run enqueues a task for execution. It never blocks, so tasks may submit
+// sub-tasks from inside the pool. Run panics if the pool is closed: the
+// owning join has already merged its results, and silently dropping (or
+// racing in) late work would corrupt the determinism contract.
+func (p *WorkerPool) Run(task func()) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("join: WorkerPool.Run after Close")
+	}
+	p.queue = append(p.queue, task)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// Close drains the queue and stops the workers, returning only after every
+// submitted task has finished and every worker goroutine has exited.
+func (p *WorkerPool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.done.Wait()
+}
+
+func (p *WorkerPool) work() {
+	defer p.done.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		task := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		task()
+	}
+}

@@ -1,0 +1,82 @@
+package join
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkerPoolRunsAllTasks(t *testing.T) {
+	p := NewWorkerPool(4)
+	var n atomic.Int64
+	for i := 0; i < 1000; i++ {
+		p.Run(func() { n.Add(1) })
+	}
+	p.Close()
+	if n.Load() != 1000 {
+		t.Fatalf("ran %d tasks, want 1000", n.Load())
+	}
+}
+
+func TestWorkerPoolClampsWorkers(t *testing.T) {
+	p := NewWorkerPool(0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+}
+
+func TestWorkerPoolRecursiveSubmit(t *testing.T) {
+	// A task submitting sub-tasks must not deadlock, even with one worker:
+	// the queue is unbounded and Run never blocks.
+	p := NewWorkerPool(1)
+	var n atomic.Int64
+	done := make(chan struct{})
+	p.Run(func() {
+		for i := 0; i < 10; i++ {
+			p.Run(func() {
+				if n.Add(1) == 10 {
+					close(done)
+				}
+			})
+		}
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("recursive submission deadlocked")
+	}
+	p.Close()
+}
+
+func TestWorkerPoolCloseJoinsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		p := NewWorkerPool(8)
+		for k := 0; k < 100; k++ {
+			p.Run(func() {})
+		}
+		p.Close()
+	}
+	// Allow exited goroutines to be reaped before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines after Close: %d, started with %d", g, before)
+	}
+}
+
+func TestWorkerPoolRunAfterClosePanics(t *testing.T) {
+	p := NewWorkerPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Run after Close did not panic")
+		}
+	}()
+	p.Run(func() {})
+}

@@ -16,6 +16,10 @@ import (
 // sort cost charging, zero-cost metadata Peeks — because the pool has no
 // write path; each must carry a `//lint:ignore bufferbypass <reason>`
 // explaining why the access is charged (or free) by design.
+//
+// disk.Session is policed identically: a session is a per-run accounting
+// scope over the same disk, and unpooled session I/O skips hit/miss
+// accounting just as unpooled disk I/O does.
 func bufferBypassAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "bufferbypass",
@@ -39,9 +43,13 @@ func runBufferBypass(p *Package) []Diagnostic {
 			}
 			fn := p.calleeOf(call)
 			for _, m := range diskPageMethods {
-				if isMethodOf(fn, diskPkgPath, "Disk", m) {
+				if isMethodOf(fn, diskPkgPath, "Disk", m) || isMethodOf(fn, diskPkgPath, "Session", m) {
+					recv := "Disk"
+					if isMethodOf(fn, diskPkgPath, "Session", m) {
+						recv = "Session"
+					}
 					diags = append(diags, p.diag(call, "bufferbypass",
-						"disk.Disk.%s outside internal/buffer bypasses buffer-pool I/O accounting; route page access through buffer.Pool", m))
+						"disk.%s.%s outside internal/buffer bypasses buffer-pool I/O accounting; route page access through buffer.Pool", recv, m))
 					break
 				}
 			}

@@ -15,6 +15,7 @@ import (
 const (
 	bufferPkgPath = "pmjoin/internal/buffer"
 	diskPkgPath   = "pmjoin/internal/disk"
+	joinPkgPath   = "pmjoin/internal/join"
 )
 
 // Diagnostic is one finding of one analyzer.
@@ -43,6 +44,7 @@ func Analyzers() []*Analyzer {
 		unseededRandAnalyzer(),
 		floatEqAnalyzer(),
 		droppedErrAnalyzer(),
+		rawGoAnalyzer(),
 	}
 }
 

@@ -34,6 +34,14 @@ func (d *Disk) Write(a PageAddr, payload any) error       { return nil }
 func (d *Disk) Peek(a PageAddr) (*Page, error)            { return nil, nil }
 func (d *Disk) AppendPage(f FileID, p any) (PageAddr, error) { return PageAddr{}, nil }
 func (d *Disk) NumPages(f FileID) int                     { return 0 }
+func (d *Disk) NewSession() *Session                      { return nil }
+
+type Session struct{}
+
+func (s *Session) Read(a PageAddr) (*Page, error)      { return nil, nil }
+func (s *Session) Write(a PageAddr, payload any) error { return nil }
+func (s *Session) Peek(a PageAddr) (*Page, error)      { return nil, nil }
+func (s *Session) NumPages(f FileID) int               { return 0 }
 `
 
 const stubBuffer = `package buffer
@@ -53,6 +61,13 @@ func (p *Pool) Flush()                                        {}
 // the given import path and returns the fixture as a *Package ready for
 // analysis.
 func checkFixture(t *testing.T, path, src string) *Package {
+	t.Helper()
+	return checkFixtureFile(t, path, "fixture.go", src)
+}
+
+// checkFixtureFile is checkFixture with an explicit fixture filename, for
+// rules whose matching depends on the file (rawgo exempts workerpool.go).
+func checkFixtureFile(t *testing.T, path, filename, src string) *Package {
 	t.Helper()
 	fset := token.NewFileSet()
 	std := importer.ForCompiler(fset, "source", nil)
@@ -84,7 +99,7 @@ func checkFixture(t *testing.T, path, src string) *Package {
 	}
 	check(diskPkgPath, "disk.go", stubDisk)
 	check(bufferPkgPath, "buffer.go", stubBuffer)
-	return check(path, "fixture.go", src)
+	return check(path, filename, src)
 }
 
 // runOne runs a single analyzer (with suppression applied) over a fixture.
@@ -339,12 +354,84 @@ func ok(d *disk.Disk, f disk.FileID) int {
 }
 `,
 		},
+		{
+			name: "session page I/O is flagged like disk page I/O",
+			src: `package fixture
+
+import "pmjoin/internal/disk"
+
+func bad(s *disk.Session, a disk.PageAddr) error {
+	if _, err := s.Read(a); err != nil {
+		return err
+	}
+	if _, err := s.Peek(a); err != nil {
+		return err
+	}
+	return s.Write(a, nil)
+}
+`,
+			lines: []int{6, 9, 12},
+		},
+		{
+			name: "session metadata methods are clean",
+			src: `package fixture
+
+import "pmjoin/internal/disk"
+
+func ok(s *disk.Session, f disk.FileID) int {
+	return s.NumPages(f)
+}
+`,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			expectDiags(t, runOne(t, "bufferbypass", fixturePath, tc.src), "bufferbypass", tc.lines)
 		})
 	}
+}
+
+func TestRawGo(t *testing.T) {
+	const goSrc = `package fixture
+
+func spawn(task func()) {
+	go task()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+`
+	t.Run("bare go statements are flagged", func(t *testing.T) {
+		expectDiags(t, runOne(t, "rawgo", "pmjoin/internal/fixture", goSrc), "rawgo", []int{4, 6})
+	})
+	t.Run("workerpool.go in internal/join is exempt", func(t *testing.T) {
+		src := strings.Replace(goSrc, "package fixture", "package join", 1)
+		pkg := checkFixtureFile(t, joinPkgPath, "workerpool.go", src)
+		for _, a := range Analyzers() {
+			if a.Name == "rawgo" {
+				expectDiags(t, Run([]*Package{pkg}, []*Analyzer{a}), "rawgo", nil)
+			}
+		}
+	})
+	t.Run("other files in internal/join are not exempt", func(t *testing.T) {
+		src := strings.Replace(goSrc, "package fixture", "package join", 1)
+		pkg := checkFixtureFile(t, joinPkgPath, "exec.go", src)
+		for _, a := range Analyzers() {
+			if a.Name == "rawgo" {
+				expectDiags(t, Run([]*Package{pkg}, []*Analyzer{a}), "rawgo", []int{4, 6})
+			}
+		}
+	})
+	t.Run("suppressed spawn is clean", func(t *testing.T) {
+		src := `package fixture
+
+func spawn(done chan struct{}) {
+	//lint:ignore rawgo test helper joins via the channel
+	go func() { close(done) }()
+}
+`
+		expectDiags(t, runOne(t, "rawgo", "pmjoin/internal/fixture", src), "rawgo", nil)
+	})
 }
 
 func TestUnseededRand(t *testing.T) {

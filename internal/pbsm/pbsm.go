@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math"
 
-	"pmjoin/internal/buffer"
 	"pmjoin/internal/disk"
 	"pmjoin/internal/geom"
 	"pmjoin/internal/join"
@@ -43,103 +42,83 @@ func Run(e *join.Engine, r, s *join.Dataset, j join.ObjectJoiner, opts Options) 
 	if opts.Eps < 0 {
 		return nil, fmt.Errorf("pbsm: negative epsilon")
 	}
-	pool, err := buffer.NewPool(e.Disk, e.BufferSize, e.Policy)
-	if err != nil {
-		return nil, err
-	}
-	before := e.Disk.Stats()
-	rep := &join.Report{Method: "PBSM"}
-	emit := func(a, b int) {
-		rep.Results++
-		if e.OnPair != nil {
-			e.OnPair(a, b)
-		}
-	}
-
-	parts := opts.Partitions
-	if parts <= 0 {
-		// An average partition holds (r+s)/parts pages; a pair should fit
-		// into half the buffer.
-		total := r.Pages + s.Pages
-		parts = (2*total + e.BufferSize - 1) / max(1, e.BufferSize)
-		if parts < 1 {
-			parts = 1
-		}
-	}
-	tiles := opts.TilesPerAxis
-	if tiles <= 0 {
-		tiles = 2 * int(math.Ceil(math.Sqrt(float64(parts))))
-	}
-
-	g, err := newGrid(e, r, s, tiles, parts)
-	if err != nil {
-		return nil, err
-	}
-
-	// Partition phase: sequential scan of both datasets; objects appended
-	// to per-partition staging, flushed as pages to partition files.
-	rParts, err := g.partition(e, r, opts.Eps, false)
-	if err != nil {
-		return nil, err
-	}
-	sParts, err := g.partition(e, s, opts.Eps, true)
-	if err != nil {
-		return nil, err
-	}
-
-	// Join phase: one partition pair at a time, block-nested inside the
-	// partition when it does not fit the buffer.
-	for p := 0; p < parts; p++ {
-		rf, sf := rParts[p], sParts[p]
-		rn, sn := e.Disk.NumPages(rf), e.Disk.NumPages(sf)
-		if rn == 0 || sn == 0 {
-			continue
-		}
-		block := e.BufferSize - 1
-		for lo := 0; lo < rn; lo += block {
-			hi := lo + block
-			if hi > rn {
-				hi = rn
+	return e.Run("PBSM", func(x *join.Exec) error {
+		parts := opts.Partitions
+		if parts <= 0 {
+			// An average partition holds (r+s)/parts pages; a pair should
+			// fit into half the buffer.
+			total := r.Pages + s.Pages
+			parts = (2*total + e.BufferSize - 1) / max(1, e.BufferSize)
+			if parts < 1 {
+				parts = 1
 			}
-			pool.Flush()
-			for pg := lo; pg < hi; pg++ {
-				if _, err := pool.GetPinned(disk.PageAddr{File: rf, Page: pg}); err != nil {
-					return nil, err
-				}
+		}
+		tiles := opts.TilesPerAxis
+		if tiles <= 0 {
+			tiles = 2 * int(math.Ceil(math.Sqrt(float64(parts))))
+		}
+
+		g, err := newGrid(x, r, s, tiles, parts)
+		if err != nil {
+			return err
+		}
+
+		// Partition phase: sequential scan of both datasets; objects
+		// appended to per-partition staging, flushed as pages to partition
+		// files.
+		rParts, err := g.partition(x, r, opts.Eps, false)
+		if err != nil {
+			return err
+		}
+		sParts, err := g.partition(x, s, opts.Eps, true)
+		if err != nil {
+			return err
+		}
+
+		// Join phase: one partition pair at a time, block-nested inside the
+		// partition when it does not fit the buffer.
+		for p := 0; p < parts; p++ {
+			// A partition pair is one unit of work; cancellation is honored
+			// at its boundary.
+			if err := x.Err(); err != nil {
+				return err
 			}
-			for q := 0; q < sn; q++ {
-				sp, err := pool.Get(disk.PageAddr{File: sf, Page: q})
-				if err != nil {
-					return nil, err
+			rf, sf := rParts[p], sParts[p]
+			rn, sn := x.IO.NumPages(rf), x.IO.NumPages(sf)
+			if rn == 0 || sn == 0 {
+				continue
+			}
+			block := e.BufferSize - 1
+			for lo := 0; lo < rn; lo += block {
+				hi := lo + block
+				if hi > rn {
+					hi = rn
 				}
+				x.Pool.Flush()
 				for pg := lo; pg < hi; pg++ {
-					rp, err := pool.Get(disk.PageAddr{File: rf, Page: pg})
-					if err != nil {
-						return nil, err
+					if _, err := x.Pool.GetPinned(disk.PageAddr{File: rf, Page: pg}); err != nil {
+						return err
 					}
-					comps, cpu := j.JoinPages(rp.Payload, sp.Payload, emit)
-					rep.Comparisons += comps
-					rep.CPUJoinSeconds += cpu
 				}
+				for q := 0; q < sn; q++ {
+					sp, err := x.Pool.Get(disk.PageAddr{File: sf, Page: q})
+					if err != nil {
+						return err
+					}
+					for pg := lo; pg < hi; pg++ {
+						rp, err := x.Pool.Get(disk.PageAddr{File: rf, Page: pg})
+						if err != nil {
+							return err
+						}
+						x.JoinPayloads(j, rp.Payload, sp.Payload)
+					}
+				}
+				x.Flush()
+				x.Pool.UnpinAll()
 			}
-			pool.UnpinAll()
 		}
-	}
-
-	after := e.Disk.Stats()
-	delta := disk.Stats{
-		Reads:      after.Reads - before.Reads,
-		Seeks:      after.Seeks - before.Seeks,
-		GapPages:   after.GapPages - before.GapPages,
-		Writes:     after.Writes - before.Writes,
-		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
-	}
-	rep.IOSeconds = e.Disk.Model().Cost(delta)
-	rep.PageReads = delta.Reads
-	rep.Seeks = delta.Seeks + delta.WriteSeeks
-	bs := pool.Stats()
-	rep.Hits, rep.Misses = bs.Hits, bs.Misses
-	return rep, nil
+		return nil
+	})
 }
 
 // grid maps object locations to tiles and tiles to partitions.
@@ -152,7 +131,7 @@ type grid struct {
 
 // newGrid bounds the joint data space on (up to) the first two dimensions by
 // scanning the index MBRs (free: the hierarchy is memory resident).
-func newGrid(e *join.Engine, r, s *join.Dataset, tiles, parts int) (*grid, error) {
+func newGrid(x *join.Exec, r, s *join.Dataset, tiles, parts int) (*grid, error) {
 	bound := geom.Union(r.Root.MBR, s.Root.MBR)
 	if bound.IsEmpty() {
 		return nil, fmt.Errorf("pbsm: empty data space")
@@ -171,7 +150,7 @@ func newGrid(e *join.Engine, r, s *join.Dataset, tiles, parts int) (*grid, error
 	}
 	// Partition pages hold as many objects as source pages.
 	//lint:ignore bufferbypass free metadata inspection of one page to size partition pages; not a data-path read
-	pg, err := e.Disk.Peek(disk.PageAddr{File: r.File, Page: 0})
+	pg, err := x.IO.Peek(disk.PageAddr{File: r.File, Page: 0})
 	if err != nil {
 		return nil, err
 	}
@@ -207,23 +186,23 @@ func (g *grid) partOf(tx, ty int) int { return (tx*g.tiles + ty) % g.parts }
 // partition scans the dataset sequentially and writes each object into its
 // partition file(s): uniquely by location when replicate is false, or to
 // every partition whose tiles the object's ε-box intersects when true.
-func (g *grid) partition(e *join.Engine, d *join.Dataset, eps float64, replicate bool) ([]disk.FileID, error) {
+func (g *grid) partition(x *join.Exec, d *join.Dataset, eps float64, replicate bool) ([]disk.FileID, error) {
 	files := make([]disk.FileID, g.parts)
 	staging := make([]*join.VectorPage, g.parts)
 	for p := range files {
-		files[p] = e.Disk.CreateFile()
+		files[p] = x.IO.CreateFile()
 		staging[p] = &join.VectorPage{}
 	}
 	flush := func(p int) error {
 		if len(staging[p].IDs) == 0 {
 			return nil
 		}
-		addr, err := e.Disk.AppendPage(files[p], staging[p])
+		addr, err := x.IO.AppendPage(files[p], staging[p])
 		if err != nil {
 			return err
 		}
 		//lint:ignore bufferbypass partition staging writes are charged directly; the pool has no write path
-		if err := e.Disk.Write(addr, staging[p]); err != nil {
+		if err := x.IO.Write(addr, staging[p]); err != nil {
 			return err
 		}
 		staging[p] = &join.VectorPage{}
@@ -243,7 +222,7 @@ func (g *grid) partition(e *join.Engine, d *join.Dataset, eps float64, replicate
 		// One sequential pass over the source file; charged directly so the
 		// pool's frames stay free for the join phase that follows.
 		//lint:ignore bufferbypass sequential partition scan charged directly, pool reserved for the join phase
-		page, err := e.Disk.Read(disk.PageAddr{File: d.File, Page: pg})
+		page, err := x.IO.Read(disk.PageAddr{File: d.File, Page: pg})
 		if err != nil {
 			return nil, err
 		}

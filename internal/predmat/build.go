@@ -3,6 +3,8 @@ package predmat
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pmjoin/internal/geom"
 	"pmjoin/internal/index"
@@ -38,6 +40,13 @@ func (p NormPredictor) LowerBound(a, b geom.MBR) float64 {
 // refinement iterations (§5.1).
 const DefaultFilterDepth = 5
 
+// Runner executes independent construction tasks, possibly concurrently.
+// join.WorkerPool satisfies it; injecting the interface keeps goroutine
+// spawning inside the join layer's bounded pool.
+type Runner interface {
+	Run(task func())
+}
+
 // BuildOptions tunes prediction-matrix construction.
 type BuildOptions struct {
 	// FilterDepth bounds the refinement iterations of the Figure 2 filter.
@@ -45,6 +54,11 @@ type BuildOptions struct {
 	FilterDepth int
 	// Stats, when non-nil, receives construction counters.
 	Stats *BuildStats
+	// Runner, when non-nil, runs recursive sub-sweeps concurrently. The
+	// resulting matrix and stats are independent of execution order: marks
+	// are idempotent set insertions and every counter is an
+	// order-independent integer sum.
+	Runner Runner
 }
 
 // BuildStats counts work done during construction.
@@ -77,6 +91,13 @@ func Build(r, s *index.Node, rPages, sPages int, eps float64, pred Predictor, op
 	m := NewMatrix(rPages, sPages)
 	b := &builder{eps: eps, pred: pred, opts: opts, m: m}
 	b.sweep([]*index.Node{r}, []*index.Node{s})
+	b.wg.Wait()
+	if opts.Stats != nil {
+		opts.Stats.SweepEvents += b.sweepEvents.Load()
+		opts.Stats.PairTests += b.pairTests.Load()
+		opts.Stats.FilterDropped += b.filterDropped.Load()
+		opts.Stats.Recursions += b.recursions.Load()
+	}
 	return m, nil
 }
 
@@ -85,12 +106,43 @@ type builder struct {
 	pred Predictor
 	opts BuildOptions
 	m    *Matrix
+
+	// markMu guards m: concurrent sub-sweeps may mark the same entry, and
+	// Mark is an idempotent sorted insertion, so the resulting matrix is
+	// identical regardless of interleaving.
+	markMu sync.Mutex
+	// wg tracks sub-sweeps handed to the runner.
+	wg sync.WaitGroup
+	// Counters accumulate per-sweep totals; each sweep batches its local
+	// counts into one atomic add, so the hot event loop stays cheap.
+	sweepEvents   atomic.Int64
+	pairTests     atomic.Int64
+	filterDropped atomic.Int64
+	recursions    atomic.Int64
 }
 
-func (b *builder) stat(f func(*BuildStats)) {
-	if b.opts.Stats != nil {
-		f(b.opts.Stats)
+// flush folds one sweep's local counters into the builder totals.
+func (b *builder) flush(st *BuildStats) {
+	if b.opts.Stats == nil {
+		return
 	}
+	b.sweepEvents.Add(st.SweepEvents)
+	b.pairTests.Add(st.PairTests)
+	b.filterDropped.Add(st.FilterDropped)
+	b.recursions.Add(st.Recursions)
+}
+
+// spawn runs a recursive sub-sweep, through the runner when one is set.
+func (b *builder) spawn(rNodes, sNodes []*index.Node) {
+	if b.opts.Runner == nil {
+		b.sweep(rNodes, sNodes)
+		return
+	}
+	b.wg.Add(1)
+	b.opts.Runner.Run(func() {
+		defer b.wg.Done()
+		b.sweep(rNodes, sNodes)
+	})
 }
 
 // box is a sweep participant: an index node with its extended MBR.
@@ -108,9 +160,13 @@ type endpoint struct {
 }
 
 // sweep runs one level of the hierarchical plane sweep over the given node
-// sets (Figure 1 steps 1-5).
+// sets (Figure 1 steps 1-5). It only reads the (immutable) index nodes and
+// writes through the mark mutex, so concurrent sweeps need no coordination
+// beyond their local stats, flushed once on return.
 func (b *builder) sweep(rNodes, sNodes []*index.Node) {
-	b.stat(func(st *BuildStats) { st.Recursions++ })
+	var st BuildStats
+	defer b.flush(&st)
+	st.Recursions++
 	if len(rNodes) == 0 || len(sNodes) == 0 {
 		return
 	}
@@ -130,7 +186,7 @@ func (b *builder) sweep(rNodes, sNodes []*index.Node) {
 		sBoxes = append(sBoxes, &box{node: n, ext: n.MBR.Extended(half), from: 1})
 	}
 
-	rBoxes, sBoxes = b.filter(rBoxes, sBoxes)
+	rBoxes, sBoxes = b.filter(rBoxes, sBoxes, &st)
 	if len(rBoxes) == 0 || len(sBoxes) == 0 {
 		return
 	}
@@ -158,7 +214,7 @@ func (b *builder) sweep(rNodes, sNodes []*index.Node) {
 	activeR := make(map[*box]struct{})
 	activeS := make(map[*box]struct{})
 	for _, ev := range events {
-		b.stat(func(st *BuildStats) { st.SweepEvents++ })
+		st.SweepEvents++
 		if !ev.left {
 			if ev.b.from == 0 {
 				delete(activeR, ev.b)
@@ -176,7 +232,7 @@ func (b *builder) sweep(rNodes, sNodes []*index.Node) {
 			opposite = activeR
 		}
 		for other := range opposite {
-			b.stat(func(st *BuildStats) { st.PairTests++ })
+			st.PairTests++
 			if !ev.b.ext.Intersects(other.ext) {
 				continue
 			}
@@ -191,19 +247,22 @@ func (b *builder) sweep(rNodes, sNodes []*index.Node) {
 
 // handlePair processes one intersecting extended pair: mark leaf pairs that
 // pass the predictor, descend internal pairs (one side at a time when
-// heights differ).
+// heights differ). Descents go through spawn, so with a Runner the
+// recursive sub-sweeps fan out across the worker pool.
 func (b *builder) handlePair(rn, sn *index.Node) {
 	switch {
 	case rn.IsLeaf() && sn.IsLeaf():
 		if b.pred.LowerBound(rn.MBR, sn.MBR) <= b.eps {
+			b.markMu.Lock()
 			b.m.Mark(rn.Page, sn.Page)
+			b.markMu.Unlock()
 		}
 	case rn.IsLeaf():
-		b.sweep([]*index.Node{rn}, sn.Children)
+		b.spawn([]*index.Node{rn}, sn.Children)
 	case sn.IsLeaf():
-		b.sweep(rn.Children, []*index.Node{sn})
+		b.spawn(rn.Children, []*index.Node{sn})
 	default:
-		b.sweep(rn.Children, sn.Children)
+		b.spawn(rn.Children, sn.Children)
 	}
 }
 
@@ -211,7 +270,7 @@ func (b *builder) handlePair(rn, sn *index.Node) {
 // boxes: shrink both sides to the region B_RS = B_R ∩ B_S that can contain
 // intersecting pairs, and drop boxes that do not intersect it. It iterates
 // until a fixpoint or FilterDepth rounds.
-func (b *builder) filter(rBoxes, sBoxes []*box) ([]*box, []*box) {
+func (b *builder) filter(rBoxes, sBoxes []*box, st *BuildStats) ([]*box, []*box) {
 	depth := b.opts.FilterDepth
 	if depth <= 0 {
 		return rBoxes, sBoxes
@@ -237,7 +296,7 @@ func (b *builder) filter(rBoxes, sBoxes []*box) ([]*box, []*box) {
 		bigS := coverAll(sCur, dim)
 		bb := geom.Intersect(bigR, bigS)
 		if bb.IsEmpty() {
-			b.stat(func(st *BuildStats) { st.FilterDropped += int64(len(rAlive) + len(sAlive)) })
+			st.FilterDropped += int64(len(rAlive) + len(sAlive))
 			return nil, nil
 		}
 		// B_R covers B ∩ R_i for all i; B_S similarly.
@@ -251,12 +310,12 @@ func (b *builder) filter(rBoxes, sBoxes []*box) ([]*box, []*box) {
 		}
 		bRS := geom.Intersect(bR, bS)
 		if bRS.IsEmpty() {
-			b.stat(func(st *BuildStats) { st.FilterDropped += int64(len(rAlive) + len(sAlive)) })
+			st.FilterDropped += int64(len(rAlive) + len(sAlive))
 			return nil, nil
 		}
 		changed := false
-		rAlive, rCur, changed = shrinkFilter(rAlive, rCur, bRS, changed, b)
-		sAlive, sCur, changed = shrinkFilter(sAlive, sCur, bRS, changed, b)
+		rAlive, rCur, changed = shrinkFilter(rAlive, rCur, bRS, changed, st)
+		sAlive, sCur, changed = shrinkFilter(sAlive, sCur, bRS, changed, st)
 		if len(rAlive) == 0 || len(sAlive) == 0 {
 			return rAlive, sAlive
 		}
@@ -267,13 +326,13 @@ func (b *builder) filter(rBoxes, sBoxes []*box) ([]*box, []*box) {
 	return rAlive, sAlive
 }
 
-func shrinkFilter(alive []*box, cur []geom.MBR, bRS geom.MBR, changed bool, b *builder) ([]*box, []geom.MBR, bool) {
+func shrinkFilter(alive []*box, cur []geom.MBR, bRS geom.MBR, changed bool, st *BuildStats) ([]*box, []geom.MBR, bool) {
 	outBoxes := alive[:0]
 	outCur := cur[:0]
 	for i, bx := range alive {
 		if !cur[i].Intersects(bRS) {
 			changed = true
-			b.stat(func(st *BuildStats) { st.FilterDropped++ })
+			st.FilterDropped++
 			continue
 		}
 		next := geom.Intersect(cur[i], bRS)

@@ -9,6 +9,7 @@ package sched
 import (
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // PageSet is the set of pages a cluster needs, as opaque comparable keys
@@ -25,20 +26,53 @@ type Edge struct {
 func SharingGraph(pages []PageSet) []Edge {
 	var edges []Edge
 	for i := 0; i < len(pages); i++ {
-		for j := i + 1; j < len(pages); j++ {
-			small, large := pages[i], pages[j]
-			if len(large) < len(small) {
-				small, large = large, small
+		edges = append(edges, rowEdges(pages, i)...)
+	}
+	return edges
+}
+
+// SharingGraphParallel is SharingGraph with the per-row edge computations
+// fanned out through submit (a worker pool's Run). Rows are independent and
+// their results are concatenated in row order, so the returned slice is
+// identical to SharingGraph's — element for element — regardless of worker
+// count or completion order. A nil submit falls back to the serial path.
+func SharingGraphParallel(pages []PageSet, submit func(task func())) []Edge {
+	if submit == nil {
+		return SharingGraph(pages)
+	}
+	rows := make([][]Edge, len(pages))
+	var wg sync.WaitGroup
+	for i := range pages {
+		wg.Add(1)
+		submit(func() {
+			defer wg.Done()
+			rows[i] = rowEdges(pages, i)
+		})
+	}
+	wg.Wait()
+	var edges []Edge
+	for _, r := range rows {
+		edges = append(edges, r...)
+	}
+	return edges
+}
+
+// rowEdges computes the positive-weight edges (i, j) for all j > i.
+func rowEdges(pages []PageSet, i int) []Edge {
+	var edges []Edge
+	for j := i + 1; j < len(pages); j++ {
+		small, large := pages[i], pages[j]
+		if len(large) < len(small) {
+			small, large = large, small
+		}
+		w := 0
+		for p := range small {
+			if _, ok := large[p]; ok {
+				w++
 			}
-			w := 0
-			for p := range small {
-				if _, ok := large[p]; ok {
-					w++
-				}
-			}
-			if w > 0 {
-				edges = append(edges, Edge{A: i, B: j, Weight: w})
-			}
+		}
+		if w > 0 {
+			edges = append(edges, Edge{A: i, B: j, Weight: w})
 		}
 	}
 	return edges

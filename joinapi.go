@@ -1,8 +1,10 @@
 package pmjoin
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"pmjoin/internal/bfrj"
 	"pmjoin/internal/buffer"
@@ -15,90 +17,23 @@ import (
 	"pmjoin/internal/predmat"
 )
 
-// Method selects the join algorithm.
-type Method int
-
-const (
-	// NLJ is block nested loop join (the no-information baseline, §2.1).
-	NLJ Method = iota
-	// PMNLJ restricts NLJ to the marked prediction-matrix entries (§6).
-	PMNLJ
-	// RandomSC is square clustering with clusters processed in random
-	// order (isolates the scheduling optimization, §9.1).
-	RandomSC
-	// SC is square clustering with greedy sharing-graph scheduling — the
-	// paper's primary technique (§7.1, §8).
-	SC
-	// CC is cost-based clustering with greedy scheduling, the approximate
-	// I/O lower bound (§7.2).
-	CC
-	// EGO is the epsilon grid ordering join baseline (§9).
-	EGO
-	// BFRJ is the breadth-first R-tree join baseline (§9).
-	BFRJ
-	// PBSM is the Partition Based Spatial-Merge join of Patel & DeWitt,
-	// surveyed in §2.1 — an extension baseline beyond the paper's
-	// evaluation, available for vector data only.
-	PBSM
-)
-
-func (m Method) String() string {
-	switch m {
-	case NLJ:
-		return "NLJ"
-	case PMNLJ:
-		return "pm-NLJ"
-	case RandomSC:
-		return "random-SC"
-	case SC:
-		return "SC"
-	case CC:
-		return "CC"
-	case EGO:
-		return "EGO"
-	case BFRJ:
-		return "BFRJ"
-	case PBSM:
-		return "PBSM"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
-}
-
-// ReplacementPolicy selects the buffer replacement policy.
-type ReplacementPolicy int
-
-const (
-	// LRU is the paper's default policy.
-	LRU ReplacementPolicy = iota
-	// FIFO is provided for the replacement ablation.
-	FIFO
-)
-
-// Options configures one join execution.
-type Options struct {
-	Method Method
-	// Epsilon is the distance threshold: an Lp distance for vector and
-	// series data, a maximum edit distance for string data.
-	Epsilon float64
-	// BufferPages is B, the buffer size in pages (minimum 4).
-	BufferPages int
-	// Policy is the buffer replacement policy (default LRU).
-	Policy ReplacementPolicy
-	// Seed drives the random choices of RandomSC and CC (deterministic).
-	Seed int64
-	// CollectPairs stores up to MaxPairs result pairs in the Result.
-	CollectPairs bool
-	// MaxPairs caps collected pairs (default 100000; 0 means the default).
-	MaxPairs int
-	// FilterDepth bounds the prediction-matrix filter iterations
-	// (default 5, the paper's k; -1 disables filtering).
-	FilterDepth int
-	// ClusterRowFraction is the SC buffer fraction devoted to rows
-	// (default 0.5, the paper's square shape; ablation knob).
-	ClusterRowFraction float64
-	// HistogramBins is CC's density-histogram resolution (default 100).
-	HistogramBins int
+// ExecStats reports how a join actually executed on the host machine. Unlike
+// every other Result field, these are real wall-clock measurements: they vary
+// run to run and are excluded from the determinism contract (Report, Pairs
+// and Plan are bit-for-bit independent of Parallelism; ExecStats is not).
+type ExecStats struct {
+	// Workers is the number of pool workers the join ran with (1 = inline).
+	Workers int
+	// MatrixWall is the wall time of prediction-matrix construction
+	// (zero when the matrix was cached or the method builds none).
+	MatrixWall time.Duration
+	// PreprocessWall is the wall time of clustering and scheduling.
+	PreprocessWall time.Duration
+	// JoinWall is the wall time of the join executor itself.
+	JoinWall time.Duration
+	// Cancelled reports that the run stopped early because the context was
+	// cancelled; the accompanying error carries the cause.
+	Cancelled bool
 }
 
 // Result reports the outcome and simulated cost of a join.
@@ -117,6 +52,9 @@ type Result struct {
 	Pairs [][2]int
 	// Truncated reports that more pairs matched than were collected.
 	Truncated bool
+	// Exec is the wall-clock execution profile (not deterministic; see
+	// ExecStats).
+	Exec ExecStats
 }
 
 // Count returns the number of result pairs found.
@@ -129,36 +67,57 @@ func (r *Result) TotalSeconds() float64 { return r.Report.Total() }
 // same dataset twice: each unordered result pair is then reported once, and
 // for sequence data trivially overlapping window pairs (start distance less
 // than the window length) are excluded.
+//
+// Join is JoinContext without cancellation.
 func (s *System) Join(a, b *Dataset, opt Options) (*Result, error) {
-	if a.sys != s || b.sys != s {
-		return nil, fmt.Errorf("pmjoin: datasets belong to a different system")
-	}
-	if a.kind != b.kind {
-		return nil, fmt.Errorf("pmjoin: cannot join %v with %v data", a.kind, b.kind)
-	}
-	if opt.BufferPages < 4 {
-		return nil, fmt.Errorf("pmjoin: buffer of %d pages too small (minimum 4)", opt.BufferPages)
-	}
-	if opt.Epsilon < 0 {
-		return nil, fmt.Errorf("pmjoin: negative epsilon %g", opt.Epsilon)
-	}
-	if err := s.checkCompatible(a, b); err != nil {
+	return s.JoinContext(context.Background(), a, b, opt)
+}
+
+// JoinContext is Join with cancellation: ctx is checked between clusters
+// (blocks, partitions — each method's unit of work), so a cancelled join
+// returns promptly with ctx's error and a partial Result whose Exec.Cancelled
+// is set. Worker goroutines are always joined before JoinContext returns,
+// cancelled or not.
+//
+// Concurrent JoinContext calls on one System are safe: each run charges its
+// simulated I/O to a private disk session, so its Report is identical to what
+// a solo run would produce.
+func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*Result, error) {
+	if err := s.checkJoinable(a, b); err != nil {
 		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	res := &Result{}
+	res.Exec.Workers = 1
+	if opt.Parallelism > 1 {
+		res.Exec.Workers = opt.Parallelism
+	}
+	if err := ctx.Err(); err != nil {
+		res.Exec.Cancelled = true
+		return res, err
+	}
+
+	var wp *join.WorkerPool
+	if opt.Parallelism > 1 {
+		wp = join.NewWorkerPool(opt.Parallelism)
+		defer wp.Close()
+	}
 	eng := &join.Engine{
 		Disk:       s.d,
 		BufferSize: opt.BufferPages,
 		Policy:     buffer.Policy(opt.Policy),
+		Workers:    wp,
+		Ctx:        ctx,
 	}
 	if opt.CollectPairs {
-		maxPairs := opt.MaxPairs
-		if maxPairs == 0 {
-			maxPairs = 100000
-		}
 		eng.OnPair = func(i, j int) {
-			if len(res.Pairs) < maxPairs {
+			if len(res.Pairs) < opt.MaxPairs {
 				res.Pairs = append(res.Pairs, [2]int{i, j})
 			} else {
 				res.Truncated = true
@@ -169,23 +128,31 @@ func (s *System) Join(a, b *Dataset, opt Options) (*Result, error) {
 	self := a == b || a.ds.File == b.ds.File
 	joiner := s.joiner(a, opt.Epsilon, self)
 
+	timedJoin := func(f func() (*join.Report, error)) (*join.Report, error) {
+		start := time.Now()
+		rep, err := f()
+		res.Exec.JoinWall = time.Since(start)
+		return rep, err
+	}
+
 	var rep *join.Report
 	var err error
 	switch opt.Method {
 	case NLJ:
-		rep, err = eng.NLJ(&a.ds, &b.ds, joiner)
+		rep, err = timedJoin(func() (*join.Report, error) { return eng.NLJ(&a.ds, &b.ds, joiner) })
 	case PMNLJ:
 		var m *predmat.Matrix
-		m, err = s.buildMatrix(a, b, opt, res)
+		m, err = s.buildMatrix(a, b, opt, res, wp)
 		if err == nil {
-			rep, err = eng.PMNLJ(&a.ds, &b.ds, m, joiner)
+			rep, err = timedJoin(func() (*join.Report, error) { return eng.PMNLJ(&a.ds, &b.ds, m, joiner) })
 		}
 	case RandomSC, SC, CC:
 		var m *predmat.Matrix
-		m, err = s.buildMatrix(a, b, opt, res)
+		m, err = s.buildMatrix(a, b, opt, res, wp)
 		if err != nil {
 			break
 		}
+		preStart := time.Now()
 		var clusters []*cluster.Cluster
 		var pre float64
 		if opt.Method == CC {
@@ -204,6 +171,7 @@ func (s *System) Join(a, b *Dataset, opt Options) (*Result, error) {
 			})
 			pre = join.ModelSCPreprocess(m.Marked())
 		}
+		res.Exec.PreprocessWall = time.Since(preStart)
 		if err != nil {
 			break
 		}
@@ -211,39 +179,63 @@ func (s *System) Join(a, b *Dataset, opt Options) (*Result, error) {
 		if opt.Method == RandomSC {
 			order = join.OrderRandom
 		}
-		rep, err = eng.Clustered(&a.ds, &b.ds, m, clusters, joiner, join.ClusteredOptions{
-			Order:             order,
-			Seed:              opt.Seed,
-			PreprocessSeconds: pre,
+		rep, err = timedJoin(func() (*join.Report, error) {
+			return eng.Clustered(&a.ds, &b.ds, m, clusters, joiner, join.ClusteredOptions{
+				Order:             order,
+				Seed:              opt.Seed,
+				PreprocessSeconds: pre,
+			})
 		})
 		if rep != nil && opt.Method == CC {
 			rep.Method = "CC"
 		}
 	case EGO:
-		rep, err = ego.Run(eng, &a.ds, &b.ds, s.egoAdapter(a, opt.Epsilon, self), ego.Options{SelfJoin: self})
+		rep, err = timedJoin(func() (*join.Report, error) {
+			return ego.Run(eng, &a.ds, &b.ds, s.egoAdapter(a, opt.Epsilon, self), ego.Options{SelfJoin: self})
+		})
 	case BFRJ:
-		rep, err = bfrj.Run(eng, &a.ds, &b.ds, joiner, bfrj.Options{
-			Eps:      s.matrixEpsilon(a, opt.Epsilon),
-			Pred:     s.predictor(a),
-			SelfJoin: self,
+		rep, err = timedJoin(func() (*join.Report, error) {
+			return bfrj.Run(eng, &a.ds, &b.ds, joiner, bfrj.Options{
+				Eps:      s.matrixEpsilon(a, opt.Epsilon),
+				Pred:     s.predictor(a),
+				SelfJoin: self,
+			})
 		})
 	case PBSM:
 		if a.kind != KindVector {
 			err = fmt.Errorf("pmjoin: PBSM supports vector data only, got %v", a.kind)
 			break
 		}
-		rep, err = pbsm.Run(eng, &a.ds, &b.ds, joiner, pbsm.Options{
-			Eps:      opt.Epsilon,
-			SelfJoin: self,
+		rep, err = timedJoin(func() (*join.Report, error) {
+			return pbsm.Run(eng, &a.ds, &b.ds, joiner, pbsm.Options{
+				Eps:      opt.Epsilon,
+				SelfJoin: self,
+			})
 		})
 	default:
 		err = fmt.Errorf("pmjoin: unknown method %v", opt.Method)
 	}
 	if err != nil {
+		if ctx.Err() != nil {
+			res.Exec.Cancelled = true
+			return res, err
+		}
 		return nil, err
 	}
 	res.Report = *rep
 	return res, nil
+}
+
+// checkJoinable verifies that a and b belong to this system and can be
+// joined with each other. It is the shared precondition of Join and Explain.
+func (s *System) checkJoinable(a, b *Dataset) error {
+	if a.sys != s || b.sys != s {
+		return fmt.Errorf("pmjoin: datasets belong to a different system")
+	}
+	if a.kind != b.kind {
+		return fmt.Errorf("pmjoin: cannot join %v with %v data", a.kind, b.kind)
+	}
+	return s.checkCompatible(a, b)
 }
 
 func (s *System) checkCompatible(a, b *Dataset) error {
@@ -291,7 +283,12 @@ func (s *System) predictor(a *Dataset) predmat.Predictor {
 // to the join epsilon for every kind; kept as a seam for future predictors).
 func (s *System) matrixEpsilon(a *Dataset, eps float64) float64 { return eps }
 
-func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result) (*predmat.Matrix, error) {
+// buildMatrix returns the prediction matrix for (a, b, opt), from the cache
+// when available. Concurrent callers may build the same matrix redundantly;
+// the first to store wins and later builders adopt its entry, so every
+// caller observes one canonical matrix per key. The build itself is
+// deterministic, parallel or not, so which copy wins is unobservable.
+func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.WorkerPool) (*predmat.Matrix, error) {
 	depth := opt.FilterDepth
 	switch {
 	case depth == 0:
@@ -300,21 +297,35 @@ func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result) (*predmat.
 		depth = 0
 	}
 	key := matrixKey{fileA: a.ds.File, fileB: b.ds.File, eps: opt.Epsilon, depth: depth}
-	if e, ok := s.matrixCache[key]; ok {
+	s.mu.RLock()
+	e, ok := s.matrixCache[key]
+	s.mu.RUnlock()
+	if ok {
 		res.MarkedEntries = e.m.Marked()
 		res.MatrixDensity = e.m.Density()
 		res.MatrixSeconds = e.seconds
 		return e.m, nil
 	}
+	start := time.Now()
 	var stats predmat.BuildStats
+	bopts := predmat.BuildOptions{FilterDepth: depth, Stats: &stats}
+	if wp != nil {
+		bopts.Runner = wp
+	}
 	m, err := predmat.Build(a.ds.Root, b.ds.Root, a.ds.Pages, b.ds.Pages,
-		s.matrixEpsilon(a, opt.Epsilon), s.predictor(a),
-		predmat.BuildOptions{FilterDepth: depth, Stats: &stats})
+		s.matrixEpsilon(a, opt.Epsilon), s.predictor(a), bopts)
 	if err != nil {
 		return nil, err
 	}
+	res.Exec.MatrixWall = time.Since(start)
 	seconds := float64(stats.SweepEvents+stats.PairTests) * join.MatrixEntryCost
-	s.matrixCache[key] = &matrixEntry{m: m, seconds: seconds}
+	s.mu.Lock()
+	if w, ok := s.matrixCache[key]; ok {
+		m, seconds = w.m, w.seconds
+	} else {
+		s.matrixCache[key] = &matrixEntry{m: m, seconds: seconds}
+	}
+	s.mu.Unlock()
 	res.MarkedEntries = m.Marked()
 	res.MatrixDensity = m.Density()
 	res.MatrixSeconds = seconds

@@ -1,0 +1,275 @@
+package pmjoin
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// Method selects the join algorithm.
+type Method int
+
+const (
+	// NLJ is block nested loop join (the no-information baseline, §2.1).
+	NLJ Method = iota
+	// PMNLJ restricts NLJ to the marked prediction-matrix entries (§6).
+	PMNLJ
+	// RandomSC is square clustering with clusters processed in random
+	// order (isolates the scheduling optimization, §9.1).
+	RandomSC
+	// SC is square clustering with greedy sharing-graph scheduling — the
+	// paper's primary technique (§7.1, §8).
+	SC
+	// CC is cost-based clustering with greedy scheduling, the approximate
+	// I/O lower bound (§7.2).
+	CC
+	// EGO is the epsilon grid ordering join baseline (§9).
+	EGO
+	// BFRJ is the breadth-first R-tree join baseline (§9).
+	BFRJ
+	// PBSM is the Partition Based Spatial-Merge join of Patel & DeWitt,
+	// surveyed in §2.1 — an extension baseline beyond the paper's
+	// evaluation, available for vector data only.
+	PBSM
+)
+
+func (m Method) String() string {
+	switch m {
+	case NLJ:
+		return "NLJ"
+	case PMNLJ:
+		return "pm-NLJ"
+	case RandomSC:
+		return "random-SC"
+	case SC:
+		return "SC"
+	case CC:
+		return "CC"
+	case EGO:
+		return "EGO"
+	case BFRJ:
+		return "BFRJ"
+	case PBSM:
+		return "PBSM"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler; the text form is the
+// canonical name ("SC", "pm-NLJ", ...).
+func (m Method) MarshalText() ([]byte, error) {
+	if m < NLJ || m > PBSM {
+		return nil, fmt.Errorf("pmjoin: unknown method %d", int(m))
+	}
+	return []byte(m.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; see ParseMethod.
+func (m *Method) UnmarshalText(text []byte) error {
+	v, err := ParseMethod(string(text))
+	if err != nil {
+		return err
+	}
+	*m = v
+	return nil
+}
+
+// ParseMethod parses a method name. Matching is case-insensitive and
+// ignores hyphens, so "pm-NLJ", "pmnlj" and "PM-nlj" all parse to PMNLJ.
+func ParseMethod(s string) (Method, error) {
+	switch normalizeEnum(s) {
+	case "nlj":
+		return NLJ, nil
+	case "pmnlj":
+		return PMNLJ, nil
+	case "randomsc":
+		return RandomSC, nil
+	case "sc":
+		return SC, nil
+	case "cc":
+		return CC, nil
+	case "ego":
+		return EGO, nil
+	case "bfrj":
+		return BFRJ, nil
+	case "pbsm":
+		return PBSM, nil
+	}
+	return 0, fmt.Errorf("pmjoin: unknown method %q (want NLJ, pm-NLJ, random-SC, SC, CC, EGO, BFRJ or PBSM)", s)
+}
+
+// MarshalText implements encoding.TextMarshaler; the text form is the
+// canonical name ("vector", "series", "string").
+func (k Kind) MarshalText() ([]byte, error) {
+	if k < KindVector || k > KindString {
+		return nil, fmt.Errorf("pmjoin: unknown kind %d", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; see ParseKind.
+func (k *Kind) UnmarshalText(text []byte) error {
+	v, err := ParseKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// ParseKind parses a data-kind name (case-insensitive).
+func ParseKind(s string) (Kind, error) {
+	switch normalizeEnum(s) {
+	case "vector":
+		return KindVector, nil
+	case "series":
+		return KindSeries, nil
+	case "string":
+		return KindString, nil
+	}
+	return 0, fmt.Errorf("pmjoin: unknown kind %q (want vector, series or string)", s)
+}
+
+// ReplacementPolicy selects the buffer replacement policy.
+type ReplacementPolicy int
+
+const (
+	// LRU is the paper's default policy.
+	LRU ReplacementPolicy = iota
+	// FIFO is provided for the replacement ablation.
+	FIFO
+)
+
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p ReplacementPolicy) MarshalText() ([]byte, error) {
+	if p < LRU || p > FIFO {
+		return nil, fmt.Errorf("pmjoin: unknown replacement policy %d", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; see
+// ParseReplacementPolicy.
+func (p *ReplacementPolicy) UnmarshalText(text []byte) error {
+	v, err := ParseReplacementPolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// ParseReplacementPolicy parses a policy name (case-insensitive).
+func ParseReplacementPolicy(s string) (ReplacementPolicy, error) {
+	switch normalizeEnum(s) {
+	case "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	}
+	return 0, fmt.Errorf("pmjoin: unknown replacement policy %q (want LRU or FIFO)", s)
+}
+
+// normalizeEnum lower-cases a name and strips the separators the canonical
+// spellings use, so flag values round-trip however the user hyphenates.
+func normalizeEnum(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.ReplaceAll(s, "-", "")
+	s = strings.ReplaceAll(s, "_", "")
+	return s
+}
+
+// Options configures one join execution. The zero value of every optional
+// field selects its documented default; Validate (called by Join, Explain
+// and their context variants) normalizes defaults in place and rejects
+// out-of-range values.
+type Options struct {
+	Method Method
+	// Epsilon is the distance threshold: an Lp distance for vector and
+	// series data, a maximum edit distance for string data.
+	Epsilon float64
+	// BufferPages is B, the buffer size in pages (minimum 4).
+	BufferPages int
+	// Policy is the buffer replacement policy (default LRU).
+	Policy ReplacementPolicy
+	// Parallelism is the number of workers the executor may use for the
+	// CPU side of the join (page-pair comparisons, plane-sweep pair tests
+	// of the matrix build). 0 means GOMAXPROCS; 1 runs fully inline.
+	// Results and every Report field are bit-for-bit independent of this
+	// knob: I/O stays serialized in schedule order and worker results
+	// merge in submission order (see DESIGN.md).
+	Parallelism int
+	// Seed drives the random choices of RandomSC and CC (deterministic).
+	Seed int64
+	// CollectPairs stores up to MaxPairs result pairs in the Result.
+	CollectPairs bool
+	// MaxPairs caps collected pairs. 0 means the default (100000);
+	// negative values are rejected by Validate.
+	MaxPairs int
+	// FilterDepth bounds the prediction-matrix filter iterations
+	// (default 5, the paper's k; -1 disables filtering).
+	FilterDepth int
+	// ClusterRowFraction is the SC buffer fraction devoted to rows
+	// (default 0.5, the paper's square shape; ablation knob).
+	ClusterRowFraction float64
+	// HistogramBins is CC's density-histogram resolution (default 100).
+	HistogramBins int
+}
+
+// Validate checks the options and normalizes defaulted fields in place:
+// MaxPairs 0 becomes 100000, Parallelism 0 becomes GOMAXPROCS,
+// ClusterRowFraction 0 becomes 0.5, HistogramBins 0 becomes 100.
+// Validate is idempotent; Join, JoinContext, Explain and ExplainContext
+// call it on their own copy, so mutation is only observable when calling
+// it directly.
+func (o *Options) Validate() error {
+	if o.Method < NLJ || o.Method > PBSM {
+		return fmt.Errorf("pmjoin: unknown method %v", o.Method)
+	}
+	if o.BufferPages < 4 {
+		return fmt.Errorf("pmjoin: buffer of %d pages too small (minimum 4)", o.BufferPages)
+	}
+	if o.Epsilon < 0 {
+		return fmt.Errorf("pmjoin: negative epsilon %g", o.Epsilon)
+	}
+	if o.Policy < LRU || o.Policy > FIFO {
+		return fmt.Errorf("pmjoin: unknown replacement policy %v", o.Policy)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("pmjoin: negative parallelism %d", o.Parallelism)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxPairs < 0 {
+		return fmt.Errorf("pmjoin: negative MaxPairs %d", o.MaxPairs)
+	}
+	if o.MaxPairs == 0 {
+		o.MaxPairs = 100000
+	}
+	if o.ClusterRowFraction == 0 {
+		o.ClusterRowFraction = 0.5
+	}
+	if o.ClusterRowFraction <= 0 || o.ClusterRowFraction >= 1 {
+		return fmt.Errorf("pmjoin: cluster row fraction %g outside (0,1)", o.ClusterRowFraction)
+	}
+	if o.HistogramBins < 0 {
+		return fmt.Errorf("pmjoin: negative histogram bins %d", o.HistogramBins)
+	}
+	if o.HistogramBins == 0 {
+		o.HistogramBins = 100
+	}
+	return nil
+}

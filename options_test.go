@@ -1,0 +1,187 @@
+package pmjoin
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+)
+
+func TestOptionsValidateDefaults(t *testing.T) {
+	o := Options{Method: SC, Epsilon: 0.1, BufferPages: 8}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.MaxPairs != 100000 {
+		t.Errorf("MaxPairs = %d, want 100000", o.MaxPairs)
+	}
+	if o.Parallelism != runtime.GOMAXPROCS(0) {
+		t.Errorf("Parallelism = %d, want GOMAXPROCS %d", o.Parallelism, runtime.GOMAXPROCS(0))
+	}
+	if o.ClusterRowFraction != 0.5 {
+		t.Errorf("ClusterRowFraction = %g, want 0.5", o.ClusterRowFraction)
+	}
+	if o.HistogramBins != 100 {
+		t.Errorf("HistogramBins = %d, want 100", o.HistogramBins)
+	}
+	// Idempotent: a second Validate must not change anything.
+	before := o
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o != before {
+		t.Errorf("Validate not idempotent: %+v vs %+v", o, before)
+	}
+}
+
+func TestOptionsValidateRejects(t *testing.T) {
+	base := Options{Method: SC, Epsilon: 0.1, BufferPages: 8}
+	cases := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"unknown method", func(o *Options) { o.Method = Method(99) }},
+		{"tiny buffer", func(o *Options) { o.BufferPages = 3 }},
+		{"negative epsilon", func(o *Options) { o.Epsilon = -1 }},
+		{"unknown policy", func(o *Options) { o.Policy = ReplacementPolicy(7) }},
+		{"negative parallelism", func(o *Options) { o.Parallelism = -2 }},
+		{"negative MaxPairs", func(o *Options) { o.MaxPairs = -1 }},
+		{"row fraction 1", func(o *Options) { o.ClusterRowFraction = 1 }},
+		{"negative histogram bins", func(o *Options) { o.HistogramBins = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mut(&o)
+			if err := o.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", o)
+			}
+		})
+	}
+}
+
+// TestJoinRejectsNegativeMaxPairs is the bugfix regression test: a negative
+// MaxPairs used to silently collect nothing; it is now rejected up front.
+func TestJoinRejectsNegativeMaxPairs(t *testing.T) {
+	sys, da, db := smallVecSystem(t)
+	_, err := sys.Join(da, db, Options{
+		Method: NLJ, Epsilon: 0.1, BufferPages: 8, CollectPairs: true, MaxPairs: -1,
+	})
+	if err == nil {
+		t.Fatal("negative MaxPairs accepted")
+	}
+}
+
+func TestEnumTextRoundTrip(t *testing.T) {
+	for m := NLJ; m <= PBSM; m++ {
+		text, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Method
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != m {
+			t.Errorf("method %v round-tripped to %v", m, back)
+		}
+	}
+	for k := KindVector; k <= KindString; k++ {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("kind %v round-tripped to %v", k, back)
+		}
+	}
+	for p := LRU; p <= FIFO; p++ {
+		text, err := p.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ReplacementPolicy
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != p {
+			t.Errorf("policy %v round-tripped to %v", p, back)
+		}
+	}
+	if _, err := Method(99).MarshalText(); err == nil {
+		t.Error("unknown method marshaled")
+	}
+	if _, err := Kind(99).MarshalText(); err == nil {
+		t.Error("unknown kind marshaled")
+	}
+	if _, err := ReplacementPolicy(99).MarshalText(); err == nil {
+		t.Error("unknown policy marshaled")
+	}
+}
+
+func TestParseEnumSpellings(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Method
+	}{
+		{"pm-NLJ", PMNLJ}, {"pmnlj", PMNLJ}, {"PM_NLJ", PMNLJ},
+		{"random-SC", RandomSC}, {"randomsc", RandomSC}, {"Random_SC", RandomSC},
+		{" sc ", SC}, {"CC", CC}, {"ego", EGO}, {"bfrj", BFRJ}, {"PBSM", PBSM},
+	} {
+		got, err := ParseMethod(tc.in)
+		if err != nil {
+			t.Errorf("ParseMethod(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseMethod(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParseMethod("nope"); err == nil {
+		t.Error("unknown method parsed")
+	}
+	if k, err := ParseKind("Series"); err != nil || k != KindSeries {
+		t.Errorf("ParseKind(Series) = %v, %v", k, err)
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("unknown kind parsed")
+	}
+	if p, err := ParseReplacementPolicy("fifo"); err != nil || p != FIFO {
+		t.Errorf("ParseReplacementPolicy(fifo) = %v, %v", p, err)
+	}
+	if _, err := ParseReplacementPolicy("nope"); err == nil {
+		t.Error("unknown policy parsed")
+	}
+}
+
+// TestFlagTextVar exercises the integration the CLIs rely on: enum values
+// bound with flag.TextVar parse flexible spellings and reject junk.
+func TestFlagTextVar(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	m := SC
+	k := KindVector
+	p := LRU
+	fs.TextVar(&m, "method", m, "")
+	fs.TextVar(&k, "kind", k, "")
+	fs.TextVar(&p, "policy", p, "")
+	if err := fs.Parse([]string{"-method", "pm-nlj", "-kind", "STRING", "-policy", "Fifo"}); err != nil {
+		t.Fatal(err)
+	}
+	if m != PMNLJ || k != KindString || p != FIFO {
+		t.Fatalf("parsed %v/%v/%v", m, k, p)
+	}
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	fs2.SetOutput(discard{})
+	m2 := SC
+	fs2.TextVar(&m2, "method", m2, "")
+	if err := fs2.Parse([]string{"-method", "bogus"}); err == nil {
+		t.Fatal("bogus method accepted by flag parsing")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,246 @@
+package pmjoin
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pmjoin/internal/dataset"
+)
+
+// deterministicFields strips the wall-clock execution profile from a result,
+// leaving exactly the fields the determinism contract covers.
+func deterministicFields(r *Result) Result {
+	c := *r
+	c.Exec = ExecStats{}
+	return c
+}
+
+// TestParallelDeterminism is the public determinism contract: for every
+// prediction-matrix method and every data kind, a join at Parallelism N
+// produces a Result (Report, Pairs, matrix stats) and a Plan bit-for-bit
+// identical to the serial run.
+func TestParallelDeterminism(t *testing.T) {
+	type workload struct {
+		name string
+		sys  *System
+		a, b *Dataset
+		opt  Options
+	}
+	var loads []workload
+
+	{
+		sys := NewSystem(DiskModel{PageBytes: 256})
+		da, err := sys.AddVectors("a", randomVecs(400, 2, 1), VectorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := sys.AddVectors("b", randomVecs(300, 2, 2), VectorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads = append(loads, workload{"vector", sys, da, db,
+			Options{Epsilon: 0.05, BufferPages: 16, CollectPairs: true}})
+	}
+	{
+		sys := NewSystem(DiskModel{PageBytes: 1024})
+		ds, err := sys.AddSeries("walk", dataset.RandomWalk(4000, 20), SeriesOptions{Window: 32, Stride: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads = append(loads, workload{"series", sys, ds, ds,
+			Options{Epsilon: 8.0, BufferPages: 16, CollectPairs: true}})
+	}
+	{
+		sys := NewSystem(DiskModel{PageBytes: 512})
+		sa := dataset.DNA(3000, 10)
+		sb := dataset.DNA(2500, 11)
+		dataset.PlantHomologies(sb, sa, 6, 80, 0.02, 12)
+		da, err := sys.AddString("a", sa, StringOptions{Window: 64, Stride: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := sys.AddString("b", sb, StringOptions{Window: 64, Stride: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads = append(loads, workload{"string", sys, da, db,
+			Options{Epsilon: 4, BufferPages: 16, CollectPairs: true}})
+	}
+
+	for _, w := range loads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			for _, m := range []Method{PMNLJ, SC, CC} {
+				m := m
+				t.Run(m.String(), func(t *testing.T) {
+					opt := w.opt
+					opt.Method = m
+					opt.Parallelism = 1
+					base, err := w.sys.Join(w.a, w.b, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if base.Count() == 0 {
+						t.Fatal("workload has no results")
+					}
+					basePlan, err := w.sys.Explain(w.a, w.b, opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, par := range []int{2, 4} {
+						opt.Parallelism = par
+						res, err := w.sys.Join(w.a, w.b, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got, want := deterministicFields(res), deterministicFields(base); !reflect.DeepEqual(got, want) {
+							t.Errorf("Parallelism=%d result differs:\n serial:   %+v\n parallel: %+v", par, want, got)
+						}
+						if res.Exec.Workers != par {
+							t.Errorf("Exec.Workers = %d, want %d", res.Exec.Workers, par)
+						}
+						plan, err := w.sys.Explain(w.a, w.b, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !reflect.DeepEqual(plan, basePlan) {
+							t.Errorf("Parallelism=%d plan differs:\n serial:   %+v\n parallel: %+v", par, basePlan, plan)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestConcurrentJoinsOneSystem runs several joins on one System at once, each
+// with its own worker pool, and checks every result against a solo baseline:
+// the per-join disk session makes each run's account independent of the
+// traffic around it.
+func TestConcurrentJoinsOneSystem(t *testing.T) {
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(400, 2, 1), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sys.AddVectors("b", randomVecs(300, 2, 2), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := []Options{
+		{Method: NLJ, Epsilon: 0.05, BufferPages: 8},
+		{Method: PMNLJ, Epsilon: 0.05, BufferPages: 8, Parallelism: 2},
+		{Method: SC, Epsilon: 0.05, BufferPages: 16, Parallelism: 3},
+		{Method: CC, Epsilon: 0.07, BufferPages: 16, Parallelism: 2},
+		{Method: SC, Epsilon: 0.07, BufferPages: 12, CollectPairs: true},
+	}
+	baselines := make([]*Result, len(jobs))
+	for i, opt := range jobs {
+		if baselines[i], err = sys.Join(da, db, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+	for i, opt := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = sys.Join(da, db, opt)
+		}()
+	}
+	wg.Wait()
+
+	for i := range jobs {
+		if errs[i] != nil {
+			t.Fatalf("job %d: %v", i, errs[i])
+		}
+		got, want := deterministicFields(results[i]), deterministicFields(baselines[i])
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("job %d (%v) concurrent result differs:\n solo:       %+v\n concurrent: %+v",
+				i, jobs[i].Method, want, got)
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to the baseline
+// (exited goroutines are reaped asynchronously).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("goroutines leaked: %d running, started with %d", g, baseline)
+	}
+}
+
+func TestJoinContextPreCancelled(t *testing.T) {
+	sys, da, db := smallVecSystem(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := sys.JoinContext(ctx, da, db, Options{Method: SC, Epsilon: 0.05, BufferPages: 8, Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Exec.Cancelled {
+		t.Fatalf("result = %+v, want Exec.Cancelled", res)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("pre-cancelled join took %v", d)
+	}
+	waitGoroutines(t, before)
+}
+
+func TestJoinContextMidJoinCancel(t *testing.T) {
+	// A workload big enough that cancellation lands mid-run on any host; the
+	// block boundaries of NLJ are the cancellation points.
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(3000, 2, 5), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := sys.JoinContext(ctx, da, da, Options{Method: NLJ, Epsilon: 0.05, BufferPages: 4, Parallelism: 2})
+	if err == nil {
+		t.Skip("join finished before the cancel landed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Exec.Cancelled {
+		t.Fatalf("result = %+v, want Exec.Cancelled", res)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled join took %v to return", d)
+	}
+	waitGoroutines(t, before)
+}
+
+func TestExplainContextPreCancelled(t *testing.T) {
+	sys, da, db := smallVecSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.ExplainContext(ctx, da, db, Options{Method: SC, Epsilon: 0.05, BufferPages: 8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

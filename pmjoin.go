@@ -27,6 +27,7 @@ package pmjoin
 
 import (
 	"fmt"
+	"sync"
 
 	"pmjoin/internal/disk"
 	"pmjoin/internal/geom"
@@ -87,10 +88,19 @@ func DefaultDiskModel() DiskModel {
 }
 
 // System owns the simulated disk and the datasets materialized on it.
-// A System is not safe for concurrent use.
+//
+// A System is safe for concurrent read-only use: any number of Join,
+// JoinContext, Explain, RangeQuery and NearestNeighbors calls may run at
+// once — each charges its simulated I/O to a private disk session, so every
+// call's Result is identical to what a solo run would produce. Mutating
+// calls (AddVectors, AddSeries, AddString, ResetIOStats) must not overlap
+// with any other call.
 type System struct {
 	d     *disk.Disk
 	model DiskModel
+	// mu guards matrixCache (the only mutable state a read-only call
+	// touches).
+	mu sync.RWMutex
 	// matrixCache memoizes prediction matrices: they depend only on the
 	// dataset pair, epsilon, and filter depth, so repeated joins (e.g.
 	// buffer-size sweeps) reuse them. Construction is index-only and

@@ -12,6 +12,32 @@ import (
 	"pmjoin/internal/join"
 )
 
+// QueryOptions configures a single-dataset query. The zero value selects
+// every default.
+type QueryOptions struct {
+	// BufferPages is the buffer size the query reads candidate data pages
+	// through (minimum 1; 0 means the default, 4).
+	BufferPages int
+	// MaxResults caps the number of returned objects (0 means unlimited).
+	// A range query keeps the MaxResults smallest IDs; k-NN effectively
+	// lowers k to MaxResults. QueryResult.Truncated reports that the cap
+	// cut matches off.
+	MaxResults int
+}
+
+func (o *QueryOptions) validate() error {
+	if o.BufferPages == 0 {
+		o.BufferPages = 4
+	}
+	if o.BufferPages < 1 {
+		return fmt.Errorf("pmjoin: buffer of %d pages", o.BufferPages)
+	}
+	if o.MaxResults < 0 {
+		return fmt.Errorf("pmjoin: negative MaxResults %d", o.MaxResults)
+	}
+	return nil
+}
+
 // QueryResult reports the outcome and simulated I/O of a single-dataset
 // query (range or k-nearest-neighbor).
 type QueryResult struct {
@@ -20,6 +46,8 @@ type QueryResult struct {
 	IDs []int
 	// Distances parallel IDs for k-NN queries (nil for range queries).
 	Distances []float64
+	// Truncated reports that QueryOptions.MaxResults cut matches off.
+	Truncated bool
 	// IOSeconds and PageReads charge the data pages the query touched
 	// (index nodes are memory resident, as in the paper's setting).
 	IOSeconds float64
@@ -29,18 +57,36 @@ type QueryResult struct {
 // RangeQuery returns all objects of the vector dataset d within eps of
 // center under the dataset's norm, reading candidate data pages through a
 // buffer of bufferPages frames.
+//
+// Deprecated: use RangeQueryOpts, which takes QueryOptions and supports
+// result capping. RangeQuery(d, c, eps, b) is RangeQueryOpts(d, c, eps,
+// QueryOptions{BufferPages: b}).
 func (s *System) RangeQuery(d *Dataset, center []float64, eps float64, bufferPages int) (*QueryResult, error) {
-	if err := s.checkQuery(d, center, bufferPages); err != nil {
+	if bufferPages < 1 {
+		return nil, fmt.Errorf("pmjoin: buffer of %d pages", bufferPages)
+	}
+	return s.RangeQueryOpts(d, center, eps, QueryOptions{BufferPages: bufferPages})
+}
+
+// RangeQueryOpts returns the objects of the vector dataset d within eps of
+// center under the dataset's norm, in ascending ID order. Like every
+// read-only call, the query charges its I/O to a private disk session, so
+// concurrent queries do not perturb each other's costs.
+func (s *System) RangeQueryOpts(d *Dataset, center []float64, eps float64, opts QueryOptions) (*QueryResult, error) {
+	if err := s.checkQuery(d, center); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	if eps < 0 {
 		return nil, fmt.Errorf("pmjoin: negative epsilon %g", eps)
 	}
-	pool, err := buffer.NewPool(s.d, bufferPages, buffer.LRU)
+	io := s.d.NewSession()
+	pool, err := buffer.NewPool(io, opts.BufferPages, buffer.LRU)
 	if err != nil {
 		return nil, err
 	}
-	before := s.d.Stats()
 	q := geom.Vector(center)
 	res := &QueryResult{}
 
@@ -73,7 +119,11 @@ func (s *System) RangeQuery(d *Dataset, center []float64, eps float64, bufferPag
 		return nil, err
 	}
 	sort.Ints(res.IDs)
-	s.chargeQuery(res, before)
+	if opts.MaxResults > 0 && len(res.IDs) > opts.MaxResults {
+		res.IDs = res.IDs[:opts.MaxResults]
+		res.Truncated = true
+	}
+	chargeQuery(res, io)
 	return res, nil
 }
 
@@ -93,27 +143,48 @@ func (q *nnPQ) Push(x any)        { *q = append(*q, x.(nnItem)) }
 func (q *nnPQ) Pop() any          { o := *q; n := len(o); e := o[n-1]; *q = o[:n-1]; return e }
 
 // NearestNeighbors returns the k objects of the vector dataset d closest to
-// center, best-first over the index hierarchy (Hjaltason & Samet, cited in
-// §2.2); data pages are fetched through a buffer only when a leaf reaches
-// the head of the queue.
+// center.
+//
+// Deprecated: use NearestNeighborsOpts, which takes QueryOptions and
+// supports result capping. NearestNeighbors(d, c, k, b) is
+// NearestNeighborsOpts(d, c, k, QueryOptions{BufferPages: b}).
 func (s *System) NearestNeighbors(d *Dataset, center []float64, k, bufferPages int) (*QueryResult, error) {
-	if err := s.checkQuery(d, center, bufferPages); err != nil {
+	if bufferPages < 1 {
+		return nil, fmt.Errorf("pmjoin: buffer of %d pages", bufferPages)
+	}
+	return s.NearestNeighborsOpts(d, center, k, QueryOptions{BufferPages: bufferPages})
+}
+
+// NearestNeighborsOpts returns the k objects of the vector dataset d closest
+// to center, best-first over the index hierarchy (Hjaltason & Samet, cited
+// in §2.2); data pages are fetched through a buffer only when a leaf reaches
+// the head of the queue. A MaxResults below k lowers k and marks the result
+// truncated.
+func (s *System) NearestNeighborsOpts(d *Dataset, center []float64, k int, opts QueryOptions) (*QueryResult, error) {
+	if err := s.checkQuery(d, center); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("pmjoin: k = %d", k)
 	}
-	pool, err := buffer.NewPool(s.d, bufferPages, buffer.LRU)
+	res := &QueryResult{}
+	if opts.MaxResults > 0 && k > opts.MaxResults {
+		k = opts.MaxResults
+		res.Truncated = true
+	}
+	io := s.d.NewSession()
+	pool, err := buffer.NewPool(io, opts.BufferPages, buffer.LRU)
 	if err != nil {
 		return nil, err
 	}
-	before := s.d.Stats()
 	q := geom.Vector(center)
 	pq := &nnPQ{}
 	heap.Init(pq)
 	heap.Push(pq, nnItem{dist: d.norm.MinDistPoint(q, d.ds.Root.MBR), node: d.ds.Root})
 
-	res := &QueryResult{}
 	for pq.Len() > 0 && len(res.IDs) < k {
 		e := heap.Pop(pq).(nnItem)
 		if e.node == nil {
@@ -136,11 +207,11 @@ func (s *System) NearestNeighbors(d *Dataset, center []float64, k, bufferPages i
 			heap.Push(pq, nnItem{dist: d.norm.MinDistPoint(q, c.MBR), node: c})
 		}
 	}
-	s.chargeQuery(res, before)
+	chargeQuery(res, io)
 	return res, nil
 }
 
-func (s *System) checkQuery(d *Dataset, center []float64, bufferPages int) error {
+func (s *System) checkQuery(d *Dataset, center []float64) error {
 	if d.sys != s {
 		return fmt.Errorf("pmjoin: dataset belongs to a different system")
 	}
@@ -150,21 +221,14 @@ func (s *System) checkQuery(d *Dataset, center []float64, bufferPages int) error
 	if len(center) != d.dim {
 		return fmt.Errorf("pmjoin: query dimension %d, dataset dimension %d", len(center), d.dim)
 	}
-	if bufferPages < 1 {
-		return fmt.Errorf("pmjoin: buffer of %d pages", bufferPages)
-	}
 	return nil
 }
 
-func (s *System) chargeQuery(res *QueryResult, before disk.Stats) {
-	after := s.d.Stats()
-	delta := disk.Stats{
-		Reads:      after.Reads - before.Reads,
-		Seeks:      after.Seeks - before.Seeks,
-		GapPages:   after.GapPages - before.GapPages,
-		Writes:     after.Writes - before.Writes,
-		WriteSeeks: after.WriteSeeks - before.WriteSeeks,
-	}
-	res.PageReads = delta.Reads
-	res.IOSeconds = s.d.Model().Cost(delta)
+// chargeQuery converts the query session's charges to simulated seconds.
+// The session started with cold heads, so the cost is a pure function of
+// the query's own access sequence, independent of whatever ran before.
+func chargeQuery(res *QueryResult, io *disk.Session) {
+	st := io.Stats()
+	res.PageReads = st.Reads
+	res.IOSeconds = io.Cost()
 }

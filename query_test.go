@@ -95,6 +95,87 @@ func TestNearestNeighborsPrunesPages(t *testing.T) {
 	}
 }
 
+func TestQueryOptionsMaxResults(t *testing.T) {
+	sys, ds, vecs := queryFixture(t)
+	center := []float64{0.5, 0.5}
+	full, err := sys.RangeQueryOpts(ds, center, 0.3, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.IDs) < 3 {
+		t.Fatalf("workload too sparse: %d in range", len(full.IDs))
+	}
+	if full.Truncated {
+		t.Fatal("uncapped query reported truncation")
+	}
+
+	capped, err := sys.RangeQueryOpts(ds, center, 0.3, QueryOptions{MaxResults: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.IDs) != 2 || !capped.Truncated {
+		t.Fatalf("capped range query: %d IDs, truncated=%v", len(capped.IDs), capped.Truncated)
+	}
+	// The cap keeps the smallest IDs (result order is ascending ID).
+	if capped.IDs[0] != full.IDs[0] || capped.IDs[1] != full.IDs[1] {
+		t.Fatalf("capped IDs %v, full prefix %v", capped.IDs, full.IDs[:2])
+	}
+
+	nn, err := sys.NearestNeighborsOpts(ds, center, 10, QueryOptions{MaxResults: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn.IDs) != 3 || !nn.Truncated {
+		t.Fatalf("capped kNN: %d IDs, truncated=%v", len(nn.IDs), nn.Truncated)
+	}
+	// Still the true 3 nearest.
+	dists := make([]float64, 0, len(vecs))
+	for _, v := range vecs {
+		dists = append(dists, math.Hypot(v[0]-center[0], v[1]-center[1]))
+	}
+	sort.Float64s(dists)
+	for i := range nn.Distances {
+		if d := nn.Distances[i] - dists[i]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("capped kNN distance %d = %g, want %g", i, nn.Distances[i], dists[i])
+		}
+	}
+}
+
+// TestDeprecatedQueryWrappersAgree pins the compatibility contract: the old
+// positional signatures and the QueryOptions variants return identical
+// results for the same parameters.
+func TestDeprecatedQueryWrappersAgree(t *testing.T) {
+	sys, ds, _ := queryFixture(t)
+	center := []float64{0.4, 0.6}
+	oldR, err := sys.RangeQuery(ds, center, 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newR, err := sys.RangeQueryOpts(ds, center, 0.2, QueryOptions{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldR.IDs) != len(newR.IDs) || oldR.PageReads != newR.PageReads || oldR.IOSeconds != newR.IOSeconds {
+		t.Fatalf("range wrappers disagree: %+v vs %+v", oldR, newR)
+	}
+	oldN, err := sys.NearestNeighbors(ds, center, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newN, err := sys.NearestNeighborsOpts(ds, center, 5, QueryOptions{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldN.IDs) != len(newN.IDs) || oldN.PageReads != newN.PageReads {
+		t.Fatalf("kNN wrappers disagree: %+v vs %+v", oldN, newN)
+	}
+	for i := range oldN.IDs {
+		if oldN.IDs[i] != newN.IDs[i] {
+			t.Fatal("kNN wrapper ID mismatch")
+		}
+	}
+}
+
 func TestQueryValidation(t *testing.T) {
 	sys, ds, _ := queryFixture(t)
 	if _, err := sys.RangeQuery(ds, []float64{0.5}, 0.1, 8); err == nil {
@@ -108,6 +189,12 @@ func TestQueryValidation(t *testing.T) {
 	}
 	if _, err := sys.NearestNeighbors(ds, []float64{0.5, 0.5}, 0, 8); err == nil {
 		t.Fatal("k=0 accepted")
+	}
+	if _, err := sys.RangeQueryOpts(ds, []float64{0.5, 0.5}, 0.1, QueryOptions{BufferPages: -1}); err == nil {
+		t.Fatal("negative buffer accepted")
+	}
+	if _, err := sys.RangeQueryOpts(ds, []float64{0.5, 0.5}, 0.1, QueryOptions{MaxResults: -1}); err == nil {
+		t.Fatal("negative MaxResults accepted")
 	}
 	other := New()
 	dc, err := other.AddVectors("c", randomVecs(64, 2, 43), VectorOptions{})
