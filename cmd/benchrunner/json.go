@@ -1,0 +1,27 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"pmjoin/internal/experiments"
+)
+
+// writeMetricsJSON writes the metrics-profile snapshots as a JSON sidecar
+// (metrics.json) next to the CSV outputs. Unlike the CSVs, the sidecar keeps
+// the wall-clock fields: it is a per-run profiling artifact, not a
+// deterministic table.
+func writeMetricsJSON(dir string, records []experiments.MetricsRecord) error {
+	if dir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(dir, "metrics.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}

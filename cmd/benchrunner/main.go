@@ -101,6 +101,13 @@ func main() {
 			}
 			return writeSweepCSV(*csvDir, "fig14", "tuples", points)
 		})},
+		{"metrics", wrap(func(c *experiments.Config) error {
+			records, err := experiments.MetricsProfile(c)
+			if err != nil {
+				return err
+			}
+			return writeMetricsJSON(*csvDir, records)
+		})},
 		{"ablations", wrap(func(c *experiments.Config) error {
 			if _, err := experiments.AblationFilterDepth(c); err != nil {
 				return err

@@ -45,6 +45,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		pairs     = flag.Int("pairs", 0, "print up to this many result pairs")
 		parallel  = flag.Int("parallel", 0, "comparison workers (0: GOMAXPROCS, 1: serial)")
+		metrics   = flag.Bool("metrics", false, "print the phase-scoped metrics snapshot")
+		trace     = flag.Int("trace", 0, "record and print up to this many trace events (implies -metrics)")
 	)
 	flag.Parse()
 
@@ -78,14 +80,17 @@ func main() {
 	}
 
 	opt := pmjoin.Options{
-		Method:       m,
-		Epsilon:      epsilon,
-		BufferPages:  *buffer,
-		Policy:       policy,
-		Parallelism:  *parallel,
-		Seed:         *seed,
-		CollectPairs: *pairs > 0,
-		MaxPairs:     *pairs,
+		Method:        m,
+		Epsilon:       epsilon,
+		BufferPages:   *buffer,
+		Policy:        policy,
+		Parallelism:   *parallel,
+		Seed:          *seed,
+		CollectPairs:  *pairs > 0,
+		MaxPairs:      *pairs,
+		Metrics:       *metrics,
+		Trace:         *trace > 0,
+		TraceCapacity: *trace,
 	}
 	res, err := sys.Join(da, db, opt)
 	if err != nil {
@@ -108,6 +113,18 @@ func main() {
 	}
 	if res.Truncated {
 		fmt.Printf("  ... more pairs not shown\n")
+	}
+	if res.Metrics != nil {
+		printMetrics(res.Metrics)
+		if m == pmjoin.SC {
+			// Explain's greedy schedule is the one an SC run executes, so its
+			// per-cluster prediction lines up with the measured turnover.
+			plan, err := sys.Explain(da, db, opt)
+			if err != nil {
+				fatal(err)
+			}
+			printPredictedVsMeasured(plan, res.Metrics)
+		}
 	}
 }
 

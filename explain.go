@@ -5,9 +5,28 @@ import (
 	"fmt"
 
 	"pmjoin/internal/cluster"
+	"pmjoin/internal/metrics"
 	"pmjoin/internal/predmat"
 	"pmjoin/internal/sched"
 )
+
+// ClusterIOPlan is the analytic per-cluster read prediction for one scheduled
+// cluster: of its Pages pinned pages, Reads = Pages - the overlap with the
+// schedule predecessor (Lemma 4's per-step reuse term, which assumes shared
+// pages stay resident between consecutive clusters). A run's actually-measured
+// fetches (Metrics.Clusters[i].Fetched) can land on either side: lower when
+// pages from older clusters also survive in the buffer, higher when the
+// replacement policy evicts a shared page before the pin loop reaches it.
+type ClusterIOPlan struct {
+	// Cluster is the cluster's creation index (matches
+	// metrics.ClusterStats.Cluster for the same run).
+	Cluster int
+	// Pages is the cluster's pinned-set size: rows + cols, with row/col
+	// pages that are the same frame counted once (self joins).
+	Pages int
+	// Reads is the predicted page reads: Pages minus predecessor overlap.
+	Reads int
+}
 
 // Plan describes what a prediction-matrix join would do, without executing
 // it: the matrix statistics, the clustering, the schedule, and the paper's
@@ -39,6 +58,18 @@ type Plan struct {
 	Clusters             int
 	MaxClusterPages      int
 	AvgEntriesPerCluster float64
+
+	// ClusterIO is the per-cluster read prediction in schedule order: the
+	// exact clusters a greedy-scheduled (SC) run visits, each with its
+	// Lemma 4 predicted read count. Compare against a Result.Metrics
+	// snapshot's Clusters to see predicted vs. actually-measured I/O.
+	ClusterIO []ClusterIOPlan
+
+	// Metrics is the planning-time metrics snapshot (nil unless
+	// Options.Metrics or Options.Trace was set). Like Result.Metrics it is
+	// outside the determinism contract; every other Plan field is
+	// bit-for-bit independent of it.
+	Metrics *metrics.Metrics
 }
 
 // String renders the plan as a compact report.
@@ -76,15 +107,21 @@ func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options)
 			return nil, err
 		}
 	}
+	var mc *metrics.Collector // nil when disabled: every hook no-ops
+	if opt.Metrics {
+		mc = metrics.New(metrics.Config{Trace: opt.Trace, TraceCapacity: opt.TraceCapacity})
+	}
 	res := &Result{}
-	m, err := s.buildMatrix(a, b, opt, res, nil)
+	m, err := s.buildMatrix(a, b, opt, res, nil, mc)
 	if err != nil {
 		return nil, err
 	}
+	mc.PhaseStart(metrics.PhaseCluster)
 	clusters, err := cluster.SquareOpts(m, opt.BufferPages, cluster.SquareOptions{
 		RowFraction: opt.ClusterRowFraction,
 	})
 	if err != nil {
+		mc.PhaseEnd()
 		return nil, err
 	}
 
@@ -100,6 +137,16 @@ func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options)
 	p.NLJPageReads = nljReads(a.ds.Pages, b.ds.Pages, opt.BufferPages)
 	p.PMNLJLowerBound = lemma1Bound(m)
 
+	// Page-set keys mirror the executor's disk.PageAddr sets: for a self
+	// join both sides read the same file, so a cluster's row page and equal
+	// col page are one frame, not two. Without the dedup the sharing graph
+	// (and so the schedule and its savings) would diverge from the one the
+	// run actually builds.
+	self := a == b || a.ds.File == b.ds.File
+	colFile := 1
+	if self {
+		colFile = 0
+	}
 	pageSets := make([]sched.PageSet, len(clusters))
 	var entries int
 	for i, c := range clusters {
@@ -113,7 +160,7 @@ func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options)
 			ps[[2]int{0, r}] = struct{}{}
 		}
 		for _, col := range c.Cols() {
-			ps[[2]int{1, col}] = struct{}{}
+			ps[[2]int{colFile, col}] = struct{}{}
 		}
 		pageSets[i] = ps
 	}
@@ -121,8 +168,22 @@ func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options)
 		p.AvgEntriesPerCluster = float64(entries) / float64(len(clusters))
 		edges := sched.SharingGraph(pageSets)
 		order := sched.GreedyOrder(len(clusters), edges)
-		p.ScheduleSavings = int64(sched.PathSavings(pageSets, order))
+		steps := sched.StepSavings(pageSets, order)
+		p.ClusterIO = make([]ClusterIOPlan, len(order))
+		for pos, ci := range order {
+			// len(pageSets[ci]), not Pages(): the pinned set, post self-join
+			// dedup, is what the executor fetches and pins.
+			pages := len(pageSets[ci])
+			p.ClusterIO[pos] = ClusterIOPlan{
+				Cluster: ci,
+				Pages:   pages,
+				Reads:   pages - steps[pos],
+			}
+			p.ScheduleSavings += int64(steps[pos])
+		}
 	}
+	mc.PhaseEnd()
+	p.Metrics = mc.Finish()
 	return p, nil
 }
 

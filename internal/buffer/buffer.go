@@ -42,6 +42,25 @@ type Stats struct {
 	Evictions int64
 }
 
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+	}
+}
+
+// Sub returns the field-wise difference s - o, for computing deltas between
+// two snapshots of one pool's counters.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Evictions: s.Evictions - o.Evictions,
+	}
+}
+
 // HitRatio returns hits / (hits+misses), or 0 when no accesses happened.
 func (s Stats) HitRatio() float64 {
 	total := s.Hits + s.Misses
@@ -74,7 +93,15 @@ type Pool struct {
 	frames   map[disk.PageAddr]*frame
 	order    *list.List // front = next eviction victim
 	stats    Stats
+	// onEvict, when non-nil, observes every frame leaving the pool
+	// (policy eviction, explicit Evict, Flush). It is a tracing hook (see
+	// internal/metrics) and runs on the goroutine driving the pool.
+	onEvict func(addr disk.PageAddr)
 }
+
+// SetOnEvict installs the eviction observer; nil removes it. The callback
+// must be cheap and must not call back into the pool.
+func (p *Pool) SetOnEvict(fn func(addr disk.PageAddr)) { p.onEvict = fn }
 
 // ErrBufferFull is returned when every frame is pinned and a miss occurs.
 var ErrBufferFull = errors.New("buffer: all frames pinned")
@@ -136,14 +163,23 @@ func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
 		return f.page, nil
 	}
 	p.stats.Misses++
+	// Pick the eviction victim before reading — so a fully pinned pool
+	// fails with ErrBufferFull without charging any I/O — but remove it
+	// only after the read succeeds: evicting first would let a failed read
+	// (a bad page address, ErrNoSuchPage) permanently drop a resident page
+	// and charge an eviction for I/O that never happened.
+	var victim *list.Element
 	if len(p.frames) >= p.capacity {
-		if err := p.evictOne(); err != nil {
-			return nil, err
+		if victim = p.victim(); victim == nil {
+			return nil, ErrBufferFull
 		}
 	}
 	pg, err := p.d.Read(addr)
 	if err != nil {
 		return nil, err
+	}
+	if victim != nil {
+		p.removeFrame(victim)
 	}
 	f := &frame{page: pg}
 	f.elem = p.order.PushBack(addr)
@@ -182,34 +218,52 @@ func (p *Pool) Evict(addr disk.PageAddr) bool {
 	if !ok || f.pinned > 0 {
 		return false
 	}
-	p.order.Remove(f.elem)
-	delete(p.frames, addr)
-	p.stats.Evictions++
+	p.removeFrame(f.elem)
 	return true
 }
 
-// Flush empties the pool (pins are ignored); eviction counts are charged.
-func (p *Pool) Flush() {
-	for addr := range p.frames {
-		delete(p.frames, addr)
-		p.stats.Evictions++
+// Flush evicts every unpinned frame, charging evictions. Pinned frames stay
+// resident — dropping them would break the pin invariant GetPinned/Unpin
+// enforce — and their presence is reported as an error so the caller learns
+// its pin ledger is not empty at a phase boundary.
+func (p *Pool) Flush() error {
+	pinned := 0
+	for e := p.order.Front(); e != nil; {
+		next := e.Next()
+		if p.frames[e.Value.(disk.PageAddr)].pinned > 0 {
+			pinned++
+		} else {
+			p.removeFrame(e)
+		}
+		e = next
 	}
-	p.order.Init()
+	if pinned > 0 {
+		return fmt.Errorf("buffer: flush with %d pinned frame(s); they remain resident", pinned)
+	}
+	return nil
 }
 
-func (p *Pool) evictOne() error {
+// victim returns the next evictable frame's list element per the policy, or
+// nil when every resident frame is pinned.
+func (p *Pool) victim() *list.Element {
 	for e := p.order.Front(); e != nil; e = e.Next() {
-		addr := e.Value.(disk.PageAddr)
-		f := p.frames[addr]
-		if f.pinned > 0 {
-			continue
+		if p.frames[e.Value.(disk.PageAddr)].pinned == 0 {
+			return e
 		}
-		p.order.Remove(e)
-		delete(p.frames, addr)
-		p.stats.Evictions++
-		return nil
 	}
-	return ErrBufferFull
+	return nil
+}
+
+// removeFrame drops the frame behind e from the pool, charging one eviction
+// and notifying the observer.
+func (p *Pool) removeFrame(e *list.Element) {
+	addr := e.Value.(disk.PageAddr)
+	p.order.Remove(e)
+	delete(p.frames, addr)
+	p.stats.Evictions++
+	if p.onEvict != nil {
+		p.onEvict(addr)
+	}
 }
 
 // Resident returns the addresses of all resident pages in eviction order

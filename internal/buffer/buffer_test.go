@@ -189,7 +189,9 @@ func TestFlushEmptiesPool(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		p.Get(disk.PageAddr{File: f, Page: i})
 	}
-	p.Flush()
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush of unpinned pool: %v", err)
+	}
 	if p.Len() != 0 {
 		t.Fatalf("len = %d after flush", p.Len())
 	}
@@ -320,5 +322,200 @@ func TestPoolNeverExceedsCapacity(t *testing.T) {
 				t.Fatalf("pool holds %d pages, capacity %d", p.Len(), capacity)
 			}
 		}
+	}
+}
+
+// failingSource fails reads of one address and delegates the rest.
+type failingSource struct {
+	d    Source
+	fail disk.PageAddr
+}
+
+var errInjected = errors.New("injected read failure")
+
+func (s failingSource) Read(a disk.PageAddr) (*disk.Page, error) {
+	if a == s.fail {
+		return nil, errInjected
+	}
+	return s.d.Read(a)
+}
+
+// Regression for the read-before-evict bug: a miss whose Source.Read fails
+// must leave the pool exactly as it was — no resident page dropped, no
+// eviction charged for I/O that never happened.
+func TestFailedReadDoesNotEvict(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	bad := disk.PageAddr{File: f, Page: 99} // does not exist on disk
+	p, err := NewPool(failingSource{d: d, fail: bad}, 2, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0 := disk.PageAddr{File: f, Page: 0}
+	a1 := disk.PageAddr{File: f, Page: 1}
+	p.Get(a0)
+	p.Get(a1) // pool now full
+	if _, err := p.Get(bad); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if !p.Contains(a0) || !p.Contains(a1) {
+		t.Fatalf("resident set damaged by failed read: %v", p.Resident())
+	}
+	if ev := p.Stats().Evictions; ev != 0 {
+		t.Fatalf("evictions = %d after failed read, want 0", ev)
+	}
+	// The pool must still work: a successful miss now evicts normally.
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 2}); err != nil {
+		t.Fatalf("recovery get: %v", err)
+	}
+	if ev := p.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d after recovery get, want 1", ev)
+	}
+}
+
+// A fully pinned pool must reject a miss with ErrBufferFull before touching
+// the disk: no read may be charged for a page that cannot be cached.
+func TestFullyPinnedMissChargesNoRead(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	p, _ := NewPool(d, 2, LRU)
+	p.GetPinned(disk.PageAddr{File: f, Page: 0})
+	p.GetPinned(disk.PageAddr{File: f, Page: 1})
+	before := d.Stats().Reads
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 2}); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("err = %v, want ErrBufferFull", err)
+	}
+	if after := d.Stats().Reads; after != before {
+		t.Fatalf("reads %d -> %d across ErrBufferFull miss", before, after)
+	}
+}
+
+// Regression for the Flush pin bug: pinned frames must survive a Flush and
+// be reported, instead of being silently discarded.
+func TestFlushKeepsPinnedFrames(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	p, _ := NewPool(d, 3, LRU)
+	pinned := disk.PageAddr{File: f, Page: 0}
+	p.GetPinned(pinned)
+	p.Get(disk.PageAddr{File: f, Page: 1})
+	p.Get(disk.PageAddr{File: f, Page: 2})
+	err := p.Flush()
+	if err == nil {
+		t.Fatal("flush with a pinned frame must return an error")
+	}
+	if !p.Contains(pinned) {
+		t.Fatal("pinned frame discarded by Flush")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("len = %d after flush, want 1 (the pinned frame)", p.Len())
+	}
+	if ev := p.Stats().Evictions; ev != 2 {
+		t.Fatalf("evictions = %d, want 2 (only unpinned frames)", ev)
+	}
+	// The surviving pin still unpins cleanly — the ledger is intact.
+	if err := p.Unpin(pinned); err != nil {
+		t.Fatalf("unpin after flush: %v", err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush after unpin: %v", err)
+	}
+}
+
+// FIFO must evict in arrival order regardless of hits: a hit must not
+// refresh the victim ordering the way LRU's MoveToBack does.
+func TestFIFOHitDoesNotRefresh(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	p, _ := NewPool(d, 2, FIFO)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	a1 := disk.PageAddr{File: f, Page: 1}
+	p.Get(a0)
+	p.Get(a1)
+	p.Get(a0) // hit; under LRU this would move a0 behind a1
+	p.Get(disk.PageAddr{File: f, Page: 2})
+	if p.Contains(a0) {
+		t.Fatal("FIFO evicted the newer page instead of the oldest")
+	}
+	if !p.Contains(a1) {
+		t.Fatal("FIFO dropped the wrong frame")
+	}
+
+	// Same access pattern under LRU evicts a1: the policies must diverge.
+	q, _ := NewPool(d, 2, LRU)
+	q.Get(a0)
+	q.Get(a1)
+	q.Get(a0)
+	q.Get(disk.PageAddr{File: f, Page: 2})
+	if !q.Contains(a0) || q.Contains(a1) {
+		t.Fatal("LRU did not refresh the hit page")
+	}
+}
+
+// Eviction must skip pinned frames (oldest first) and only fail with
+// ErrBufferFull once every frame is pinned.
+func TestEvictionSkipsPinnedFrames(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 3, LRU)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	a1 := disk.PageAddr{File: f, Page: 1}
+	a2 := disk.PageAddr{File: f, Page: 2}
+	p.GetPinned(a0) // eviction-order front, but pinned
+	p.GetPinned(a1)
+	p.Get(a2)
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 3}); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if p.Contains(a2) {
+		t.Fatal("eviction took a pinned-adjacent page instead of the unpinned one")
+	}
+	if !p.Contains(a0) || !p.Contains(a1) {
+		t.Fatal("eviction removed a pinned frame")
+	}
+	// Now all three frames are pinned or freshly read; pin the newcomer too
+	// and the next miss must fail.
+	p.GetPinned(disk.PageAddr{File: f, Page: 3})
+	p.GetPinned(a0) // second pin on a0, exercises pinned>1
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 2}); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("err = %v, want ErrBufferFull", err)
+	}
+}
+
+// The eviction observer must see every frame leaving the pool, in
+// deterministic eviction order.
+func TestOnEvictObserver(t *testing.T) {
+	d, f := newDiskWithFile(t, 3)
+	p, _ := NewPool(d, 2, LRU)
+	var seen []disk.PageAddr
+	p.SetOnEvict(func(a disk.PageAddr) { seen = append(seen, a) })
+	a0 := disk.PageAddr{File: f, Page: 0}
+	a1 := disk.PageAddr{File: f, Page: 1}
+	p.Get(a0)
+	p.Get(a1)
+	p.Get(disk.PageAddr{File: f, Page: 2}) // evicts a0
+	p.Evict(a1)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	want := []disk.PageAddr{a0, a1, {File: f, Page: 2}}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observer saw %v, want %v", seen, want)
+		}
+	}
+}
+
+// The wait-free miss path must not regress: a full pool with only the front
+// frame pinned still evicts in one pass.
+func TestVictimSkipsFrontPin(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 2, FIFO)
+	a0 := disk.PageAddr{File: f, Page: 0}
+	p.GetPinned(a0)
+	p.Get(disk.PageAddr{File: f, Page: 1})
+	if _, err := p.Get(disk.PageAddr{File: f, Page: 2}); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if !p.Contains(a0) {
+		t.Fatal("pinned front frame evicted")
 	}
 }

@@ -48,14 +48,37 @@ type Page struct {
 	Payload any
 }
 
-// Stats accumulates the I/O activity charged against a Disk.
+// Stats accumulates the I/O activity charged against a Disk. Reads
+// partition into Seeks + Sequential, and Writes partition into WriteSeeks +
+// WriteSequential, so read/write mixes stay explainable side by side.
 type Stats struct {
-	Reads      int64 // total page reads
-	Seeks      int64 // reads that required a random seek
-	Sequential int64 // reads served sequentially after the previous read
-	GapPages   int64 // pages streamed over by readahead (charged as transfers)
-	Writes     int64 // total page writes
-	WriteSeeks int64 // writes that required a random seek
+	Reads           int64 // total page reads
+	Seeks           int64 // reads that required a random seek
+	Sequential      int64 // reads served sequentially after the previous read
+	GapPages        int64 // pages streamed over by readahead (charged as transfers)
+	Writes          int64 // total page writes
+	WriteSeeks      int64 // writes that required a random seek
+	WriteSequential int64 // writes served sequentially after the previous access
+}
+
+// Add returns the field-wise sum s + o.
+func (s Stats) Add(o Stats) Stats {
+	s.add(o)
+	return s
+}
+
+// Sub returns the field-wise difference s - o. It is how per-phase deltas
+// are computed from two snapshots of one accumulating counter set.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Reads:           s.Reads - o.Reads,
+		Seeks:           s.Seeks - o.Seeks,
+		Sequential:      s.Sequential - o.Sequential,
+		GapPages:        s.GapPages - o.GapPages,
+		Writes:          s.Writes - o.Writes,
+		WriteSeeks:      s.WriteSeeks - o.WriteSeeks,
+		WriteSequential: s.WriteSequential - o.WriteSequential,
+	}
 }
 
 // Model holds the linear disk cost parameters.
@@ -97,7 +120,13 @@ func (m Model) readahead() int {
 	return ra
 }
 
-// Cost converts stats into simulated seconds under the model.
+// Cost converts stats into simulated seconds under the model: every access
+// is one transfer (Reads + Writes + streamed GapPages) and the random ones
+// (Seeks + WriteSeeks) additionally pay a seek. The sequential counters
+// (Sequential, WriteSequential) are the complements of the seek counters
+// within Reads and Writes respectively — they carry no extra cost, they
+// exist so that metrics tables can explain a mixed workload's seek ratio on
+// both the read and the write path.
 func (m Model) Cost(s Stats) float64 {
 	seeks := s.Seeks + s.WriteSeeks
 	transfers := s.Reads + s.Writes + s.GapPages
@@ -217,6 +246,8 @@ func (d *Disk) Write(addr PageAddr, payload any) error {
 	d.stats.Writes++
 	if d.touch(addr) {
 		d.stats.WriteSeeks++
+	} else {
+		d.stats.WriteSequential++
 	}
 	pages[addr.Page].Payload = payload
 	return nil
@@ -263,6 +294,7 @@ func (s *Stats) add(o Stats) {
 	s.GapPages += o.GapPages
 	s.Writes += o.Writes
 	s.WriteSeeks += o.WriteSeeks
+	s.WriteSequential += o.WriteSequential
 }
 
 // Stats returns a snapshot of the accumulated I/O statistics.

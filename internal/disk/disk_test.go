@@ -298,3 +298,36 @@ func TestConcurrentReads(t *testing.T) {
 		t.Fatalf("reads = %d, want %d", s.Reads, 8*64)
 	}
 }
+
+// Regression: sequential writes must be categorized symmetrically with
+// sequential reads. Before the fix, only WriteSeeks existed, so Writes -
+// WriteSeeks was unexplainable in the metrics tables.
+func TestWriteSequentialCategorized(t *testing.T) {
+	d := newTestDisk()
+	f := d.CreateFile()
+	addrs := mustAppend(t, d, f, 4)
+	for _, a := range addrs {
+		if err := d.Write(a, "w"); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	s := d.Stats()
+	if s.Writes != 4 || s.WriteSeeks != 1 || s.WriteSequential != 3 {
+		t.Fatalf("writes=%d seeks=%d sequential=%d, want 4/1/3", s.Writes, s.WriteSeeks, s.WriteSequential)
+	}
+	if s.Writes != s.WriteSeeks+s.WriteSequential {
+		t.Fatalf("write partition broken: %+v", s)
+	}
+}
+
+func TestStatsAddSub(t *testing.T) {
+	a := Stats{Reads: 5, Seeks: 2, Sequential: 3, GapPages: 1, Writes: 4, WriteSeeks: 1, WriteSequential: 3}
+	b := Stats{Reads: 2, Seeks: 1, Sequential: 1, Writes: 1, WriteSeeks: 1}
+	sum := a.Add(b)
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("Add/Sub not inverse: %+v", got)
+	}
+	if got := a.Sub(a); got != (Stats{}) {
+		t.Fatalf("a-a = %+v", got)
+	}
+}

@@ -21,6 +21,19 @@ type Session struct {
 	mu    sync.Mutex
 	heads map[FileID]int
 	stats Stats
+	// onSeek, when non-nil, observes every access the session classifies as
+	// a random seek (write reports the access direction). It is a tracing
+	// hook (see internal/metrics); set it before issuing any I/O.
+	onSeek func(addr PageAddr, write bool)
+}
+
+// SetOnSeek installs the seek observer. The callback runs on the goroutine
+// issuing the I/O while the session lock is held, so it must be cheap and
+// must not call back into the session. A nil fn removes the observer.
+func (s *Session) SetOnSeek(fn func(addr PageAddr, write bool)) {
+	s.mu.Lock()
+	s.onSeek = fn
+	s.mu.Unlock()
 }
 
 // NewSession creates a fresh accounting scope over the disk. The new
@@ -41,6 +54,9 @@ func (s *Session) Read(addr PageAddr) (*Page, error) {
 	delta := Stats{Reads: 1}
 	if s.d.model.classify(s.heads, addr, &delta.GapPages) {
 		delta.Seeks = 1
+		if s.onSeek != nil {
+			s.onSeek(addr, false)
+		}
 	} else {
 		delta.Sequential = 1
 	}
@@ -59,6 +75,11 @@ func (s *Session) Write(addr PageAddr, payload any) error {
 	delta := Stats{Writes: 1}
 	if s.d.model.classify(s.heads, addr, &delta.GapPages) {
 		delta.WriteSeeks = 1
+		if s.onSeek != nil {
+			s.onSeek(addr, true)
+		}
+	} else {
+		delta.WriteSequential = 1
 	}
 	s.stats.add(delta)
 	s.d.addStats(delta)

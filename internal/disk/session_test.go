@@ -170,3 +170,44 @@ func TestConcurrentSessionsIndependentStats(t *testing.T) {
 		}
 	}
 }
+
+// Session writes must categorize sequential writes exactly like the Disk
+// (WriteSequential parity), and the seek observer must see every random
+// access with its direction.
+func TestSessionWriteSequentialAndSeekObserver(t *testing.T) {
+	d := New(DefaultModel())
+	f := d.CreateFile()
+	for i := 0; i < 4; i++ {
+		if _, err := d.AppendPage(f, i); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	s := d.NewSession()
+	type seek struct {
+		addr  PageAddr
+		write bool
+	}
+	var seen []seek
+	s.SetOnSeek(func(a PageAddr, w bool) { seen = append(seen, seek{a, w}) })
+	for i := 0; i < 3; i++ {
+		if err := s.Write(PageAddr{File: f, Page: i}, "w"); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if _, err := s.Read(PageAddr{File: f, Page: 0}); err != nil { // backward: seek
+		t.Fatalf("read: %v", err)
+	}
+	st := s.Stats()
+	if st.Writes != 3 || st.WriteSeeks != 1 || st.WriteSequential != 2 {
+		t.Fatalf("writes=%d seeks=%d sequential=%d, want 3/1/2", st.Writes, st.WriteSeeks, st.WriteSequential)
+	}
+	want := []seek{{PageAddr{File: f, Page: 0}, true}, {PageAddr{File: f, Page: 0}, false}}
+	if len(seen) != len(want) || seen[0] != want[0] || seen[1] != want[1] {
+		t.Fatalf("observed seeks %v, want %v", seen, want)
+	}
+	// Global counters absorbed the same categorization.
+	g := d.Stats()
+	if g.WriteSequential != 2 {
+		t.Fatalf("global WriteSequential = %d, want 2", g.WriteSequential)
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pmjoin"
+	"pmjoin/internal/metrics"
+)
+
+// MetricsRecord labels one method's phase-scoped metrics snapshot from the
+// profile workload. Everything except the snapshot's wall-clock fields is
+// deterministic for a fixed Config.
+type MetricsRecord struct {
+	Method  string
+	Epsilon float64
+	Buffer  int
+	// TotalSeconds is the simulated join cost (deterministic).
+	TotalSeconds float64
+	Results      int64
+	// Metrics is the run's snapshot, trace included.
+	Metrics *metrics.Metrics
+}
+
+// MetricsProfile runs the Figure 10 workload (LBeach x MCounty, buffer 25)
+// with metrics and tracing enabled for each prediction-matrix method and
+// returns the labeled snapshots — the benchrunner serializes them as a JSON
+// sidecar. The printed summary sticks to the deterministic counters; wall
+// clocks live only in the returned records.
+func MetricsProfile(cfg *Config) ([]MetricsRecord, error) {
+	cfg.defaults()
+	sys, da, db, eps, err := SpatialPair(cfg)
+	if err != nil {
+		return nil, err
+	}
+	buffer := cfg.buf(25)
+	methods := []pmjoin.Method{pmjoin.NLJ, pmjoin.PMNLJ, pmjoin.RandomSC, pmjoin.SC}
+
+	cfg.printf("Metrics profile: LBeach x MCounty (eps=%.4g, B=%d)\n", eps, buffer)
+	cfg.printf("%-10s %8s %8s %8s %8s %10s\n", "method", "reads", "seeks", "hits", "misses", "events")
+	records := make([]MetricsRecord, 0, len(methods))
+	for _, m := range methods {
+		res, err := sys.Join(da, db, pmjoin.Options{
+			Method: m, Epsilon: eps, BufferPages: buffer, Trace: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", m, err)
+		}
+		mm := res.Metrics
+		records = append(records, MetricsRecord{
+			Method:       m.String(),
+			Epsilon:      eps,
+			Buffer:       buffer,
+			TotalSeconds: res.TotalSeconds(),
+			Results:      res.Count(),
+			Metrics:      mm,
+		})
+		cfg.printf("%-10s %8d %8d %8d %8d %10d\n", m,
+			mm.Disk.Reads, mm.Disk.Seeks+mm.Disk.WriteSeeks,
+			mm.Buffer.Hits, mm.Buffer.Misses,
+			int64(len(mm.Events))+mm.EventsDropped)
+	}
+	cfg.printf("\n")
+	return records, nil
+}

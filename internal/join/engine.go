@@ -9,6 +9,7 @@ import (
 	"pmjoin/internal/buffer"
 	"pmjoin/internal/cluster"
 	"pmjoin/internal/disk"
+	"pmjoin/internal/metrics"
 	"pmjoin/internal/predmat"
 	"pmjoin/internal/sched"
 )
@@ -30,6 +31,11 @@ type Engine struct {
 	// Ctx carries cancellation, checked between clusters / blocks; nil
 	// means never cancelled.
 	Ctx context.Context
+	// Metrics, when non-nil, collects the run's phase-scoped metrics and
+	// trace (see internal/metrics). A nil collector costs nothing: every
+	// hook is a nil-receiver no-op. Metrics never influence the Report —
+	// they are outside the determinism contract.
+	Metrics *metrics.Collector
 }
 
 func (e *Engine) validate(r, s *Dataset) error {
@@ -64,7 +70,11 @@ func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
 	// Even on an error path (cancellation included), wait for in-flight
 	// tasks so no worker is left computing over the run's state.
 	defer x.wg.Wait()
-	if err := body(x); err != nil {
+	e.Metrics.Attach(io, pool)
+	e.Metrics.PhaseStart(metrics.PhaseJoin)
+	err = body(x)
+	e.Metrics.PhaseEnd()
+	if err != nil {
 		return nil, err
 	}
 	st := io.Stats()
@@ -99,7 +109,12 @@ func (e *Engine) NLJ(r, s *Dataset, j ObjectJoiner) (*Report, error) {
 			if hi > outer.Pages {
 				hi = outer.Pages
 			}
-			x.Pool.Flush() // new block: drop everything, then pin the block
+			// New block: drop everything, then pin the block. All pins were
+			// released at the end of the previous block, so a flush error
+			// here means the pin ledger is corrupt — abort the run.
+			if err := x.Pool.Flush(); err != nil {
+				return err
+			}
 			for p := lo; p < hi; p++ {
 				if _, err := x.Pool.GetPinned(disk.PageAddr{File: outer.File, Page: p}); err != nil {
 					return err
@@ -276,12 +291,17 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 		var order []int
 		switch opts.Order {
 		case OrderGreedySharing:
+			// Schedule construction is clustering-phase work even though
+			// it runs inside the executor scope; the nested phase window
+			// attributes it (exclusively) to PhaseCluster.
+			e.Metrics.PhaseStart(metrics.PhaseCluster)
 			var submit func(func())
 			if e.Workers != nil {
 				submit = e.Workers.Run
 			}
 			edges := sched.SharingGraphParallel(pageSets, submit)
 			order = sched.GreedyOrder(len(clusters), edges)
+			e.Metrics.PhaseEnd()
 			x.Rep.PreprocessSeconds += ModelSchedulePreprocess(len(edges))
 		case OrderRandom:
 			order = sched.RandomOrder(len(clusters), opts.Seed)
@@ -297,6 +317,7 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 				return err
 			}
 			c := clusters[ci]
+			e.Metrics.ClusterStart(ci)
 			// Fetch missing pages in ascending (file, page) order; pin all.
 			addrs := make([]disk.PageAddr, 0, c.Pages())
 			for a := range pageSets[ci] {
@@ -313,6 +334,7 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 					return err
 				}
 			}
+			e.Metrics.ClusterPinned(len(addrs))
 			for _, en := range c.Entries {
 				if err := x.JoinPair(r, s, en.R, en.C, j); err != nil {
 					return err
@@ -320,6 +342,7 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 			}
 			x.Flush()
 			x.Pool.UnpinAll()
+			e.Metrics.ClusterEnd()
 		}
 		return nil
 	})

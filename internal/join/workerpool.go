@@ -20,6 +20,10 @@ type WorkerPool struct {
 	closed  bool
 	workers int
 	done    sync.WaitGroup
+	// highWater is the deepest the queue has ever been — a backlog gauge
+	// for the metrics layer, maintained under mu so it costs one compare
+	// per submit.
+	highWater int
 }
 
 // NewWorkerPool starts a pool of n workers (n < 1 is clamped to 1).
@@ -50,8 +54,20 @@ func (p *WorkerPool) Run(task func()) {
 		panic("join: WorkerPool.Run after Close")
 	}
 	p.queue = append(p.queue, task)
+	if n := len(p.queue); n > p.highWater {
+		p.highWater = n
+	}
 	p.mu.Unlock()
 	p.cond.Signal()
+}
+
+// QueueHighWater returns the deepest queue depth observed so far. A high
+// value relative to the batch size means the coordinator outpaces the
+// workers (the pool is the bottleneck); near-zero means the opposite.
+func (p *WorkerPool) QueueHighWater() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.highWater
 }
 
 // Close drains the queue and stops the workers, returning only after every

@@ -45,6 +45,7 @@ func Analyzers() []*Analyzer {
 		floatEqAnalyzer(),
 		droppedErrAnalyzer(),
 		rawGoAnalyzer(),
+		walltimeAnalyzer(),
 	}
 }
 

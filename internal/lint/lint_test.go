@@ -54,7 +54,7 @@ func (p *Pool) Get(a disk.PageAddr) (*disk.Page, error)       { return nil, nil 
 func (p *Pool) GetPinned(a disk.PageAddr) (*disk.Page, error) { return nil, nil }
 func (p *Pool) Unpin(a disk.PageAddr) error                   { return nil }
 func (p *Pool) UnpinAll()                                     {}
-func (p *Pool) Flush()                                        {}
+func (p *Pool) Flush() error                                  { return nil }
 `
 
 // checkFixture type-checks the stub packages plus one fixture source under
@@ -273,6 +273,27 @@ func caller(p *buffer.Pool, a disk.PageAddr) error {
 }
 `,
 			lines: []int{15},
+		},
+		{
+			// Flush no longer discards pinned frames (it skips and reports
+			// them), so it must not be mistaken for a pin release: a
+			// function that pins and then flushes still owes an Unpin.
+			name: "Flush does not satisfy the pin obligation",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func bad(p *buffer.Pool, a disk.PageAddr) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	return p.Flush()
+}
+`,
+			lines: []int{12},
 		},
 		{
 			name: "success-path return before unpin is flagged",
@@ -618,9 +639,20 @@ import "pmjoin/internal/buffer"
 
 func ok(p *buffer.Pool) {
 	p.UnpinAll()
+}
+`,
+		},
+		{
+			name: "discarded Flush error is flagged",
+			src: `package fixture
+
+import "pmjoin/internal/buffer"
+
+func bad(p *buffer.Pool) {
 	p.Flush()
 }
 `,
+			lines: []int{6},
 		},
 		{
 			name: "non-guarded packages are not policed",
@@ -748,4 +780,42 @@ func TestModuleIsClean(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
+}
+
+func TestWalltime(t *testing.T) {
+	const timeSrc = `package fixture
+
+import "time"
+
+var now = time.Now
+`
+	t.Run("time import in a hot-path internal package is flagged", func(t *testing.T) {
+		expectDiags(t, runOne(t, "walltime", "pmjoin/internal/fixture", timeSrc), "walltime", []int{3})
+	})
+	t.Run("internal/join is a hot-path package", func(t *testing.T) {
+		src := strings.Replace(timeSrc, "package fixture", "package join", 1)
+		expectDiags(t, runOne(t, "walltime", joinPkgPath, src), "walltime", []int{3})
+	})
+	t.Run("internal/metrics is exempt", func(t *testing.T) {
+		src := strings.Replace(timeSrc, "package fixture", "package metrics", 1)
+		expectDiags(t, runOne(t, "walltime", metricsPkgPath, src), "walltime", nil)
+	})
+	t.Run("internal/experiments is exempt", func(t *testing.T) {
+		src := strings.Replace(timeSrc, "package fixture", "package experiments", 1)
+		expectDiags(t, runOne(t, "walltime", experimentsPkgPath, src), "walltime", nil)
+	})
+	t.Run("packages outside internal are exempt", func(t *testing.T) {
+		src := strings.Replace(timeSrc, "package fixture", "package pmjoin", 1)
+		expectDiags(t, runOne(t, "walltime", "pmjoin", src), "walltime", nil)
+	})
+	t.Run("suppressed import is clean", func(t *testing.T) {
+		src := `package fixture
+
+//lint:ignore walltime timeout plumbing, not cost accounting
+import "time"
+
+var after = time.After
+`
+		expectDiags(t, runOne(t, "walltime", "pmjoin/internal/fixture", src), "walltime", nil)
+	})
 }

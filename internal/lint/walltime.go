@@ -1,0 +1,48 @@
+package lint
+
+import "strings"
+
+// Packages sanctioned to read the wall clock (see walltimeAnalyzer).
+const (
+	metricsPkgPath     = "pmjoin/internal/metrics"
+	experimentsPkgPath = "pmjoin/internal/experiments"
+)
+
+// walltimeAnalyzer flags `import "time"` in the hot-path internal packages.
+// Every cost the simulator reports is modeled, not measured: disk seconds
+// come from the linear-disk model and CPU seconds from calibrated per-
+// operation constants, which is what makes a Report a deterministic function
+// of the schedule. A time.Now() in disk, buffer, predmat, cluster, sched or
+// join is either dead weight on the hot path or — worse — the first step of
+// time-based accounting that would make Reports host-dependent. All wall-
+// clock measurement flows through the sanctioned seams instead:
+// internal/metrics (the phase-scoped collector), internal/experiments (the
+// host-speedup harness), and the ExecStats fields at the API layer (outside
+// internal/). Anything else needs a //lint:ignore walltime <reason>.
+func walltimeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "walltime",
+		Doc:  "import of time in a hot-path internal package; wall-clock measurement belongs to internal/metrics, internal/experiments, or ExecStats",
+		Run:  runWalltime,
+	}
+}
+
+func runWalltime(p *Package) []Diagnostic {
+	if !strings.HasPrefix(p.Path, "pmjoin/internal/") {
+		return nil
+	}
+	if p.Path == metricsPkgPath || p.Path == experimentsPkgPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "time" {
+				continue
+			}
+			diags = append(diags, p.diag(imp, "walltime",
+				"hot-path package imports time; route wall-clock measurement through internal/metrics (or ExecStats at the API layer) so simulated costs stay deterministic"))
+		}
+	}
+	return diags
+}

@@ -94,7 +94,9 @@ func Run(e *join.Engine, r, s *join.Dataset, j join.ObjectJoiner, opts Options) 
 				if hi > rn {
 					hi = rn
 				}
-				x.Pool.Flush()
+				if err := x.Pool.Flush(); err != nil {
+					return err
+				}
 				for pg := lo; pg < hi; pg++ {
 					if _, err := x.Pool.GetPinned(disk.PageAddr{File: rf, Page: pg}); err != nil {
 						return err

@@ -83,6 +83,19 @@ func rowEdges(pages []PageSet, i int) []Edge {
 // (Lemma 4).
 func PathSavings(pages []PageSet, order []int) int {
 	total := 0
+	for _, s := range StepSavings(pages, order) {
+		total += s
+	}
+	return total
+}
+
+// StepSavings returns, for each position in the order, the pages the cluster
+// at that position shares with its immediate predecessor (position 0 shares
+// nothing). These are the per-step reuse guarantees behind PathSavings —
+// the buffer may reuse more (pages surviving from older clusters), never
+// less, so each step is a per-cluster predicted read count's reuse term.
+func StepSavings(pages []PageSet, order []int) []int {
+	steps := make([]int, len(order))
 	for i := 1; i < len(order); i++ {
 		a, b := pages[order[i-1]], pages[order[i]]
 		if len(b) < len(a) {
@@ -90,11 +103,11 @@ func PathSavings(pages []PageSet, order []int) int {
 		}
 		for p := range a {
 			if _, ok := b[p]; ok {
-				total++
+				steps[i]++
 			}
 		}
 	}
-	return total
+	return steps
 }
 
 // GreedyOrder returns a processing order over all n clusters maximizing

@@ -12,6 +12,7 @@ import (
 	"pmjoin/internal/ego"
 	"pmjoin/internal/geom"
 	"pmjoin/internal/join"
+	"pmjoin/internal/metrics"
 	"pmjoin/internal/mrsindex"
 	"pmjoin/internal/pbsm"
 	"pmjoin/internal/predmat"
@@ -55,6 +56,11 @@ type Result struct {
 	// Exec is the wall-clock execution profile (not deterministic; see
 	// ExecStats).
 	Exec ExecStats
+	// Metrics is the phase-scoped metrics snapshot (nil unless
+	// Options.Metrics or Options.Trace was set). Like ExecStats it is
+	// outside the determinism contract: its wall-clock fields vary run to
+	// run, and collecting it never changes Report or Pairs.
+	Metrics *metrics.Metrics
 }
 
 // Count returns the number of result pairs found.
@@ -108,12 +114,17 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		wp = join.NewWorkerPool(opt.Parallelism)
 		defer wp.Close()
 	}
+	var mc *metrics.Collector // nil when disabled: every hook no-ops
+	if opt.Metrics {
+		mc = metrics.New(metrics.Config{Trace: opt.Trace, TraceCapacity: opt.TraceCapacity})
+	}
 	eng := &join.Engine{
 		Disk:       s.d,
 		BufferSize: opt.BufferPages,
 		Policy:     buffer.Policy(opt.Policy),
 		Workers:    wp,
 		Ctx:        ctx,
+		Metrics:    mc,
 	}
 	if opt.CollectPairs {
 		eng.OnPair = func(i, j int) {
@@ -142,16 +153,17 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		rep, err = timedJoin(func() (*join.Report, error) { return eng.NLJ(&a.ds, &b.ds, joiner) })
 	case PMNLJ:
 		var m *predmat.Matrix
-		m, err = s.buildMatrix(a, b, opt, res, wp)
+		m, err = s.buildMatrix(a, b, opt, res, wp, mc)
 		if err == nil {
 			rep, err = timedJoin(func() (*join.Report, error) { return eng.PMNLJ(&a.ds, &b.ds, m, joiner) })
 		}
 	case RandomSC, SC, CC:
 		var m *predmat.Matrix
-		m, err = s.buildMatrix(a, b, opt, res, wp)
+		m, err = s.buildMatrix(a, b, opt, res, wp, mc)
 		if err != nil {
 			break
 		}
+		mc.PhaseStart(metrics.PhaseCluster)
 		preStart := time.Now()
 		var clusters []*cluster.Cluster
 		var pre float64
@@ -172,6 +184,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 			pre = join.ModelSCPreprocess(m.Marked())
 		}
 		res.Exec.PreprocessWall = time.Since(preStart)
+		mc.PhaseEnd()
 		if err != nil {
 			break
 		}
@@ -223,6 +236,10 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		return nil, err
 	}
 	res.Report = *rep
+	if wp != nil {
+		mc.RecordQueueHighWater(wp.QueueHighWater())
+	}
+	res.Metrics = mc.Finish()
 	return res, nil
 }
 
@@ -288,7 +305,7 @@ func (s *System) matrixEpsilon(a *Dataset, eps float64) float64 { return eps }
 // the first to store wins and later builders adopt its entry, so every
 // caller observes one canonical matrix per key. The build itself is
 // deterministic, parallel or not, so which copy wins is unobservable.
-func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.WorkerPool) (*predmat.Matrix, error) {
+func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.WorkerPool, mc *metrics.Collector) (*predmat.Matrix, error) {
 	depth := opt.FilterDepth
 	switch {
 	case depth == 0:
@@ -312,8 +329,10 @@ func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.W
 	if wp != nil {
 		bopts.Runner = wp
 	}
+	mc.PhaseStart(metrics.PhaseMatrix)
 	m, err := predmat.Build(a.ds.Root, b.ds.Root, a.ds.Pages, b.ds.Pages,
 		s.matrixEpsilon(a, opt.Epsilon), s.predictor(a), bopts)
+	mc.PhaseEnd()
 	if err != nil {
 		return nil, err
 	}

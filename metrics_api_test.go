@@ -1,0 +1,281 @@
+package pmjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+	"pmjoin/internal/metrics"
+)
+
+// planFields strips the metrics snapshot from a plan, leaving exactly the
+// fields the determinism contract covers.
+func planFields(p *Plan) Plan {
+	c := *p
+	c.Metrics = nil
+	return c
+}
+
+// metricsWorkload is a vector SC workload big enough to produce several
+// clusters and nontrivial buffer traffic.
+func metricsWorkload(t *testing.T) (*System, *Dataset, *Dataset, Options) {
+	t.Helper()
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(400, 2, 1), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sys.AddVectors("b", randomVecs(300, 2, 2), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, da, db, Options{
+		Method: SC, Epsilon: 0.05, BufferPages: 16,
+		CollectPairs: true, Parallelism: 1,
+	}
+}
+
+// TestMetricsDeterminism is the acceptance contract of the metrics layer:
+// Report, Pairs and Plan are bit-for-bit identical with metrics and tracing
+// enabled vs. disabled, and at Parallelism 1 vs. >1.
+func TestMetricsDeterminism(t *testing.T) {
+	sys, da, db, opt := metricsWorkload(t)
+
+	base, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Count() == 0 {
+		t.Fatal("workload has no results")
+	}
+	if base.Metrics != nil {
+		t.Fatal("Metrics collected without Options.Metrics")
+	}
+	basePlan, err := sys.Explain(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basePlan.Metrics != nil {
+		t.Fatal("Plan.Metrics collected without Options.Metrics")
+	}
+
+	for _, tc := range []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"metrics", func(o *Options) { o.Metrics = true }},
+		{"trace", func(o *Options) { o.Trace = true }},
+		{"metrics-parallel", func(o *Options) { o.Metrics = true; o.Parallelism = 4 }},
+		{"trace-parallel", func(o *Options) { o.Trace = true; o.Parallelism = 4 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := opt
+			tc.mod(&o)
+			res, err := sys.Join(da, db, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Metrics == nil {
+				t.Fatal("Options.Metrics set but Result.Metrics is nil")
+			}
+			if got, want := deterministicFields(res), deterministicFields(base); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s result differs from baseline:\n base: %+v\n got:  %+v", tc.name, want, got)
+			}
+			plan, err := sys.Explain(da, db, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Metrics == nil {
+				t.Fatal("Options.Metrics set but Plan.Metrics is nil")
+			}
+			if got, want := planFields(plan), planFields(basePlan); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s plan differs from baseline:\n base: %+v\n got:  %+v", tc.name, want, got)
+			}
+		})
+	}
+}
+
+// TestMetricsPhaseSumsMatchReport asserts the snapshot's accounting identity
+// against the run's own Report: the per-phase disk deltas sum to the run's
+// total disk.Stats, and the totals agree with the Report's counters.
+func TestMetricsPhaseSumsMatchReport(t *testing.T) {
+	sys, da, db, opt := metricsWorkload(t)
+	opt.Metrics = true
+	res, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+
+	var disks disk.Stats
+	var bufs buffer.Stats
+	for _, ps := range m.Phases {
+		disks = disks.Add(ps.Disk)
+		bufs = bufs.Add(ps.Buffer)
+	}
+	if disks != m.Disk {
+		t.Errorf("phase disk deltas sum to %+v, total is %+v", disks, m.Disk)
+	}
+	if bufs != m.Buffer {
+		t.Errorf("phase buffer deltas sum to %+v, total is %+v", bufs, m.Buffer)
+	}
+	if m.Disk.Reads != res.Report.PageReads {
+		t.Errorf("Metrics.Disk.Reads = %d, Report.PageReads = %d", m.Disk.Reads, res.Report.PageReads)
+	}
+	if got := m.Disk.Seeks + m.Disk.WriteSeeks; got != res.Report.Seeks {
+		t.Errorf("Metrics seeks = %d, Report.Seeks = %d", got, res.Report.Seeks)
+	}
+	if m.Buffer.Hits != res.Report.Hits || m.Buffer.Misses != res.Report.Misses {
+		t.Errorf("Metrics.Buffer = %+v, Report hits/misses = %d/%d",
+			m.Buffer, res.Report.Hits, res.Report.Misses)
+	}
+	// SC issues its reads inside the executor: the join phase must own every
+	// read and the idle phases none.
+	if m.Phases[metrics.PhaseJoin].Disk.Reads != m.Disk.Reads {
+		t.Errorf("join phase owns %d of %d reads",
+			m.Phases[metrics.PhaseJoin].Disk.Reads, m.Disk.Reads)
+	}
+	if w := m.Phases[metrics.PhaseMatrix].Wall + m.Phases[metrics.PhaseCluster].Wall; w <= 0 {
+		t.Errorf("matrix+cluster phases recorded no wall time")
+	}
+}
+
+// TestMetricsPredictedVsMeasured compares Explain's per-cluster read
+// prediction (Lemma 4: pages minus predecessor overlap) with the join's
+// actually-measured per-cluster turnover: the run visits the same clusters in
+// the same schedule order, pins exactly the predicted pages, realizes some of
+// the predicted sharing, and every buffer miss of the run is attributed to
+// exactly one cluster.
+func TestMetricsPredictedVsMeasured(t *testing.T) {
+	sys, da, db, opt := metricsWorkload(t)
+	opt.Metrics = true
+	t.Run("cross", func(t *testing.T) { testPredictedVsMeasured(t, sys, da, db, opt) })
+	// Self joins exercise the page-set dedup: a cluster's row and col pages
+	// come from one file, so the plan must count shared frames once to line
+	// up with the executor's pinned sets.
+	t.Run("self", func(t *testing.T) { testPredictedVsMeasured(t, sys, da, da, opt) })
+}
+
+func testPredictedVsMeasured(t *testing.T, sys *System, da, db *Dataset, opt Options) {
+	plan, err := sys.Explain(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+
+	if len(plan.ClusterIO) == 0 {
+		t.Fatal("plan has no ClusterIO entries")
+	}
+	if len(plan.ClusterIO) != len(m.Clusters) {
+		t.Fatalf("plan schedules %d clusters, run measured %d", len(plan.ClusterIO), len(m.Clusters))
+	}
+	var predictedSavings int64
+	var fetched, reused int64
+	for i, pc := range plan.ClusterIO {
+		mc := m.Clusters[i]
+		if pc.Cluster != mc.Cluster {
+			t.Fatalf("schedule position %d: plan visits cluster %d, run visited %d", i, pc.Cluster, mc.Cluster)
+		}
+		if pc.Pages != mc.Pinned {
+			t.Errorf("cluster %d: plan pins %d pages, run pinned %d", pc.Cluster, pc.Pages, mc.Pinned)
+		}
+		if mc.Fetched+mc.Reused != int64(mc.Pinned) {
+			t.Errorf("cluster %d: fetched %d + reused %d != pinned %d",
+				mc.Cluster, mc.Fetched, mc.Reused, mc.Pinned)
+		}
+		if mc.Fetched > int64(mc.Pinned) {
+			t.Errorf("cluster %d: fetched %d of %d pinned pages", mc.Cluster, mc.Fetched, mc.Pinned)
+		}
+		predictedSavings += int64(pc.Pages - pc.Reads)
+		fetched += mc.Fetched
+		reused += mc.Reused
+	}
+	if predictedSavings != plan.ScheduleSavings {
+		t.Errorf("ClusterIO savings sum to %d, ScheduleSavings is %d", predictedSavings, plan.ScheduleSavings)
+	}
+	// The prediction assumes predecessor-shared pages stay resident; the run
+	// realizes a nonzero fraction of that sharing (it may fall short where the
+	// replacement policy evicted a shared page before its pin, and overshoot
+	// where older clusters' pages survived).
+	if plan.ScheduleSavings > 0 && reused == 0 {
+		t.Errorf("schedule predicts %d reused pages, run reused none", plan.ScheduleSavings)
+	}
+	// SC reads pages only through cluster pin loops, so the per-cluster
+	// fetches partition the run's misses.
+	if fetched != m.Buffer.Misses {
+		t.Errorf("per-cluster fetches sum to %d, run missed %d", fetched, m.Buffer.Misses)
+	}
+}
+
+// TestMetricsTraceThroughAPI exercises the trace ring end to end: events
+// arrive typed and ordered, and a small TraceCapacity bounds the ring while
+// Seq still exposes the run's full event count.
+func TestMetricsTraceThroughAPI(t *testing.T) {
+	sys, da, db, opt := metricsWorkload(t)
+	opt.Trace = true
+	res, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if len(m.Events) == 0 {
+		t.Fatal("trace enabled but no events recorded")
+	}
+	if m.EventsDropped != 0 {
+		t.Fatalf("default capacity dropped %d events", m.EventsDropped)
+	}
+	for i := 1; i < len(m.Events); i++ {
+		if m.Events[i].Seq != m.Events[i-1].Seq+1 {
+			t.Fatalf("event %d: Seq %d follows %d", i, m.Events[i].Seq, m.Events[i-1].Seq)
+		}
+	}
+	var starts, ends, seeks int
+	for _, ev := range m.Events {
+		switch ev.Kind {
+		case metrics.EvClusterStart:
+			starts++
+		case metrics.EvClusterEnd:
+			ends++
+		case metrics.EvSeek:
+			seeks++
+		}
+	}
+	if starts != len(m.Clusters) || ends != len(m.Clusters) {
+		t.Errorf("trace has %d cluster starts / %d ends for %d clusters", starts, ends, len(m.Clusters))
+	}
+	if int64(seeks) != m.Disk.Seeks+m.Disk.WriteSeeks {
+		t.Errorf("trace has %d seek events, disk counted %d", seeks, m.Disk.Seeks+m.Disk.WriteSeeks)
+	}
+	// Re-run at full capacity for the steady-state event count: the first run
+	// built the prediction matrix (two phase events the cached runs lack).
+	res, err = sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := int64(len(res.Metrics.Events))
+	if res.Metrics.EventsDropped != 0 {
+		t.Fatalf("default capacity dropped %d events", res.Metrics.EventsDropped)
+	}
+
+	// A tiny ring keeps only the newest events and reports the overwrites.
+	opt.TraceCapacity = 8
+	res, err = sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = res.Metrics
+	if len(m.Events) != 8 {
+		t.Fatalf("ring of 8 returned %d events", len(m.Events))
+	}
+	if m.EventsDropped != full-8 {
+		t.Errorf("ring dropped %d events, want %d", m.EventsDropped, full-8)
+	}
+	if last := m.Events[7]; last.Seq != full-1 {
+		t.Errorf("newest event Seq = %d, want %d", last.Seq, full-1)
+	}
+}

@@ -226,6 +226,19 @@ type Options struct {
 	ClusterRowFraction float64
 	// HistogramBins is CC's density-histogram resolution (default 100).
 	HistogramBins int
+	// Metrics enables the phase-scoped metrics snapshot on Result.Metrics
+	// (and Plan.Metrics for Explain). Like ExecStats, the snapshot is
+	// outside the determinism contract: enabling it never changes Report,
+	// Pairs or Plan. Off by default; a disabled run pays nothing.
+	Metrics bool
+	// Trace additionally records a bounded ring-buffer trace of typed
+	// events (phase/cluster boundaries, evictions, seeks) in the snapshot.
+	// Trace implies Metrics.
+	Trace bool
+	// TraceCapacity bounds the trace ring (default 4096 events; the ring
+	// keeps the newest events and counts the overwritten ones). Negative
+	// values are rejected by Validate.
+	TraceCapacity int
 }
 
 // Validate checks the options and normalizes defaulted fields in place:
@@ -270,6 +283,12 @@ func (o *Options) Validate() error {
 	}
 	if o.HistogramBins == 0 {
 		o.HistogramBins = 100
+	}
+	if o.TraceCapacity < 0 {
+		return fmt.Errorf("pmjoin: negative trace capacity %d", o.TraceCapacity)
+	}
+	if o.Trace {
+		o.Metrics = true
 	}
 	return nil
 }

@@ -12,11 +12,13 @@ import (
 	"pmjoin/internal/dataset"
 )
 
-// deterministicFields strips the wall-clock execution profile from a result,
-// leaving exactly the fields the determinism contract covers.
+// deterministicFields strips the wall-clock execution profile and the metrics
+// snapshot from a result, leaving exactly the fields the determinism contract
+// covers.
 func deterministicFields(r *Result) Result {
 	c := *r
 	c.Exec = ExecStats{}
+	c.Metrics = nil
 	return c
 }
 

@@ -25,6 +25,12 @@ go vet ./...
 echo "==> pmlint ./..."
 go run ./cmd/pmlint ./...
 
+echo "==> metrics determinism (metrics/trace on vs off, serial vs parallel)"
+# Run the dedicated contract test on its own first: a bit-identical Report /
+# Pairs / Plan with collection enabled is the invariant that keeps the
+# metrics layer an observer rather than a participant.
+go test -race -run 'TestMetricsDeterminism' .
+
 echo "==> go test -race ${SHORT_FLAG} ./..."
 # Race instrumentation slows the experiment replications several-fold;
 # give the heaviest package headroom beyond the 10m default.
