@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"pmjoin/internal/experiments"
 )
@@ -24,4 +25,36 @@ func writeMetricsJSON(dir string, records []experiments.MetricsRecord) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	return enc.Encode(records)
+}
+
+// kernelsReport is the BENCH_kernels.json document: the kernel-vs-reference
+// records plus enough host context to read the wall-clock numbers in
+// perspective.
+type kernelsReport struct {
+	GoVersion  string
+	GOARCH     string
+	GOMAXPROCS int
+	Records    []experiments.KernelsRecord
+}
+
+// writeKernelsJSON writes the kernel micro-benchmark records as
+// BENCH_kernels.json — into dir when -csv is set, else into the working
+// directory (the repo root in the committed-evidence workflow).
+func writeKernelsJSON(dir string, records []experiments.KernelsRecord) error {
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_kernels.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(kernelsReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    records,
+	})
 }

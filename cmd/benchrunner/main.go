@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations, parallel")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations, parallel, kernels")
 	scale := flag.Float64("scale", 0.25, "dataset/buffer scale factor (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
@@ -135,6 +135,20 @@ func main() {
 	// Wall-clock experiments run only when named: their timings depend on
 	// the host, so they are excluded from -exp all (whose outputs are
 	// deterministic).
+	if *exp == "kernels" {
+		start := time.Now()
+		fmt.Printf("== kernels (seed %d) ==\n", *seed)
+		records, err := experiments.KernelsBench(cfg)
+		if err == nil {
+			err = writeKernelsJSON(*csvDir, records)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernels: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- kernels done in %v --\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 	if *exp == "parallel" {
 		start := time.Now()
 		fmt.Printf("== parallel (scale %g) ==\n", *scale)

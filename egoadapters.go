@@ -6,6 +6,7 @@ import (
 	"pmjoin/internal/ego"
 	"pmjoin/internal/geom"
 	"pmjoin/internal/join"
+	"pmjoin/internal/kernel"
 	"pmjoin/internal/mrindex"
 	"pmjoin/internal/seqdist"
 )
@@ -25,6 +26,10 @@ type vectorEGO struct {
 	eps  float64
 	cell float64
 	self bool
+	// kernels switches Compare to the precompiled threshold test, which is
+	// bit-identical to norm.Dist(a, b) <= eps (see internal/kernel).
+	kernels bool
+	th      kernel.Threshold
 }
 
 func (v *vectorEGO) NumObjects(p any) int { return len(p.(*join.VectorPage).IDs) }
@@ -44,6 +49,9 @@ func (v *vectorEGO) Compare(pa any, i int, pb any, k int) (bool, float64) {
 	a := pa.(*join.VectorPage)
 	b := pb.(*join.VectorPage)
 	cost := egoBaseCost + egoPerDimCost*float64(len(a.Vecs[i]))
+	if v.kernels {
+		return v.th.Within(a.Vecs[i], b.Vecs[k]), cost
+	}
 	return v.norm.Dist(a.Vecs[i], b.Vecs[k]) <= v.eps, cost
 }
 
@@ -80,6 +88,10 @@ type seriesEGO struct {
 	self     bool
 	window   int
 	features int
+	// kernels switches Compare to the precompiled squared-L2 test, matching
+	// the inline epsSq loop bit for bit.
+	kernels bool
+	th      kernel.Threshold
 }
 
 func (s *seriesEGO) NumObjects(p any) int { return len(p.(*join.SeriesPage).IDs) }
@@ -100,6 +112,9 @@ func (s *seriesEGO) Compare(pa any, i int, pb any, k int) (bool, float64) {
 	b := pb.(*join.SeriesPage)
 	wa, wb := a.Windows[i], b.Windows[k]
 	cost := egoBaseCost + egoPerDimCost*float64(len(wa))
+	if s.kernels {
+		return s.th.Within(wa, wb), cost
+	}
 	epsSq := s.eps * s.eps
 	var sum float64
 	for x := range wa {

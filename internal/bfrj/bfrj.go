@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"pmjoin/internal/disk"
+	"pmjoin/internal/geom"
 	"pmjoin/internal/index"
 	"pmjoin/internal/join"
 	"pmjoin/internal/predmat"
@@ -53,12 +54,29 @@ type Options struct {
 	// PairsPerPage is the capacity of one spill page of the intermediate
 	// pair list (default 256, ~16 bytes per pair in a 4 KB page).
 	PairsPerPage int
+	// Kernels routes node-pair predictor tests through internal/kernel's
+	// exact MBR bound when Pred offers one; the candidate set — and hence
+	// the Report — is bit-identical either way.
+	Kernels bool
+}
+
+// kernelBounder mirrors predmat's optional Predictor refinement.
+type kernelBounder interface {
+	KernelBound(eps float64) func(a, b geom.MBR) bool
 }
 
 // Run executes BFRJ between the datasets indexed by r.Root and s.Root.
 func Run(e *join.Engine, r, s *join.Dataset, j join.ObjectJoiner, opts Options) (*join.Report, error) {
 	if opts.PairsPerPage == 0 {
 		opts.PairsPerPage = 256
+	}
+	within := func(a, b geom.MBR) bool { return opts.Pred.LowerBound(a, b) <= opts.Eps }
+	if opts.Kernels {
+		if kb, ok := opts.Pred.(kernelBounder); ok {
+			if f := kb.KernelBound(opts.Eps); f != nil {
+				within = f
+			}
+		}
 	}
 	return e.Run("BFRJ", func(x *join.Exec) error {
 		rNodes, err := materialize(x.IO, r.Root)
@@ -139,7 +157,7 @@ func Run(e *join.Engine, r, s *join.Dataset, j join.ObjectJoiner, opts Options) 
 				}
 				for _, ac := range aKids {
 					for _, bc := range bKids {
-						if opts.Pred.LowerBound(ac.MBR, bc.MBR) <= opts.Eps {
+						if within(ac.MBR, bc.MBR) {
 							if ac.IsLeaf() && bc.IsLeaf() {
 								addLeaf(ac, bc)
 							} else {

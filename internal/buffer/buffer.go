@@ -97,11 +97,20 @@ type Pool struct {
 	// (policy eviction, explicit Evict, Flush). It is a tracing hook (see
 	// internal/metrics) and runs on the goroutine driving the pool.
 	onEvict func(addr disk.PageAddr)
+	// onLoad, when non-nil, observes every page entering the pool off a miss
+	// read, before it is returned to the caller. The engine uses it to warm
+	// per-page derived state (flat kernel blocks) on the coordinator, once
+	// per residency, instead of inside worker join loops.
+	onLoad func(pg *disk.Page)
 }
 
 // SetOnEvict installs the eviction observer; nil removes it. The callback
 // must be cheap and must not call back into the pool.
 func (p *Pool) SetOnEvict(fn func(addr disk.PageAddr)) { p.onEvict = fn }
+
+// SetOnLoad installs the miss-load observer; nil removes it. The callback
+// runs on the goroutine driving the pool and must not call back into it.
+func (p *Pool) SetOnLoad(fn func(pg *disk.Page)) { p.onLoad = fn }
 
 // ErrBufferFull is returned when every frame is pinned and a miss occurs.
 var ErrBufferFull = errors.New("buffer: all frames pinned")
@@ -177,6 +186,9 @@ func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
 	pg, err := p.d.Read(addr)
 	if err != nil {
 		return nil, err
+	}
+	if p.onLoad != nil {
+		p.onLoad(pg)
 	}
 	if victim != nil {
 		p.removeFrame(victim)

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"pmjoin/internal/geom"
+	"pmjoin/internal/kernel"
+	"pmjoin/internal/predmat"
+)
+
+// KernelsRecord is one row of the kernel-vs-reference wall-clock comparison.
+// Unlike the paper figures this experiment measures host time, so it runs
+// only when named (-exp kernels) and its numbers vary across machines; the
+// Checksum fields are deterministic and assert both sides computed the same
+// answer.
+type KernelsRecord struct {
+	// Name identifies the micro-workload, e.g. "pagepair/L2/dim16" or
+	// "matrix/mark-construct".
+	Name string
+	// Dim is the vector dimension (0 for the matrix workload).
+	Dim int
+	// Ops is the number of unit operations per timed repetition: ε-tests for
+	// the page-pair workloads, Mark calls for the matrix workload.
+	Ops int64
+	// RefNs and KernelNs are nanoseconds per unit operation for the
+	// reference implementation and the kernel path.
+	RefNs    float64
+	KernelNs float64
+	// Speedup is RefNs / KernelNs.
+	Speedup float64
+	// Checksum is the matched-pair count (page-pair) or final marked-cell
+	// count (matrix); both sides must agree on it or the run errors out.
+	Checksum int64
+}
+
+// kernelPageN is the points-per-page of the page-pair micro-workload,
+// matching a realistically full data page.
+const kernelPageN = 256
+
+// KernelsBench measures the internal/kernel hot paths against the reference
+// implementations they replaced: the batched page-pair ε-test per norm and
+// dimension, and Mark-heavy prediction-matrix construction against the
+// per-Mark sorted-insertion scheme the matrix used before its CSR rewrite.
+// The benchrunner serializes the records as BENCH_kernels.json.
+func KernelsBench(cfg *Config) ([]KernelsRecord, error) {
+	cfg.defaults()
+	var records []KernelsRecord
+
+	norms := []struct {
+		label string
+		norm  geom.Norm
+	}{
+		{"L2", geom.L2},
+		{"L1", geom.Norm{P: 1}},
+		{"Linf", geom.LInf},
+		{"L3", geom.Norm{P: 3}},
+	}
+	cfg.printf("Kernel micro-benchmarks (page %d points, ~1%% selectivity)\n", kernelPageN)
+	cfg.printf("%-20s %12s %12s %9s %10s\n", "workload", "ref ns/op", "kernel ns/op", "speedup", "matches")
+	for _, n := range norms {
+		for _, dim := range []int{2, 16, 64, 256} {
+			rec, err := benchPagePair(cfg, n.label, n.norm, dim)
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, rec)
+			cfg.printf("%-20s %12.2f %12.2f %8.1fx %10d\n",
+				rec.Name, rec.RefNs, rec.KernelNs, rec.Speedup, rec.Checksum)
+		}
+	}
+
+	rec, err := benchMatrixConstruct(cfg)
+	if err != nil {
+		return nil, err
+	}
+	records = append(records, rec)
+	cfg.printf("%-20s %12.2f %12.2f %8.1fx %10d\n",
+		rec.Name, rec.RefNs, rec.KernelNs, rec.Speedup, rec.Checksum)
+	cfg.printf("\n")
+	return records, nil
+}
+
+// benchPagePair times one probe page against one data page: the reference is
+// the geom.Norm.Dist threshold comparison every pre-kernel call site used,
+// the kernel side is Threshold + PagePairWithin over the flat block, exactly
+// as VectorJoiner runs it (threshold and flat page built once per page,
+// scratch reused).
+func benchPagePair(cfg *Config, label string, n geom.Norm, dim int) (KernelsRecord, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(dim) + int64(n.P)*1000))
+	probes := randomPage(rng, dim)
+	data := randomPage(rng, dim)
+
+	// Calibrate ε to ~1% selectivity so the early abandon sees the mostly
+	// non-matching traffic a real join page pair produces.
+	dists := make([]float64, 0, len(probes)*len(data))
+	for _, a := range probes {
+		for _, b := range data {
+			dists = append(dists, n.Dist(a, b))
+		}
+	}
+	sort.Float64s(dists)
+	eps := dists[len(dists)/100]
+
+	var refMatches int64
+	ref := func() {
+		var m int64
+		for _, a := range probes {
+			for _, b := range data {
+				if n.Dist(a, b) <= eps {
+					m++
+				}
+			}
+		}
+		refMatches = m
+	}
+
+	th := kernel.NewThreshold(n, eps)
+	flat := kernel.NewFlatPage(dim, len(data))
+	for _, b := range data {
+		flat.AppendRow(b)
+	}
+	scratch := make([]int, 0, len(data))
+	var kernMatches int64
+	kern := func() {
+		var m int64
+		for _, a := range probes {
+			scratch = kernel.PagePairWithin(&th, a, flat, scratch[:0])
+			m += int64(len(scratch))
+		}
+		kernMatches = m
+	}
+
+	ops := int64(len(probes)) * int64(len(data))
+	refNs := measureNs(ref, 60*time.Millisecond) / float64(ops)
+	kernNs := measureNs(kern, 60*time.Millisecond) / float64(ops)
+	if refMatches != kernMatches {
+		return KernelsRecord{}, fmt.Errorf("kernels %s/dim%d: reference found %d matches, kernel %d",
+			label, dim, refMatches, kernMatches)
+	}
+	return KernelsRecord{
+		Name:     fmt.Sprintf("pagepair/%s/dim%d", label, dim),
+		Dim:      dim,
+		Ops:      ops,
+		RefNs:    refNs,
+		KernelNs: kernNs,
+		Speedup:  refNs / kernNs,
+		Checksum: refMatches,
+	}, nil
+}
+
+// randomPage draws kernelPageN uniform points in [0,1)^dim.
+func randomPage(rng *rand.Rand, dim int) []geom.Vector {
+	page := make([]geom.Vector, kernelPageN)
+	for i := range page {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		page[i] = v
+	}
+	return page
+}
+
+// Mark-heavy construction workload: a 1024×1024 page matrix marked to ~35%
+// density in shuffled order — the arrival order the parallel Build produces
+// when clusters finish out of sequence.
+const (
+	matrixSide  = 1024
+	matrixMarks = 367000
+)
+
+// benchMatrixConstruct times matrix construction — all Marks plus the final
+// index build — for the CSR matrix against the per-Mark sorted-insertion
+// representation predmat used before the rewrite (naiveMatrix below, a
+// faithful copy of the old implementation).
+func benchMatrixConstruct(cfg *Config) (KernelsRecord, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 9000))
+	marks := make([]predmat.Entry, matrixMarks)
+	for i := range marks {
+		marks[i] = predmat.Entry{R: rng.Intn(matrixSide), C: rng.Intn(matrixSide)}
+	}
+
+	var refMarked int64
+	ref := func() {
+		nm := newNaiveMatrix(matrixSide, matrixSide)
+		for _, e := range marks {
+			nm.Mark(e.R, e.C)
+		}
+		refMarked = int64(nm.marked)
+	}
+
+	var csrMarked int64
+	csr := func() {
+		m := predmat.NewMatrix(matrixSide, matrixSide)
+		for _, e := range marks {
+			m.Mark(e.R, e.C)
+		}
+		csrMarked = int64(m.Finalize().Marked())
+	}
+
+	refNs := measureNs(ref, 300*time.Millisecond) / float64(matrixMarks)
+	csrNs := measureNs(csr, 300*time.Millisecond) / float64(matrixMarks)
+	if refMarked != csrMarked {
+		return KernelsRecord{}, fmt.Errorf("kernels matrix: naive marked %d cells, CSR %d", refMarked, csrMarked)
+	}
+	return KernelsRecord{
+		Name:     "matrix/mark-construct",
+		Ops:      matrixMarks,
+		RefNs:    refNs,
+		KernelNs: csrNs,
+		Speedup:  refNs / csrNs,
+		Checksum: refMarked,
+	}, nil
+}
+
+// naiveMatrix reproduces the pre-CSR predmat.Matrix construction: every Mark
+// binary-searches and memmove-inserts into per-row and per-column sorted
+// slices, quadratic in the marks per row/column.
+type naiveMatrix struct {
+	rows, cols int
+	byRow      map[int][]int
+	byCol      map[int][]int
+	marked     int
+}
+
+func newNaiveMatrix(rows, cols int) *naiveMatrix {
+	return &naiveMatrix{rows: rows, cols: cols, byRow: make(map[int][]int), byCol: make(map[int][]int)}
+}
+
+func (m *naiveMatrix) Mark(r, c int) {
+	cols := m.byRow[r]
+	pos := sort.SearchInts(cols, c)
+	if pos < len(cols) && cols[pos] == c {
+		return
+	}
+	cols = append(cols, 0)
+	copy(cols[pos+1:], cols[pos:])
+	cols[pos] = c
+	m.byRow[r] = cols
+
+	rows := m.byCol[c]
+	rpos := sort.SearchInts(rows, r)
+	rows = append(rows, 0)
+	copy(rows[rpos+1:], rows[rpos:])
+	rows[rpos] = r
+	m.byCol[c] = rows
+	m.marked++
+}
+
+// measureNs reports the average wall-clock nanoseconds of one f() call,
+// repeating after a warm-up call until minTotal has elapsed (at least two
+// timed repetitions).
+func measureNs(f func(), minTotal time.Duration) float64 {
+	f() // warm-up
+	var elapsed time.Duration
+	reps := 0
+	for elapsed < minTotal || reps < 2 {
+		start := time.Now()
+		f()
+		elapsed += time.Since(start)
+		reps++
+	}
+	return float64(elapsed.Nanoseconds()) / float64(reps)
+}

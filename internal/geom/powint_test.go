@@ -1,0 +1,78 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPowIntMatchesMathPow pins PowInt to math.Pow's integer-exponent result
+// bit for bit across the normal range, for the exponents the Lp distances
+// use. The Dist fast path for p >= 3 relies on this equivalence: swapping
+// math.Pow for PowInt must not move a single result.
+func TestPowIntMatchesMathPow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range []int{1, 2, 3, 4, 5, 7, 10} {
+		for trial := 0; trial < 5000; trial++ {
+			// Magnitudes spanning tiny to large but away from the extreme
+			// over/underflow boundaries PowInt documents as out of scope.
+			x := math.Ldexp(rng.Float64(), rng.Intn(160)-80)
+			got := PowInt(x, p)
+			want := math.Pow(x, float64(p))
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("PowInt(%.17g, %d) = %.17g (%#x), math.Pow = %.17g (%#x)",
+					x, p, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestPowIntEdgeValues pins the special inputs.
+func TestPowIntEdgeValues(t *testing.T) {
+	cases := []struct {
+		x    float64
+		p    int
+		want float64
+	}{
+		{0, 3, 0},
+		{1, 10, 1},
+		{2, 3, 8},
+		{2, 4, 16},
+		{10, 3, 1000},
+		{math.Inf(1), 3, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := PowInt(c.x, c.p); got != c.want {
+			t.Errorf("PowInt(%g, %d) = %g, want %g", c.x, c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(PowInt(math.NaN(), 3)) {
+		t.Error("PowInt(NaN, 3) is not NaN")
+	}
+}
+
+// TestDistP34MatchesPowReference pins the p=3 and p=4 Dist fast path against
+// the pre-PowInt formulation (explicit math.Pow per coordinate).
+func TestDistP34MatchesPowReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, p := range []int{3, 4} {
+		n := Norm{P: p}
+		for trial := 0; trial < 2000; trial++ {
+			dim := 1 + rng.Intn(8)
+			a := make(Vector, dim)
+			b := make(Vector, dim)
+			for i := range a {
+				a[i] = (rng.Float64()*2 - 1) * 100
+				b[i] = (rng.Float64()*2 - 1) * 100
+			}
+			var s float64
+			for i := range a {
+				s += math.Pow(math.Abs(a[i]-b[i]), float64(p))
+			}
+			want := math.Pow(s, 1/float64(p))
+			if got := n.Dist(a, b); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("L%d.Dist(%v, %v) = %.17g, math.Pow reference = %.17g", p, a, b, got, want)
+			}
+		}
+	}
+}

@@ -71,12 +71,33 @@ func (n Norm) Dist(a, b Vector) float64 {
 		return math.Sqrt(s)
 	default:
 		var s float64
-		p := float64(n.P)
 		for i := range a {
-			s += math.Pow(math.Abs(a[i]-b[i]), p)
+			s += PowInt(math.Abs(a[i]-b[i]), n.P)
 		}
-		return math.Pow(s, 1/p)
+		// The final root has no integer shortcut; math.Pow stays as the
+		// general fallback.
+		return math.Pow(s, 1/float64(n.P))
 	}
+}
+
+// PowInt returns x**p for integer p >= 1 by LSB-first binary exponentiation —
+// the same square-and-multiply order math.Pow uses for integer exponents, so
+// in the normal floating-point range the result is bit-identical to
+// math.Pow(x, float64(p)) while skipping Pow's exp/log machinery. Near the
+// overflow/underflow boundaries the intermediate squares may saturate where
+// Pow's exponent-tracking would not; the Lp distances computed here never
+// operate in that range.
+func PowInt(x float64, p int) float64 {
+	r := 1.0
+	for ; p > 0; p >>= 1 {
+		if p&1 == 1 {
+			r *= x
+		}
+		if p > 1 {
+			x *= x
+		}
+	}
+	return r
 }
 
 // DistSq returns the squared L2 distance (cheap pruning helper).

@@ -36,6 +36,11 @@ type Engine struct {
 	// hook is a nil-receiver no-op. Metrics never influence the Report —
 	// they are outside the determinism contract.
 	Metrics *metrics.Collector
+	// Kernels warms each page's flat kernel block as the buffer pool loads
+	// it, so kernel-enabled joiners find it prebuilt on the coordinator
+	// instead of building it lazily inside worker tasks. Purely a CPU-side
+	// wall-clock concern: the Report is bit-identical either way.
+	Kernels bool
 }
 
 func (e *Engine) validate(r, s *Dataset) error {
@@ -66,6 +71,9 @@ func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{Method: method}
+	if e.Kernels {
+		pool.SetOnLoad(func(pg *disk.Page) { PrepareFlat(pg.Payload) })
+	}
 	x := &Exec{IO: io, Pool: pool, Rep: rep, eng: e}
 	// Even on an error path (cancellation included), wait for in-flight
 	// tasks so no worker is left computing over the run's state.

@@ -2,8 +2,11 @@ package join
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pmjoin/internal/geom"
+	"pmjoin/internal/kernel"
 	"pmjoin/internal/seqdist"
 )
 
@@ -31,7 +34,45 @@ const (
 type VectorPage struct {
 	IDs  []int
 	Vecs []geom.Vector
+
+	flat atomic.Pointer[kernel.FlatPage]
 }
+
+// Flat returns the page's points as one contiguous row-major block for the
+// batched kernels, building it on first use. Safe for concurrent callers: a
+// lost CAS race just discards a duplicate build.
+func (p *VectorPage) Flat() *kernel.FlatPage {
+	if f := p.flat.Load(); f != nil {
+		return f
+	}
+	dim := 0
+	if len(p.Vecs) > 0 {
+		dim = len(p.Vecs[0])
+	}
+	f := kernel.NewFlatPage(dim, len(p.Vecs))
+	for _, v := range p.Vecs {
+		f.AppendRow(v)
+	}
+	p.flat.CompareAndSwap(nil, f)
+	return p.flat.Load()
+}
+
+// PrepareFlat eagerly builds the flat block of a vector or series page
+// payload (and is a no-op for anything else). The engine hooks it into the
+// buffer pool's load path so the one-time flattening cost is paid on the
+// coordinator at page-read time, not inside worker join loops.
+func PrepareFlat(payload any) {
+	switch p := payload.(type) {
+	case *VectorPage:
+		p.Flat()
+	case *SeriesPage:
+		p.Flat()
+	}
+}
+
+// hitsPool recycles the scratch index buffers the batched kernel paths
+// append hits into, keeping the hot path allocation-free across page pairs.
+var hitsPool = sync.Pool{New: func() any { s := make([]int, 0, 256); return &s }}
 
 // VectorJoiner joins vector pages under an Lp norm with threshold Eps.
 type VectorJoiner struct {
@@ -39,6 +80,11 @@ type VectorJoiner struct {
 	Eps  float64
 	// Self skips pairs with idA >= idB (self joins count each pair once).
 	Self bool
+	// Kernels routes comparisons through internal/kernel's threshold-aware
+	// batch path. Results, comparison counts and modeled CPU cost are
+	// bit-identical either way; off keeps the reference loops for
+	// differential testing.
+	Kernels bool
 }
 
 // JoinPages implements ObjectJoiner.
@@ -52,6 +98,46 @@ func (j VectorJoiner) JoinPages(a, b any, emit func(int, int)) (int64, float64) 
 	dim := 0
 	if len(pa.Vecs) > 0 {
 		dim = len(pa.Vecs[0])
+	}
+	if j.Kernels {
+		// The historical L2 loop compares against fl(eps²); the other norms
+		// compare Dist against eps. Each gets the matching exact threshold.
+		var th kernel.Threshold
+		if j.Norm == geom.L2 {
+			th = kernel.NewThresholdSq(j.Eps)
+		} else {
+			th = kernel.NewThreshold(j.Norm, j.Eps)
+		}
+		if j.Self {
+			// The id-based skip depends on both pages' IDs, so self joins
+			// stay per-point; Within is op-for-op the reference loop.
+			for i, va := range pa.Vecs {
+				idI := pa.IDs[i]
+				for k, vb := range pb.Vecs {
+					if idI >= pb.IDs[k] {
+						continue
+					}
+					comps++
+					if th.Within(va, vb) {
+						emit(idI, pb.IDs[k])
+					}
+				}
+			}
+		} else {
+			comps = int64(len(pa.Vecs)) * int64(len(pb.Vecs))
+			fb := pb.Flat()
+			hits := hitsPool.Get().(*[]int)
+			for i, va := range pa.Vecs {
+				*hits = kernel.PagePairWithin(&th, va, fb, (*hits)[:0])
+				idI := pa.IDs[i]
+				for _, k := range *hits {
+					emit(idI, pb.IDs[k])
+				}
+			}
+			hitsPool.Put(hits)
+		}
+		perPair := compareBaseCost + comparePerDimCost*float64(dim)
+		return comps, float64(comps) * perPair
 	}
 	if j.Norm == geom.L2 {
 		// Early-exit squared L2 (wall-clock only; the modeled cost below
@@ -100,6 +186,26 @@ type SeriesPage struct {
 	IDs     []int       // global window ids (position order)
 	Starts  []int       // absolute start offsets within the flattened data
 	Windows [][]float64 // raw windows, each of the join's window length
+
+	flat atomic.Pointer[kernel.FlatPage]
+}
+
+// Flat returns the page's windows as one contiguous row-major block for the
+// batched kernels, building it on first use (see VectorPage.Flat).
+func (p *SeriesPage) Flat() *kernel.FlatPage {
+	if f := p.flat.Load(); f != nil {
+		return f
+	}
+	w := 0
+	if len(p.Windows) > 0 {
+		w = len(p.Windows[0])
+	}
+	f := kernel.NewFlatPage(w, len(p.Windows))
+	for _, win := range p.Windows {
+		f.AppendRow(win)
+	}
+	p.flat.CompareAndSwap(nil, f)
+	return p.flat.Load()
 }
 
 // SeriesJoiner joins time-series windows under L2 with threshold Eps.
@@ -110,6 +216,9 @@ type SeriesJoiner struct {
 	// ExcludeOverlap skips self-join pairs whose window starts are closer
 	// than this (trivially similar overlapping windows); 0 disables.
 	ExcludeOverlap int
+	// Kernels routes comparisons through the batched threshold kernel (see
+	// VectorJoiner.Kernels). Bit-identical results either way.
+	Kernels bool
 }
 
 // JoinPages implements ObjectJoiner.
@@ -123,6 +232,47 @@ func (j SeriesJoiner) JoinPages(a, b any, emit func(int, int)) (int64, float64) 
 	w := 0
 	if len(pa.Windows) > 0 {
 		w = len(pa.Windows[0])
+	}
+	if j.Kernels {
+		th := kernel.NewThresholdSq(j.Eps)
+		if j.Self {
+			for i, wa := range pa.Windows {
+				idI := pa.IDs[i]
+				startI := pa.Starts[i]
+				for k, wb := range pb.Windows {
+					if idI >= pb.IDs[k] {
+						continue
+					}
+					if j.ExcludeOverlap > 0 {
+						d := startI - pb.Starts[k]
+						if d < 0 {
+							d = -d
+						}
+						if d < j.ExcludeOverlap {
+							continue
+						}
+					}
+					comps++
+					if th.Within(wa, wb) {
+						emit(idI, pb.IDs[k])
+					}
+				}
+			}
+		} else {
+			comps = int64(len(pa.Windows)) * int64(len(pb.Windows))
+			fb := pb.Flat()
+			hits := hitsPool.Get().(*[]int)
+			for i, wa := range pa.Windows {
+				*hits = kernel.PagePairWithin(&th, wa, fb, (*hits)[:0])
+				idI := pa.IDs[i]
+				for _, k := range *hits {
+					emit(idI, pb.IDs[k])
+				}
+			}
+			hitsPool.Put(hits)
+		}
+		perPair := compareBaseCost + comparePerDimCost*float64(w)
+		return comps, float64(comps) * perPair
 	}
 	epsSq := j.Eps * j.Eps
 	for i, wa := range pa.Windows {

@@ -1,0 +1,150 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pmjoin/internal/geom"
+)
+
+// benchDims spans the paper's range: low-dimensional spatial data through
+// high-dimensional feature vectors and series windows.
+var benchDims = []int{2, 16, 64, 256}
+
+// benchPage builds a page of n random points plus a probe and an epsilon
+// yielding ~10% selectivity-ish behavior (points in [0,1)^dim, eps tuned so
+// early abandon has work to do without everything failing on coordinate 0).
+func benchPage(dim, n int) (probe geom.Vector, vecs []geom.Vector, flat *FlatPage, eps float64) {
+	rng := rand.New(rand.NewSource(int64(dim)*1000 + int64(n)))
+	vecs = make([]geom.Vector, n)
+	flat = NewFlatPage(dim, n)
+	for i := range vecs {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		vecs[i] = v
+		flat.AppendRow(v)
+	}
+	probe = make(geom.Vector, dim)
+	for d := range probe {
+		probe[d] = rng.Float64()
+	}
+	// Roughly a third of the expected random-pair distance: most candidates
+	// abandon partway through the row.
+	eps = 0.33 * geom.L2.Dist(probe, vecs[0])
+	if eps == 0 {
+		eps = 0.1
+	}
+	return probe, vecs, flat, eps
+}
+
+// BenchmarkWithin compares one probe against a 256-point page per iteration:
+// reference Dist loop vs the batched kernel, per norm and dimension.
+func BenchmarkWithin(b *testing.B) {
+	const pagePoints = 256
+	for _, n := range []geom.Norm{geom.LInf, geom.L1, geom.L2, {P: 3}} {
+		for _, dim := range benchDims {
+			probe, vecs, flat, eps := benchPage(dim, pagePoints)
+			b.Run(fmt.Sprintf("ref/%v/dim%d", n, dim), func(b *testing.B) {
+				b.SetBytes(int64(pagePoints * dim * 8))
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					for _, v := range vecs {
+						if n.Dist(probe, v) <= eps {
+							sink++
+						}
+					}
+				}
+				_ = sink
+			})
+			b.Run(fmt.Sprintf("kernel/%v/dim%d", n, dim), func(b *testing.B) {
+				b.SetBytes(int64(pagePoints * dim * 8))
+				th := NewThreshold(n, eps)
+				var hits []int
+				for i := 0; i < b.N; i++ {
+					hits = PagePairWithin(&th, probe, flat, hits[:0])
+				}
+				_ = hits
+			})
+		}
+	}
+}
+
+// BenchmarkWithinSq compares the historic epsSq inner loop (the seed's L2
+// joiner hot path, already early-exiting) against the batched kernel.
+func BenchmarkWithinSq(b *testing.B) {
+	const pagePoints = 256
+	for _, dim := range benchDims {
+		probe, vecs, flat, eps := benchPage(dim, pagePoints)
+		epsSq := eps * eps
+		b.Run(fmt.Sprintf("ref/dim%d", dim), func(b *testing.B) {
+			b.SetBytes(int64(pagePoints * dim * 8))
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				for _, v := range vecs {
+					var s float64
+					for d := range probe {
+						x := probe[d] - v[d]
+						s += x * x
+						if s > epsSq {
+							break
+						}
+					}
+					if s <= epsSq {
+						sink++
+					}
+				}
+			}
+			_ = sink
+		})
+		b.Run(fmt.Sprintf("kernel/dim%d", dim), func(b *testing.B) {
+			b.SetBytes(int64(pagePoints * dim * 8))
+			th := NewThresholdSq(eps)
+			var hits []int
+			for i := 0; i < b.N; i++ {
+				hits = PagePairWithin(&th, probe, flat, hits[:0])
+			}
+			_ = hits
+		})
+	}
+}
+
+// BenchmarkBound compares the MBR lower-bound test against the reference
+// MinDist computation.
+func BenchmarkBound(b *testing.B) {
+	for _, n := range []geom.Norm{geom.L1, geom.L2} {
+		for _, dim := range benchDims {
+			rng := rand.New(rand.NewSource(int64(dim)))
+			mk := func() geom.MBR {
+				lo := make(geom.Vector, dim)
+				hi := make(geom.Vector, dim)
+				for d := range lo {
+					lo[d] = rng.Float64()
+					hi[d] = lo[d] + 0.1*rng.Float64()
+				}
+				m := geom.NewMBR(lo)
+				m.ExtendPoint(hi)
+				return m
+			}
+			x, y := mk(), mk()
+			eps := 0.2
+			b.Run(fmt.Sprintf("ref/%v/dim%d", n, dim), func(b *testing.B) {
+				sink := false
+				for i := 0; i < b.N; i++ {
+					sink = n.MinDist(x, y) <= eps
+				}
+				_ = sink
+			})
+			b.Run(fmt.Sprintf("kernel/%v/dim%d", n, dim), func(b *testing.B) {
+				bd := NewBound(n, 1, eps)
+				sink := false
+				for i := 0; i < b.N; i++ {
+					sink = bd.Within(x, y)
+				}
+				_ = sink
+			})
+		}
+	}
+}

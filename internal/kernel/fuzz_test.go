@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"pmjoin/internal/geom"
+)
+
+// FuzzKernelVsReference is the package's exactness contract as a fuzz target:
+// for arbitrary vectors and thresholds, under L1, L2, L3 and L∞,
+// kernel.WithinDist must agree with the reference n.Dist(a, b) <= eps —
+// boundary equality included — and the batched FlatPage kernel must agree
+// with the per-point test.
+func FuzzKernelVsReference(f *testing.F) {
+	// Seeds: interior, boundary-exact (3-4-5 triangle under L2), just-off
+	// boundary, zero threshold, huge and tiny magnitudes.
+	f.Add(0.0, 0.0, 3.0, 4.0, 5.0)
+	f.Add(0.0, 0.0, 3.0, 4.0, 4.999999999999999)
+	f.Add(0.0, 0.0, 3.0, 4.0, 5.000000000000001)
+	f.Add(1.0, 1.0, 1.0, 1.0, 0.0)
+	f.Add(-1e150, 2.0, 1e150, -2.0, 1e150)
+	f.Add(1e-300, 0.0, -1e-300, 0.0, 1e-300)
+	f.Add(0.1, 0.2, 0.3, 0.4, 0.28284271247461906)
+
+	norms := []geom.Norm{geom.L1, geom.L2, geom.LInf, {P: 3}}
+
+	// hiDim spreads the four fuzz coordinates across a 19-dimensional pair —
+	// two full 8-blocks plus a tail — so the blocked batch loops and their
+	// banded fallback run against the same exactness contract as dim 2.
+	const hiDim = 19
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, eps float64) {
+		vecs := [][2]geom.Vector{{{ax, ay}, {bx, by}}}
+		ha := make(geom.Vector, hiDim)
+		hb := make(geom.Vector, hiDim)
+		for i := range ha {
+			switch i % 4 {
+			case 0:
+				ha[i], hb[i] = ax, bx
+			case 1:
+				ha[i], hb[i] = ay, by
+			case 2:
+				ha[i], hb[i] = ax/8, by/8
+			default:
+				ha[i], hb[i] = 0, (bx-ay)/16
+			}
+		}
+		vecs = append(vecs, [2]geom.Vector{ha, hb})
+		for _, pair := range vecs {
+			a, b := pair[0], pair[1]
+			fuzzCheckPair(t, norms, a, b, eps)
+		}
+	})
+}
+
+// fuzzCheckPair asserts the exactness contract for one vector pair: Within
+// against the reference comparison (raw, boundary-exact and one-ulp-off
+// thresholds), and the batch kernel against the per-point test.
+func fuzzCheckPair(t *testing.T, norms []geom.Norm, a, b geom.Vector, eps float64) {
+	for _, n := range norms {
+		// Fuzz both the raw threshold and one landing exactly on the
+		// computed distance, so boundary equality is always exercised.
+		cands := []float64{eps}
+		if d := n.Dist(a, b); !math.IsNaN(d) {
+			cands = append(cands, d, math.Nextafter(d, 0), math.Nextafter(d, math.Inf(1)))
+		}
+		for _, e := range cands {
+			want := n.Dist(a, b) <= e
+			th := NewThreshold(n, e)
+			if got := th.Within(a, b); got != want {
+				t.Fatalf("%v eps %.17g a %v b %v: Within = %v, reference = %v",
+					n, e, a, b, got, want)
+			}
+			// Batch kernel over a page holding b (twice, plus a decoy),
+			// through both the vector and the scalar blocked paths.
+			decoy := b.Clone()
+			decoy[0] += 1e10
+			page := NewFlatPage(len(b), 3)
+			page.AppendRow(b)
+			page.AppendRow(decoy)
+			page.AppendRow(b)
+			saved := useSIMD
+			for _, mode := range []bool{hasSIMD, false} {
+				useSIMD = mode
+				hits := PagePairWithin(&th, a, page, nil)
+				for k := 0; k < page.N; k++ {
+					inHits := false
+					for _, h := range hits {
+						if h == k {
+							inHits = true
+						}
+					}
+					if pw := th.Within(a, page.Row(k)); pw != inHits {
+						t.Fatalf("%v eps %.17g simd %v: batch row %d = %v, per-point = %v",
+							n, e, mode, k, inHits, pw)
+					}
+				}
+			}
+			useSIMD = saved
+		}
+	}
+}
+
+// FuzzBoundVsMinDist fuzzes the MBR bound against the reference scaled
+// MinDist comparison, including empty rectangles and boundary thresholds.
+func FuzzBoundVsMinDist(f *testing.F) {
+	f.Add(0.0, 1.0, 2.0, 3.0, 1.0, 1.0)
+	f.Add(0.0, 1.0, 1.0, 2.0, 0.5, 0.0)
+	f.Add(-5.0, -1.0, 1.0, 5.0, 2.0, 3.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 1.0, 0.0)
+
+	norms := []geom.Norm{geom.L1, geom.L2, geom.LInf, {P: 3}}
+
+	f.Fuzz(func(t *testing.T, aLo, aHi, cLo, cHi, scale, eps float64) {
+		a := geom.NewMBR(geom.Vector{aLo, aLo})
+		a.ExtendPoint(geom.Vector{aHi, aHi})
+		c := geom.NewMBR(geom.Vector{cLo, cLo})
+		c.ExtendPoint(geom.Vector{cHi, cHi})
+		for _, n := range norms {
+			b := NewBound(n, scale, eps)
+			refOK := !math.IsNaN(scale) && scale > 0
+			if (b != nil) != refOK {
+				t.Fatalf("%v scale %g: bound nil-ness %v, want usable %v", n, scale, b == nil, refOK)
+			}
+			if b == nil {
+				continue
+			}
+			cands := []float64{eps}
+			if d := scale * n.MinDist(a, c); !math.IsNaN(d) && !math.IsInf(d, 0) {
+				cands = append(cands, d, math.Nextafter(d, 0), math.Nextafter(d, math.Inf(1)))
+			}
+			for _, e := range cands {
+				be := NewBound(n, scale, e)
+				if got, want := be.Within(a, c), scale*n.MinDist(a, c) <= e; got != want {
+					t.Fatalf("%v scale %.17g eps %.17g a %v c %v: Within = %v, reference = %v",
+						n, scale, e, a, c, got, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+//go:build amd64
+
+package kernel
+
+// l2SumsAsm fills sums[k] with the 4-lane re-associated sum of squared
+// coordinate gaps between probe and row k of data (row-major, stride dim),
+// for k in [0, len(sums)). Requires hasAVX2FMA; see sums_amd64.s for the
+// exactness caveat (callers must band-classify the result).
+//
+//go:noescape
+func l2SumsAsm(probe []float64, data []float64, sums []float64, dim int)
+
+// l1SumsAsm is l2SumsAsm for the L1 statistic (sum of absolute gaps).
+//
+//go:noescape
+func l1SumsAsm(probe []float64, data []float64, sums []float64, dim int)
+
+//go:noescape
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (eax, edx uint32)
+
+// hasSIMD reports whether the vector row-sum kernels are usable: AVX2 and
+// FMA present, and the OS saves the YMM state (OSXSAVE + XCR0 bits 1-2).
+var hasSIMD = detectAVX2FMA()
+
+// useSIMD gates the vector path at each call; tests flip it to run the
+// scalar and vector kernels differentially on the same hardware.
+var useSIMD = hasSIMD
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	const fma = 1 << 12
+	if c1&osxsave == 0 || c1&avx == 0 || c1&fma == 0 {
+		return false
+	}
+	if eax, _ := xgetbv0(); eax&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}

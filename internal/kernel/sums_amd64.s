@@ -1,0 +1,188 @@
+// AVX2+FMA row-sum kernels behind the batched page-pair ε-tests. Each
+// routine computes, for every row k of a flat row-major block, the re-summed
+// distance statistic against one probe vector:
+//
+//	l2SumsAsm: sums[k] = Σ_j (probe[j] - data[k*dim+j])²
+//	l1SumsAsm: sums[k] = Σ_j |probe[j] - data[k*dim+j]|
+//
+// The vector lanes re-associate the addition (and the FMA skips the
+// intermediate rounding of the multiply), so these sums are NOT bit-equal to
+// the sequential reference; the Go caller compares them against banded
+// limits and re-runs the exact sequential test on the sliver the band cannot
+// decide (see pagePairSumBlocked). Guarded by hasAVX2FMA.
+
+//go:build amd64
+
+#include "textflag.h"
+
+DATA absmask<>+0(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA absmask<>+8(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA absmask<>+16(SB)/8, $0x7FFFFFFFFFFFFFFF
+DATA absmask<>+24(SB)/8, $0x7FFFFFFFFFFFFFFF
+GLOBL absmask<>(SB), RODATA, $32
+
+// func l2SumsAsm(probe []float64, data []float64, sums []float64, dim int)
+TEXT ·l2SumsAsm(SB), NOSPLIT, $0-80
+	MOVQ probe_base+0(FP), SI
+	MOVQ data_base+24(FP), DI
+	MOVQ sums_base+48(FP), R10
+	MOVQ sums_len+56(FP), R8
+	MOVQ dim+72(FP), R9
+	TESTQ R8, R8
+	JZ   l2done
+
+l2row:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   R9, CX
+	MOVQ   SI, R11
+
+l2loop8:
+	CMPQ CX, $8
+	JLT  l2loop4
+	VMOVUPD (R11), Y2
+	VMOVUPD (DI), Y3
+	VSUBPD  Y3, Y2, Y2
+	VFMADD231PD Y2, Y2, Y0
+	VMOVUPD 32(R11), Y4
+	VMOVUPD 32(DI), Y5
+	VSUBPD  Y5, Y4, Y4
+	VFMADD231PD Y4, Y4, Y1
+	ADDQ $64, R11
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  l2loop8
+
+l2loop4:
+	CMPQ CX, $4
+	JLT  l2reduce
+	VMOVUPD (R11), Y2
+	VMOVUPD (DI), Y3
+	VSUBPD  Y3, Y2, Y2
+	VFMADD231PD Y2, Y2, Y0
+	ADDQ $32, R11
+	ADDQ $32, DI
+	SUBQ $4, CX
+
+l2reduce:
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VPERMILPD    $1, X0, X1
+	VADDSD       X1, X0, X0
+
+l2tail:
+	TESTQ CX, CX
+	JZ    l2store
+	VMOVSD (R11), X2
+	VSUBSD (DI), X2, X2
+	VFMADD231SD X2, X2, X0
+	ADDQ $8, R11
+	ADDQ $8, DI
+	DECQ CX
+	JMP  l2tail
+
+l2store:
+	VMOVSD X0, (R10)
+	ADDQ   $8, R10
+	DECQ   R8
+	JNZ    l2row
+
+l2done:
+	VZEROUPPER
+	RET
+
+// func l1SumsAsm(probe []float64, data []float64, sums []float64, dim int)
+TEXT ·l1SumsAsm(SB), NOSPLIT, $0-80
+	MOVQ probe_base+0(FP), SI
+	MOVQ data_base+24(FP), DI
+	MOVQ sums_base+48(FP), R10
+	MOVQ sums_len+56(FP), R8
+	MOVQ dim+72(FP), R9
+	VMOVUPD absmask<>(SB), Y6
+	TESTQ R8, R8
+	JZ   l1done
+
+l1row:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   R9, CX
+	MOVQ   SI, R11
+
+l1loop8:
+	CMPQ CX, $8
+	JLT  l1loop4
+	VMOVUPD (R11), Y2
+	VMOVUPD (DI), Y3
+	VSUBPD  Y3, Y2, Y2
+	VANDPD  Y6, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	VMOVUPD 32(R11), Y4
+	VMOVUPD 32(DI), Y5
+	VSUBPD  Y5, Y4, Y4
+	VANDPD  Y6, Y4, Y4
+	VADDPD  Y4, Y1, Y1
+	ADDQ $64, R11
+	ADDQ $64, DI
+	SUBQ $8, CX
+	JMP  l1loop8
+
+l1loop4:
+	CMPQ CX, $4
+	JLT  l1reduce
+	VMOVUPD (R11), Y2
+	VMOVUPD (DI), Y3
+	VSUBPD  Y3, Y2, Y2
+	VANDPD  Y6, Y2, Y2
+	VADDPD  Y2, Y0, Y0
+	ADDQ $32, R11
+	ADDQ $32, DI
+	SUBQ $4, CX
+
+l1reduce:
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VPERMILPD    $1, X0, X1
+	VADDSD       X1, X0, X0
+
+l1tail:
+	TESTQ CX, CX
+	JZ    l1store
+	VMOVSD (R11), X2
+	VSUBSD (DI), X2, X2
+	VANDPD X6, X2, X2
+	VADDSD X2, X0, X0
+	ADDQ $8, R11
+	ADDQ $8, DI
+	DECQ CX
+	JMP  l1tail
+
+l1store:
+	VMOVSD X0, (R10)
+	ADDQ   $8, R10
+	DECQ   R8
+	JNZ    l1row
+
+l1done:
+	VZEROUPPER
+	RET
+
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -46,6 +46,7 @@ func Analyzers() []*Analyzer {
 		droppedErrAnalyzer(),
 		rawGoAnalyzer(),
 		walltimeAnalyzer(),
+		slowdistAnalyzer(),
 	}
 }
 

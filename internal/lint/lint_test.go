@@ -57,6 +57,21 @@ func (p *Pool) UnpinAll()                                     {}
 func (p *Pool) Flush() error                                  { return nil }
 `
 
+const stubGeom = `package geom
+
+type Vector []float64
+
+type MBR struct {
+	Min, Max Vector
+}
+
+type Norm struct{ P int }
+
+func (n Norm) Dist(a, b Vector) float64            { return 0 }
+func (n Norm) MinDist(a, b MBR) float64            { return 0 }
+func (n Norm) MinDistPoint(p Vector, m MBR) float64 { return 0 }
+`
+
 // checkFixture type-checks the stub packages plus one fixture source under
 // the given import path and returns the fixture as a *Package ready for
 // analysis.
@@ -99,6 +114,7 @@ func checkFixtureFile(t *testing.T, path, filename, src string) *Package {
 	}
 	check(diskPkgPath, "disk.go", stubDisk)
 	check(bufferPkgPath, "buffer.go", stubBuffer)
+	check(geomPkgPath, "geom.go", stubGeom)
 	return check(path, filename, src)
 }
 
@@ -817,5 +833,83 @@ import "time"
 var after = time.After
 `
 		expectDiags(t, runOne(t, "walltime", "pmjoin/internal/fixture", src), "walltime", nil)
+	})
+}
+
+func TestSlowdist(t *testing.T) {
+	const egoPath = "pmjoin/internal/ego"
+	t.Run("threshold-compared Dist is flagged", func(t *testing.T) {
+		src := `package ego
+
+import "pmjoin/internal/geom"
+
+func f(n geom.Norm, a, b geom.Vector, eps float64) bool {
+	return n.Dist(a, b) <= eps
+}
+`
+		expectDiags(t, runOne(t, "slowdist", egoPath, src), "slowdist", []int{6})
+	})
+	t.Run("every comparison direction and MinDist variant is flagged", func(t *testing.T) {
+		src := `package predmat
+
+import "pmjoin/internal/geom"
+
+func f(n geom.Norm, a, b geom.MBR, p geom.Vector, eps float64) {
+	_ = n.MinDist(a, b) <= eps
+	_ = n.MinDist(a, b) < eps
+	_ = eps >= n.MinDistPoint(p, a)
+	_ = n.MinDistPoint(p, b) > eps
+}
+`
+		expectDiags(t, runOne(t, "slowdist", "pmjoin/internal/predmat", src), "slowdist", []int{6, 7, 8, 9})
+	})
+	t.Run("distance used as a value is clean", func(t *testing.T) {
+		src := `package pbsm
+
+import "pmjoin/internal/geom"
+
+func f(n geom.Norm, a, b geom.Vector) float64 {
+	d := n.Dist(a, b)
+	return d * 2
+}
+`
+		expectDiags(t, runOne(t, "slowdist", "pmjoin/internal/pbsm", src), "slowdist", nil)
+	})
+	t.Run("comparing a stored distance variable is clean", func(t *testing.T) {
+		// The rule targets the immediate compute-then-compare shape; a stored
+		// distance may have other uses.
+		src := `package bfrj
+
+import "pmjoin/internal/geom"
+
+func f(n geom.Norm, a, b geom.Vector, eps float64) bool {
+	d := n.Dist(a, b)
+	return d <= eps
+}
+`
+		expectDiags(t, runOne(t, "slowdist", "pmjoin/internal/bfrj", src), "slowdist", nil)
+	})
+	t.Run("packages outside the hot-path set are exempt", func(t *testing.T) {
+		src := `package join
+
+import "pmjoin/internal/geom"
+
+func f(n geom.Norm, a, b geom.Vector, eps float64) bool {
+	return n.Dist(a, b) <= eps
+}
+`
+		expectDiags(t, runOne(t, "slowdist", joinPkgPath, src), "slowdist", nil)
+	})
+	t.Run("suppressed site is clean", func(t *testing.T) {
+		src := `package ego
+
+import "pmjoin/internal/geom"
+
+func f(n geom.Norm, a, b geom.Vector, eps float64) bool {
+	//lint:ignore slowdist kernels-off reference path for differential testing
+	return n.Dist(a, b) <= eps
+}
+`
+		expectDiags(t, runOne(t, "slowdist", egoPath, src), "slowdist", nil)
 	})
 }

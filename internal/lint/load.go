@@ -14,6 +14,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -201,7 +202,10 @@ func packageDirs(root string) ([]string, error) {
 }
 
 // parseDir parses the non-test .go files of one directory, in name order for
-// deterministic output.
+// deterministic output. Files excluded by build constraints (//go:build tags
+// or GOOS/GOARCH filename suffixes) for the host platform are skipped, so
+// per-architecture pairs like sums_amd64.go / sums_noasm.go do not
+// double-declare symbols in one type-check.
 func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -211,7 +215,13 @@ func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	for _, e := range ents {
 		n := e.Name()
 		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-			names = append(names, n)
+			match, err := build.Default.MatchFile(dir, n)
+			if err != nil {
+				return nil, err
+			}
+			if match {
+				names = append(names, n)
+			}
 		}
 	}
 	sort.Strings(names)

@@ -8,6 +8,7 @@ import (
 
 	"pmjoin/internal/geom"
 	"pmjoin/internal/index"
+	"pmjoin/internal/kernel"
 )
 
 // Predictor lower-bounds the distance between any object stored under MBR a
@@ -36,6 +37,31 @@ func (p NormPredictor) LowerBound(a, b geom.MBR) float64 {
 	return s * p.Norm.MinDist(a, b)
 }
 
+// KernelBound returns an allocation-free, early-abandoning test equivalent
+// to LowerBound(a, b) <= eps — bit-identical for every input, which is what
+// keeps matrices (and therefore Plan) independent of BuildOptions.Kernels.
+// It returns nil when no exact kernel exists (non-positive or NaN Scale);
+// callers then keep the reference comparison.
+func (p NormPredictor) KernelBound(eps float64) func(a, b geom.MBR) bool {
+	s := p.Scale
+	if s == 0 {
+		s = 1
+	}
+	b := kernel.NewBound(p.Norm, s, eps)
+	if b == nil {
+		return nil
+	}
+	return b.Within
+}
+
+// kernelBounder is the optional Predictor refinement Build probes for when
+// BuildOptions.Kernels is set. mrsindex's integer frequency predictor does
+// not implement it — its bound is already allocation-light — so only the
+// norm-based predictors take the kernel path.
+type kernelBounder interface {
+	KernelBound(eps float64) func(a, b geom.MBR) bool
+}
+
 // DefaultFilterDepth is the paper's default bound k on the number of filter
 // refinement iterations (§5.1).
 const DefaultFilterDepth = 5
@@ -59,6 +85,11 @@ type BuildOptions struct {
 	// are idempotent set insertions and every counter is an
 	// order-independent integer sum.
 	Runner Runner
+	// Kernels routes leaf-pair predictor tests through internal/kernel's
+	// exact MBR bound when the predictor offers one. The resulting matrix is
+	// bit-identical either way; off keeps the reference path for
+	// differential testing.
+	Kernels bool
 }
 
 // BuildStats counts work done during construction.
@@ -90,6 +121,14 @@ func Build(r, s *index.Node, rPages, sPages int, eps float64, pred Predictor, op
 	}
 	m := NewMatrix(rPages, sPages)
 	b := &builder{eps: eps, pred: pred, opts: opts, m: m}
+	b.within = func(a, c geom.MBR) bool { return pred.LowerBound(a, c) <= eps }
+	if opts.Kernels {
+		if kb, ok := pred.(kernelBounder); ok {
+			if f := kb.KernelBound(eps); f != nil {
+				b.within = f
+			}
+		}
+	}
 	b.sweep([]*index.Node{r}, []*index.Node{s})
 	b.wg.Wait()
 	if opts.Stats != nil {
@@ -98,7 +137,9 @@ func Build(r, s *index.Node, rPages, sPages int, eps float64, pred Predictor, op
 		opts.Stats.FilterDropped += b.filterDropped.Load()
 		opts.Stats.Recursions += b.recursions.Load()
 	}
-	return m, nil
+	// Fold the buffered marks in before the matrix escapes: from here on it
+	// is read-only and safe to share across goroutines (joinapi caches it).
+	return m.Finalize(), nil
 }
 
 type builder struct {
@@ -106,6 +147,10 @@ type builder struct {
 	pred Predictor
 	opts BuildOptions
 	m    *Matrix
+	// within decides pred.LowerBound(a, b) <= eps — through the kernel
+	// bound when enabled, which is exact, so the matrix never depends on
+	// which path ran.
+	within func(a, b geom.MBR) bool
 
 	// markMu guards m: concurrent sub-sweeps may mark the same entry, and
 	// Mark is an idempotent sorted insertion, so the resulting matrix is
@@ -252,7 +297,7 @@ func (b *builder) sweep(rNodes, sNodes []*index.Node) {
 func (b *builder) handlePair(rn, sn *index.Node) {
 	switch {
 	case rn.IsLeaf() && sn.IsLeaf():
-		if b.pred.LowerBound(rn.MBR, sn.MBR) <= b.eps {
+		if b.within(rn.MBR, sn.MBR) {
 			b.markMu.Lock()
 			b.m.Mark(rn.Page, sn.Page)
 			b.markMu.Unlock()

@@ -11,6 +11,8 @@ package predmat
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
 )
 
@@ -21,21 +23,47 @@ type Entry struct {
 }
 
 // Matrix is a sparse boolean matrix over page pairs.
+//
+// Internally it is compressed sparse row (CSR) plus the transposed CSC, with
+// buffered construction: Mark appends raw entries to a pending buffer in
+// O(1), and the first read accessor folds them in — one sort plus dedup —
+// via Finalize. That replaces the per-Mark sorted insertion (O(k) memmove
+// per entry, quadratic per row) the construction hot path used to pay.
+//
+// A Matrix is not safe for concurrent use while marks are buffered. Finalize
+// marks the boundary: Build returns finalized matrices, and a finalized
+// matrix is read-only and safe to share until the next Mark.
 type Matrix struct {
 	rows, cols int
-	byRow      map[int][]int // row -> ascending marked columns
-	byCol      map[int][]int // col -> ascending marked rows
+
+	// pending buffers marks (duplicates allowed) until the next Finalize;
+	// dirty is set by NewMatrix and Mark and cleared by Finalize.
+	pending []Entry
+	dirty   bool
+
 	marked     int
+	rowPtr     []int // len rows+1; row r's columns are colIdx[rowPtr[r]:rowPtr[r+1]]
+	colIdx     []int // ascending within each row
+	colPtr     []int // len cols+1; column c's rows are rowIdx[colPtr[c]:colPtr[c+1]]
+	rowIdx     []int // ascending within each column
+	markedRows []int // ascending rows with at least one mark
+	markedCols []int // ascending columns with at least one mark
+
+	// bits is the row-major rows×cols bitset behind O(1) IsMarked — row r's
+	// bits span [r*cols, (r+1)*cols). It is built only when the matrix is
+	// small enough (maxBitsetCells); IsMarked falls back to binary search in
+	// the row's CSR slice otherwise.
+	bits []uint64
 }
+
+// maxBitsetCells caps the IsMarked bitset at 1<<26 cells (8 MiB of words):
+// ample for every in-buffer clustering workload, skipped for genome-scale
+// matrices whose refinement sweeps walk rows instead of probing cells.
+const maxBitsetCells = 1 << 26
 
 // NewMatrix creates an empty rows×cols prediction matrix.
 func NewMatrix(rows, cols int) *Matrix {
-	return &Matrix{
-		rows:  rows,
-		cols:  cols,
-		byRow: make(map[int][]int),
-		byCol: make(map[int][]int),
-	}
+	return &Matrix{rows: rows, cols: cols, dirty: true}
 }
 
 // Rows returns the number of pages of the first dataset.
@@ -45,81 +73,295 @@ func (m *Matrix) Rows() int { return m.rows }
 func (m *Matrix) Cols() int { return m.cols }
 
 // Marked returns the number of marked entries.
-func (m *Matrix) Marked() int { return m.marked }
+func (m *Matrix) Marked() int { m.Finalize(); return m.marked }
 
 // Mark sets entry (r,c). Marking twice is a no-op. Out-of-range panics
-// (programming error).
+// (programming error). Marks are buffered: they cost O(1) here and are
+// folded in — sorted and deduplicated — by the next read accessor (or an
+// explicit Finalize).
 func (m *Matrix) Mark(r, c int) {
 	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
 		panic(fmt.Sprintf("predmat: mark (%d,%d) outside %dx%d", r, c, m.rows, m.cols))
 	}
-	cols := m.byRow[r]
-	pos := sort.SearchInts(cols, c)
-	if pos < len(cols) && cols[pos] == c {
-		return
-	}
-	cols = append(cols, 0)
-	copy(cols[pos+1:], cols[pos:])
-	cols[pos] = c
-	m.byRow[r] = cols
-
-	rows := m.byCol[c]
-	rpos := sort.SearchInts(rows, r)
-	rows = append(rows, 0)
-	copy(rows[rpos+1:], rows[rpos:])
-	rows[rpos] = r
-	m.byCol[c] = rows
-	m.marked++
+	m.pending = append(m.pending, Entry{R: r, C: c})
+	m.dirty = true
 }
 
-// IsMarked reports whether entry (r,c) is marked.
+// Finalize folds buffered marks into the CSR/CSC representation. Every read
+// accessor calls it implicitly; calling it explicitly marks the boundary
+// between the construction phase (single goroutine, or externally
+// synchronized as in Build) and concurrent read-only use. It returns m.
+//
+// Matrices small enough for the IsMarked bitset (maxBitsetCells) finalize
+// through a bitset scan with no comparison sort; larger shapes fall back to
+// the packed-key sort.
+func (m *Matrix) Finalize() *Matrix {
+	if !m.dirty {
+		return m
+	}
+	if cells := uint64(m.rows) * uint64(m.cols); cells > 0 && cells <= maxBitsetCells {
+		m.finalizeBits()
+	} else {
+		m.finalizeSort()
+	}
+	m.pending = nil
+	m.dirty = false
+	return m
+}
+
+// finalizeBits folds buffered marks through the row-major bitset: each
+// pending mark is one O(1) bit-set (duplicates collapse for free), and one
+// linear scan of the bitset rebuilds the CSR arrays — ascending bit index is
+// ascending (row, col), so colIdx comes out sorted and deduplicated with no
+// comparisons. The CSC transpose then follows in one counting pass. Total
+// cost O(pending + cells/64 + marked), versus O((marked+pending) log) plus
+// the entry-list churn of the sort path.
+func (m *Matrix) finalizeBits() {
+	cols := uint64(m.cols)
+	cells := uint64(m.rows) * cols
+	if m.bits == nil {
+		m.bits = make([]uint64, (cells+63)/64)
+		// Entries finalized before the bitset existed fold in here (this can
+		// only happen if the shape limit changes between finalizes; build
+		// always populates bits for shapes this small).
+		for r := 0; r+1 < len(m.rowPtr); r++ {
+			for _, c := range m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]] {
+				idx := uint64(r)*cols + uint64(c)
+				m.bits[idx>>6] |= 1 << (idx & 63)
+			}
+		}
+	}
+	for _, e := range m.pending {
+		idx := uint64(e.R)*cols + uint64(e.C)
+		m.bits[idx>>6] |= 1 << (idx & 63)
+	}
+	nnz := 0
+	for _, w := range m.bits {
+		nnz += bits.OnesCount64(w)
+	}
+	m.marked = nnz
+	m.rowPtr = make([]int, m.rows+1)
+	m.colIdx = make([]int, nnz)
+	m.colPtr = make([]int, m.cols+1)
+	m.rowIdx = make([]int, nnz)
+	pos := 0
+	for wi, w := range m.bits {
+		base := uint64(wi) << 6
+		for w != 0 {
+			idx := base + uint64(bits.TrailingZeros64(w))
+			w &= w - 1
+			r := idx / cols
+			c := int(idx - r*cols)
+			m.rowPtr[r+1]++
+			m.colPtr[c+1]++
+			m.colIdx[pos] = c
+			pos++
+		}
+	}
+	for r := 0; r < m.rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	for c := 0; c < m.cols; c++ {
+		m.colPtr[c+1] += m.colPtr[c]
+	}
+	fill := make([]int, m.cols)
+	copy(fill, m.colPtr[:m.cols])
+	for r := 0; r < m.rows; r++ {
+		for _, c := range m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]] {
+			m.rowIdx[fill[c]] = r
+			fill[c]++
+		}
+	}
+	m.markedRows = m.markedRows[:0]
+	for r := 0; r < m.rows; r++ {
+		if m.rowPtr[r+1] > m.rowPtr[r] {
+			m.markedRows = append(m.markedRows, r)
+		}
+	}
+	m.markedCols = m.markedCols[:0]
+	for c := 0; c < m.cols; c++ {
+		if m.colPtr[c+1] > m.colPtr[c] {
+			m.markedCols = append(m.markedCols, c)
+		}
+	}
+}
+
+// finalizeSort is the comparison-sort finalize for shapes too large for the
+// bitset (and degenerate 0×N / N×0 shapes).
+func (m *Matrix) finalizeSort() {
+	ents := make([]Entry, 0, m.marked+len(m.pending))
+	// Re-marking after a finalize re-opens the matrix: merge the already
+	// finalized entries (sorted by construction) with the new batch.
+	for r := 0; r+1 < len(m.rowPtr); r++ {
+		for _, c := range m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]] {
+			ents = append(ents, Entry{R: r, C: c})
+		}
+	}
+	ents = append(ents, m.pending...)
+	if !sortedRowMajor(ents) {
+		m.sortRowMajor(ents)
+	}
+	// Dedup in place (sorted, so duplicates are adjacent).
+	w := 0
+	for i, e := range ents {
+		if i > 0 && e == ents[w-1] {
+			continue
+		}
+		ents[w] = e
+		w++
+	}
+	ents = ents[:w]
+	m.build(ents)
+}
+
+// pack32Limit bounds the coordinate range for the packed-key sort. Rows and
+// columns count pages, so in practice they are always far below it.
+const pack32Limit = 1 << 31
+
+// sortRowMajor sorts ents into (row, col) order. Both coordinates fit in 32
+// bits for any real matrix, so each entry packs into one uint64 and the sort
+// runs on native integer comparisons instead of an indirect comparator; the
+// comparator path remains as a fallback for hypothetical oversized shapes.
+func (m *Matrix) sortRowMajor(ents []Entry) {
+	if m.rows > pack32Limit || m.cols > pack32Limit {
+		sort.Slice(ents, func(i, k int) bool {
+			if ents[i].R != ents[k].R {
+				return ents[i].R < ents[k].R
+			}
+			return ents[i].C < ents[k].C
+		})
+		return
+	}
+	keys := make([]uint64, len(ents))
+	for i, e := range ents {
+		keys[i] = uint64(e.R)<<32 | uint64(uint32(e.C))
+	}
+	slices.Sort(keys)
+	for i, k := range keys {
+		ents[i] = Entry{R: int(k >> 32), C: int(uint32(k))}
+	}
+}
+
+// sortedRowMajor reports whether ents is already in (row, col) order
+// (duplicates allowed), letting in-order construction — Full, in particular
+// — skip the sort and finalize in one linear pass.
+func sortedRowMajor(ents []Entry) bool {
+	for i := 1; i < len(ents); i++ {
+		a, b := ents[i-1], ents[i]
+		if b.R < a.R || (b.R == a.R && b.C < a.C) {
+			return false
+		}
+	}
+	return true
+}
+
+// build populates the CSR/CSC arrays and the bitset from the sorted,
+// deduplicated entry list.
+func (m *Matrix) build(ents []Entry) {
+	m.marked = len(ents)
+	m.rowPtr = make([]int, m.rows+1)
+	m.colIdx = make([]int, len(ents))
+	m.colPtr = make([]int, m.cols+1)
+	m.rowIdx = make([]int, len(ents))
+	for _, e := range ents {
+		m.rowPtr[e.R+1]++
+		m.colPtr[e.C+1]++
+	}
+	for r := 0; r < m.rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	for c := 0; c < m.cols; c++ {
+		m.colPtr[c+1] += m.colPtr[c]
+	}
+	fill := make([]int, m.cols)
+	copy(fill, m.colPtr[:m.cols])
+	for i, e := range ents {
+		m.colIdx[i] = e.C // ents are row-major: colIdx is exactly their C sequence
+		m.rowIdx[fill[e.C]] = e.R
+		fill[e.C]++
+	}
+	m.markedRows = m.markedRows[:0]
+	for r := 0; r < m.rows; r++ {
+		if m.rowPtr[r+1] > m.rowPtr[r] {
+			m.markedRows = append(m.markedRows, r)
+		}
+	}
+	m.markedCols = m.markedCols[:0]
+	for c := 0; c < m.cols; c++ {
+		if m.colPtr[c+1] > m.colPtr[c] {
+			m.markedCols = append(m.markedCols, c)
+		}
+	}
+	m.bits = nil
+	if cells := uint64(m.rows) * uint64(m.cols); cells > 0 && cells <= maxBitsetCells {
+		m.bits = make([]uint64, (cells+63)/64)
+		for _, e := range ents {
+			idx := uint64(e.R)*uint64(m.cols) + uint64(e.C)
+			m.bits[idx>>6] |= 1 << (idx & 63)
+		}
+	}
+}
+
+// IsMarked reports whether entry (r,c) is marked: one bitset probe for
+// matrices up to maxBitsetCells, a binary search in the row otherwise.
 func (m *Matrix) IsMarked(r, c int) bool {
-	cols := m.byRow[r]
+	m.Finalize()
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		return false
+	}
+	if m.bits != nil {
+		idx := uint64(r)*uint64(m.cols) + uint64(c)
+		return m.bits[idx>>6]&(1<<(idx&63)) != 0
+	}
+	cols := m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]]
 	pos := sort.SearchInts(cols, c)
 	return pos < len(cols) && cols[pos] == c
 }
 
 // RowCols returns the ascending marked columns of row r (shared slice; do
 // not modify).
-func (m *Matrix) RowCols(r int) []int { return m.byRow[r] }
+func (m *Matrix) RowCols(r int) []int {
+	m.Finalize()
+	return m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]]
+}
 
 // ColRows returns the ascending marked rows of column c (shared slice; do
 // not modify).
-func (m *Matrix) ColRows(c int) []int { return m.byCol[c] }
+func (m *Matrix) ColRows(c int) []int {
+	m.Finalize()
+	return m.rowIdx[m.colPtr[c]:m.colPtr[c+1]]
+}
 
-// MarkedRows returns the ascending list of rows with at least one mark.
+// MarkedRows returns the ascending list of rows with at least one mark
+// (shared slice; do not modify).
 func (m *Matrix) MarkedRows() []int {
-	out := make([]int, 0, len(m.byRow))
-	for r := range m.byRow {
-		out = append(out, r)
-	}
-	sort.Ints(out)
-	return out
+	m.Finalize()
+	return m.markedRows
 }
 
-// MarkedCols returns the ascending list of columns with at least one mark.
+// MarkedCols returns the ascending list of columns with at least one mark
+// (shared slice; do not modify).
 func (m *Matrix) MarkedCols() []int {
-	out := make([]int, 0, len(m.byCol))
-	for c := range m.byCol {
-		out = append(out, c)
-	}
-	sort.Ints(out)
-	return out
+	m.Finalize()
+	return m.markedCols
 }
 
-// Entries returns all marked entries in (row, col) order.
+// Entries returns all marked entries in (row, col) order (fresh slice).
 func (m *Matrix) Entries() []Entry {
+	m.Finalize()
 	out := make([]Entry, 0, m.marked)
-	for _, r := range m.MarkedRows() {
-		for _, c := range m.byRow[r] {
+	for _, r := range m.markedRows {
+		for _, c := range m.colIdx[m.rowPtr[r]:m.rowPtr[r+1]] {
 			out = append(out, Entry{R: r, C: c})
 		}
 	}
 	return out
 }
 
-// Density returns marked / (rows*cols), the page-level selectivity.
+// Density returns marked / (rows*cols), the page-level selectivity; it is 0
+// for degenerate shapes (0×N, N×0).
 func (m *Matrix) Density() float64 {
+	m.Finalize()
 	total := float64(m.rows) * float64(m.cols)
 	if total == 0 {
 		return 0
@@ -128,23 +370,16 @@ func (m *Matrix) Density() float64 {
 }
 
 // Full returns a fully marked rows×cols matrix. NLJ is pm-NLJ over a full
-// matrix (§6), which tests exploit.
+// matrix (§6), which tests exploit. It goes through the same Mark/Finalize
+// path as every other construction, so all NewMatrix invariants hold; the
+// in-order marks make Finalize a single linear pass.
 func Full(rows, cols int) *Matrix {
 	m := NewMatrix(rows, cols)
+	m.pending = make([]Entry, 0, rows*cols)
 	for r := 0; r < rows; r++ {
-		cols2 := make([]int, cols)
 		for c := 0; c < cols; c++ {
-			cols2[c] = c
+			m.Mark(r, c)
 		}
-		m.byRow[r] = cols2
 	}
-	for c := 0; c < cols; c++ {
-		rows2 := make([]int, rows)
-		for r := 0; r < rows; r++ {
-			rows2[r] = r
-		}
-		m.byCol[c] = rows2
-	}
-	m.marked = rows * cols
-	return m
+	return m.Finalize()
 }

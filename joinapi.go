@@ -12,6 +12,7 @@ import (
 	"pmjoin/internal/ego"
 	"pmjoin/internal/geom"
 	"pmjoin/internal/join"
+	"pmjoin/internal/kernel"
 	"pmjoin/internal/metrics"
 	"pmjoin/internal/mrsindex"
 	"pmjoin/internal/pbsm"
@@ -118,6 +119,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 	if opt.Metrics {
 		mc = metrics.New(metrics.Config{Trace: opt.Trace, TraceCapacity: opt.TraceCapacity})
 	}
+	kernels := opt.Kernels == KernelsOn
 	eng := &join.Engine{
 		Disk:       s.d,
 		BufferSize: opt.BufferPages,
@@ -125,6 +127,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		Workers:    wp,
 		Ctx:        ctx,
 		Metrics:    mc,
+		Kernels:    kernels,
 	}
 	if opt.CollectPairs {
 		eng.OnPair = func(i, j int) {
@@ -137,7 +140,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 	}
 
 	self := a == b || a.ds.File == b.ds.File
-	joiner := s.joiner(a, opt.Epsilon, self)
+	joiner := s.joiner(a, opt.Epsilon, self, kernels)
 
 	timedJoin := func(f func() (*join.Report, error)) (*join.Report, error) {
 		start := time.Now()
@@ -204,7 +207,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		}
 	case EGO:
 		rep, err = timedJoin(func() (*join.Report, error) {
-			return ego.Run(eng, &a.ds, &b.ds, s.egoAdapter(a, opt.Epsilon, self), ego.Options{SelfJoin: self})
+			return ego.Run(eng, &a.ds, &b.ds, s.egoAdapter(a, opt.Epsilon, self, kernels), ego.Options{SelfJoin: self})
 		})
 	case BFRJ:
 		rep, err = timedJoin(func() (*join.Report, error) {
@@ -212,6 +215,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 				Eps:      s.matrixEpsilon(a, opt.Epsilon),
 				Pred:     s.predictor(a),
 				SelfJoin: self,
+				Kernels:  kernels,
 			})
 		})
 	case PBSM:
@@ -273,13 +277,15 @@ func (s *System) checkCompatible(a, b *Dataset) error {
 }
 
 // joiner builds the object joiner for the data kind.
-func (s *System) joiner(a *Dataset, eps float64, self bool) join.ObjectJoiner {
+func (s *System) joiner(a *Dataset, eps float64, self, kernels bool) join.ObjectJoiner {
 	switch a.kind {
 	case KindVector:
-		return join.VectorJoiner{Norm: a.norm, Eps: eps, Self: self}
+		return join.VectorJoiner{Norm: a.norm, Eps: eps, Self: self, Kernels: kernels}
 	case KindSeries:
-		return join.SeriesJoiner{Eps: eps, Self: self, ExcludeOverlap: a.window}
+		return join.SeriesJoiner{Eps: eps, Self: self, ExcludeOverlap: a.window, Kernels: kernels}
 	default:
+		// String joins filter on integer frequency distance; there is no
+		// float kernel to route through.
 		return join.StringJoiner{MaxEdit: int(eps), Self: self, ExcludeOverlap: a.window}
 	}
 }
@@ -325,7 +331,9 @@ func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.W
 	}
 	start := time.Now()
 	var stats predmat.BuildStats
-	bopts := predmat.BuildOptions{FilterDepth: depth, Stats: &stats}
+	// Kernels only changes how the build computes each bound, never its
+	// outcome, so the cache key does not include it.
+	bopts := predmat.BuildOptions{FilterDepth: depth, Stats: &stats, Kernels: opt.Kernels == KernelsOn}
 	if wp != nil {
 		bopts.Runner = wp
 	}
@@ -352,20 +360,22 @@ func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.W
 }
 
 // egoAdapter builds the EGO grid adapter for the data kind.
-func (s *System) egoAdapter(a *Dataset, eps float64, self bool) ego.Adapter {
+func (s *System) egoAdapter(a *Dataset, eps float64, self, kernels bool) ego.Adapter {
 	switch a.kind {
 	case KindVector:
 		cell := eps
 		if cell <= 0 {
 			cell = math.SmallestNonzeroFloat64
 		}
-		return &vectorEGO{norm: a.norm, eps: eps, cell: cell, self: self}
+		return &vectorEGO{norm: a.norm, eps: eps, cell: cell, self: self,
+			kernels: kernels, th: kernel.NewThreshold(a.norm, eps)}
 	case KindSeries:
 		cell := eps / a.scale
 		if cell <= 0 {
 			cell = math.SmallestNonzeroFloat64
 		}
-		return &seriesEGO{eps: eps, cell: cell, self: self, window: a.window, features: a.features}
+		return &seriesEGO{eps: eps, cell: cell, self: self, window: a.window, features: a.features,
+			kernels: kernels, th: kernel.NewThresholdSq(eps)}
 	default:
 		cell := eps
 		if cell < 1 {

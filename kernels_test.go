@@ -1,0 +1,208 @@
+package pmjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"pmjoin/internal/dataset"
+)
+
+// TestKernelsDeterminism is the kernel half of the determinism contract: for
+// every data kind and method, a join with Kernels on produces a Result
+// (Report, Pairs, matrix stats) and a Plan bit-for-bit identical to the run
+// with Kernels off, at Parallelism 1 and at GOMAXPROCS. Each mode runs on a
+// fresh System over identical generated data, so the prediction-matrix cache
+// of one mode can never mask a divergence in the other.
+func TestKernelsDeterminism(t *testing.T) {
+	type workload struct {
+		name    string
+		methods []Method
+		build   func(t *testing.T) (*System, *Dataset, *Dataset)
+		opt     Options
+	}
+	loads := []workload{
+		{
+			name:    "vector-L2",
+			methods: vectorMethods,
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(300, 2, 1), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddVectors("b", randomVecs(200, 2, 2), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Epsilon: 0.05, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			// The remaining norms exercise the L1, L∞ and PowInt-band kernel
+			// paths; the cheaper method subset keeps the matrix, index and
+			// grid pipelines covered without rejoining everything.
+			name:    "vector-L1",
+			methods: []Method{PMNLJ, EGO, BFRJ},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(250, 3, 3), VectorOptions{NormP: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, da
+			},
+			opt: Options{Epsilon: 0.08, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			name:    "vector-Linf",
+			methods: []Method{PMNLJ, EGO, BFRJ},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(250, 3, 4), VectorOptions{NormP: -1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, da
+			},
+			opt: Options{Epsilon: 0.05, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			name:    "vector-L3",
+			methods: []Method{PMNLJ, EGO, BFRJ},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(250, 3, 5), VectorOptions{NormP: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, da
+			},
+			opt: Options{Epsilon: 0.06, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			name:    "series",
+			methods: allMethods,
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 1024})
+				ds, err := sys.AddSeries("walk", dataset.RandomWalk(2500, 20), SeriesOptions{Window: 32, Stride: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, ds, ds
+			},
+			opt: Options{Epsilon: 8.0, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			// Strings have no float kernel, but the mode must still be a
+			// no-op end to end (engine hook, matrix build, BFRJ predicate).
+			name:    "string",
+			methods: []Method{PMNLJ, SC, BFRJ},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 512})
+				sa := dataset.DNA(2000, 10)
+				sb := dataset.DNA(1500, 11)
+				dataset.PlantHomologies(sb, sa, 5, 80, 0.02, 12)
+				da, err := sys.AddString("a", sa, StringOptions{Window: 64, Stride: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddString("b", sb, StringOptions{Window: 64, Stride: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Epsilon: 4, BufferPages: 16, CollectPairs: true},
+		},
+	}
+
+	for _, w := range loads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			for _, m := range w.methods {
+				m := m
+				t.Run(m.String(), func(t *testing.T) {
+					run := func(mode KernelMode, par int) (*Result, *Plan) {
+						sys, a, b := w.build(t)
+						opt := w.opt
+						opt.Method = m
+						opt.Kernels = mode
+						opt.Parallelism = par
+						res, err := sys.Join(a, b, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						plan, err := sys.Explain(a, b, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res, plan
+					}
+					for _, par := range []int{1, 0} { // 0 = GOMAXPROCS
+						off, offPlan := run(KernelsOff, par)
+						on, onPlan := run(KernelsOn, par)
+						if got, want := deterministicFields(on), deterministicFields(off); !reflect.DeepEqual(got, want) {
+							t.Errorf("parallelism %d: kernels-on result differs:\n off: %+v\n on:  %+v", par, want, got)
+						}
+						if !reflect.DeepEqual(onPlan, offPlan) {
+							t.Errorf("parallelism %d: kernels-on plan differs:\n off: %+v\n on:  %+v", par, offPlan, onPlan)
+						}
+						if par == 1 && off.Count() == 0 {
+							t.Error("workload has no results; the comparison is vacuous")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestKernelModeDefault pins the normalization: the zero value resolves to
+// KernelsOn, and an explicit off stays off.
+func TestKernelModeDefault(t *testing.T) {
+	opt := Options{Method: NLJ, Epsilon: 1, BufferPages: 4}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Kernels != KernelsOn {
+		t.Errorf("default kernels = %v, want on", opt.Kernels)
+	}
+	opt = Options{Method: NLJ, Epsilon: 1, BufferPages: 4, Kernels: KernelsOff}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Kernels != KernelsOff {
+		t.Errorf("explicit off became %v", opt.Kernels)
+	}
+	bad := Options{Method: NLJ, Epsilon: 1, BufferPages: 4, Kernels: KernelMode(99)}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted kernel mode 99")
+	}
+}
+
+// TestKernelModeText pins the text round-trip alongside the other enums.
+func TestKernelModeText(t *testing.T) {
+	for _, k := range []KernelMode{KernelsDefault, KernelsOn, KernelsOff} {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back KernelMode
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %q -> %v", k, text, back)
+		}
+	}
+	if _, err := ParseKernelMode("sometimes"); err == nil {
+		t.Error("ParseKernelMode accepted garbage")
+	}
+	if k, err := ParseKernelMode("ON"); err != nil || k != KernelsOn {
+		t.Errorf("ParseKernelMode(ON) = %v, %v", k, err)
+	}
+	if _, err := KernelMode(42).MarshalText(); err == nil {
+		t.Error("MarshalText accepted out-of-range mode")
+	}
+}

@@ -182,6 +182,65 @@ func ParseReplacementPolicy(s string) (ReplacementPolicy, error) {
 	return 0, fmt.Errorf("pmjoin: unknown replacement policy %q (want LRU or FIFO)", s)
 }
 
+// KernelMode selects whether joins use the threshold-aware distance kernels
+// of internal/kernel for their CPU hot path. The kernels are exact: Report,
+// Pairs and Plan are bit-identical in either mode, so the knob only exists
+// as an escape hatch and for differential testing.
+type KernelMode int
+
+const (
+	// KernelsDefault resolves to KernelsOn in Validate.
+	KernelsDefault KernelMode = iota
+	// KernelsOn uses the allocation-free early-exiting kernels (default).
+	KernelsOn
+	// KernelsOff keeps the reference comparison loops.
+	KernelsOff
+)
+
+func (k KernelMode) String() string {
+	switch k {
+	case KernelsDefault:
+		return "default"
+	case KernelsOn:
+		return "on"
+	case KernelsOff:
+		return "off"
+	default:
+		return fmt.Sprintf("KernelMode(%d)", int(k))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (k KernelMode) MarshalText() ([]byte, error) {
+	if k < KernelsDefault || k > KernelsOff {
+		return nil, fmt.Errorf("pmjoin: unknown kernel mode %d", int(k))
+	}
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; see ParseKernelMode.
+func (k *KernelMode) UnmarshalText(text []byte) error {
+	v, err := ParseKernelMode(string(text))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// ParseKernelMode parses a kernel mode name (case-insensitive).
+func ParseKernelMode(s string) (KernelMode, error) {
+	switch normalizeEnum(s) {
+	case "default", "":
+		return KernelsDefault, nil
+	case "on":
+		return KernelsOn, nil
+	case "off":
+		return KernelsOff, nil
+	}
+	return 0, fmt.Errorf("pmjoin: unknown kernel mode %q (want on, off or default)", s)
+}
+
 // normalizeEnum lower-cases a name and strips the separators the canonical
 // spellings use, so flag values round-trip however the user hyphenates.
 func normalizeEnum(s string) string {
@@ -239,11 +298,17 @@ type Options struct {
 	// keeps the newest events and counts the overwritten ones). Negative
 	// values are rejected by Validate.
 	TraceCapacity int
+	// Kernels selects the CPU comparison path (default on). The kernels
+	// are bit-exact against the reference loops, so Report, Pairs and Plan
+	// never depend on this knob; KernelsOff exists as an escape hatch and
+	// for differential tests.
+	Kernels KernelMode
 }
 
 // Validate checks the options and normalizes defaulted fields in place:
 // MaxPairs 0 becomes 100000, Parallelism 0 becomes GOMAXPROCS,
-// ClusterRowFraction 0 becomes 0.5, HistogramBins 0 becomes 100.
+// ClusterRowFraction 0 becomes 0.5, HistogramBins 0 becomes 100, and
+// Kernels KernelsDefault becomes KernelsOn.
 // Validate is idempotent; Join, JoinContext, Explain and ExplainContext
 // call it on their own copy, so mutation is only observable when calling
 // it directly.
@@ -289,6 +354,12 @@ func (o *Options) Validate() error {
 	}
 	if o.Trace {
 		o.Metrics = true
+	}
+	if o.Kernels < KernelsDefault || o.Kernels > KernelsOff {
+		return fmt.Errorf("pmjoin: unknown kernel mode %v", o.Kernels)
+	}
+	if o.Kernels == KernelsDefault {
+		o.Kernels = KernelsOn
 	}
 	return nil
 }
