@@ -37,6 +37,45 @@ type kernelsReport struct {
 	Records    []experiments.KernelsRecord
 }
 
+// pipelineReport is the BENCH_pipeline.json document: the prefetch on/off
+// comparison records plus enough host context to read the wall-clock columns
+// in perspective (the modeled columns are host-independent).
+type pipelineReport struct {
+	GoVersion  string
+	GOARCH     string
+	GOMAXPROCS int
+	// Note flags host conditions under which the wall columns carry no
+	// signal (single-core hosts cannot overlap coordinator and workers).
+	Note    string `json:",omitempty"`
+	Records []experiments.PipelinePoint
+}
+
+// writePipelineJSON writes the pipelined-execution records as
+// BENCH_pipeline.json — into dir when -csv is set, else into the working
+// directory (the repo root in the committed-evidence workflow).
+func writePipelineJSON(dir string, records []experiments.PipelinePoint) error {
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_pipeline.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	rep := pipelineReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    records,
+	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Note = "single-core host: the pipeline cannot overlap coordinator I/O with worker CPU in host time, so the JoinWall columns are expected to sit at ~1.0x; the modeled columns are the host-independent signal"
+	}
+	return enc.Encode(rep)
+}
+
 // writeKernelsJSON writes the kernel micro-benchmark records as
 // BENCH_kernels.json — into dir when -csv is set, else into the working
 // directory (the repo root in the committed-evidence workflow).

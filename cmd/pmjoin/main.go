@@ -24,13 +24,15 @@ import (
 
 func main() {
 	var (
-		kind   = pmjoin.KindVector
-		m      = pmjoin.SC
-		policy = pmjoin.LRU
+		kind     = pmjoin.KindVector
+		m        = pmjoin.SC
+		policy   = pmjoin.LRU
+		prefetch = pmjoin.PrefetchDefault
 	)
 	flag.TextVar(&kind, "kind", kind, "data kind: vector, series, string")
 	flag.TextVar(&m, "method", m, "join method: NLJ, pm-NLJ, random-SC, SC, CC, EGO, BFRJ, PBSM")
 	flag.TextVar(&policy, "policy", policy, "buffer replacement policy: LRU, FIFO")
+	flag.TextVar(&prefetch, "prefetch", prefetch, "pipelined cluster prefetch: on, off, default (on; identical results either way)")
 	var (
 		data      = flag.String("data", "", "vector generator: roads (default for dim 2) or landsat (default otherwise)")
 		n         = flag.Int("n", 10000, "size of the first dataset (vectors / samples / bases)")
@@ -45,6 +47,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		pairs     = flag.Int("pairs", 0, "print up to this many result pairs")
 		parallel  = flag.Int("parallel", 0, "comparison workers (0: GOMAXPROCS, 1: serial)")
+		depth     = flag.Int("prefetch-depth", 0, "max pages staged ahead per cluster boundary (0: unbounded)")
 		metrics   = flag.Bool("metrics", false, "print the phase-scoped metrics snapshot")
 		trace     = flag.Int("trace", 0, "record and print up to this many trace events (implies -metrics)")
 	)
@@ -91,6 +94,8 @@ func main() {
 		Metrics:       *metrics,
 		Trace:         *trace > 0,
 		TraceCapacity: *trace,
+		Prefetch:      prefetch,
+		PrefetchDepth: *depth,
 	}
 	res, err := sys.Join(da, db, opt)
 	if err != nil {
@@ -108,6 +113,11 @@ func main() {
 			res.MarkedEntries, res.MatrixDensity, res.MatrixSeconds)
 	}
 	fmt.Printf("  buffer:         %d hits / %d misses\n", r.Hits, r.Misses)
+	if res.Exec.ModeledWallSeconds > 0 {
+		fmt.Printf("  pipeline:       %d pages prefetched, modeled wall %.3f sim-s (serial %.3f, overlap %.3f hidden-capable)\n",
+			res.Exec.PrefetchedPages, res.Exec.ModeledWallSeconds,
+			res.Exec.ModeledSerialSeconds, res.Exec.OverlapIOSeconds)
+	}
 	for i, p := range res.Pairs {
 		fmt.Printf("  pair %d: (%d, %d)\n", i, p[0], p[1])
 	}

@@ -26,6 +26,11 @@ type ClusterIOPlan struct {
 	Pages int
 	// Reads is the predicted page reads: Pages minus predecessor overlap.
 	Reads int
+	// Prefetchable is how many of those reads the pipelined executor can
+	// issue ahead of the cluster boundary, overlapped with the predecessor's
+	// CPU phase (the sched.PrefetchPlan step size). It equals Reads at every
+	// position except the first, which has no predecessor to overlap with.
+	Prefetchable int
 }
 
 // Plan describes what a prediction-matrix join would do, without executing
@@ -53,6 +58,18 @@ type Plan struct {
 	// ScheduleSavings is the page reads recovered by the greedy schedule:
 	// the summed page overlap of consecutive clusters (Lemma 4).
 	ScheduleSavings int64
+	// PrefetchablePages is the total reads the pipelined executor can issue
+	// ahead of cluster boundaries (the sum of ClusterIO Prefetchable): every
+	// predicted read except the first cluster's. Independent of
+	// Options.Prefetch — it describes the schedule, not the run mode.
+	PrefetchablePages int64
+	// PredictedOverlapSeconds is the modeled I/O time those prefetchable
+	// reads can hide behind CPU phases under the linear disk model: one seek
+	// per step with prefetchable pages plus one transfer per page (each
+	// step's staged run is issued in ascending page order). The realized
+	// overlap is bounded above by this and by the clusters' CPU time; compare
+	// ExecStats.OverlapIOSeconds from a run.
+	PredictedOverlapSeconds float64
 
 	// Clustering summary.
 	Clusters             int
@@ -77,11 +94,13 @@ func (p *Plan) String() string {
 	return fmt.Sprintf(
 		"matrix %dx%d pages, %d marked (%.2f%%), %d marked rows, %d marked cols\n"+
 			"page reads: NLJ=%d, pm-NLJ>=%d (Lemma 1), clustered=%d - %d reused (schedule) = %d\n"+
-			"clusters: %d (max %d pages, avg %.1f entries)",
+			"clusters: %d (max %d pages, avg %.1f entries)\n"+
+			"pipeline: %d prefetchable pages, predicted overlap %.3fs",
 		p.RowPages, p.ColPages, p.MarkedEntries, 100*p.MatrixDensity, p.MarkedRows, p.MarkedCols,
 		p.NLJPageReads, p.PMNLJLowerBound, p.ClusteredPageReads, p.ScheduleSavings,
 		p.ClusteredPageReads-p.ScheduleSavings,
-		p.Clusters, p.MaxClusterPages, p.AvgEntriesPerCluster)
+		p.Clusters, p.MaxClusterPages, p.AvgEntriesPerCluster,
+		p.PrefetchablePages, p.PredictedOverlapSeconds)
 }
 
 // Explain builds the prediction matrix and SC clustering for joining a and b
@@ -174,12 +193,25 @@ func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options)
 			// len(pageSets[ci]), not Pages(): the pinned set, post self-join
 			// dedup, is what the executor fetches and pins.
 			pages := len(pageSets[ci])
+			// The prefetch-plan step size (len of sched.PrefetchPlan's step)
+			// is the same complement Reads measures — except at position 0,
+			// which has no predecessor to overlap with.
+			prefetchable := 0
+			if pos > 0 {
+				prefetchable = pages - steps[pos]
+			}
 			p.ClusterIO[pos] = ClusterIOPlan{
-				Cluster: ci,
-				Pages:   pages,
-				Reads:   pages - steps[pos],
+				Cluster:      ci,
+				Pages:        pages,
+				Reads:        pages - steps[pos],
+				Prefetchable: prefetchable,
 			}
 			p.ScheduleSavings += int64(steps[pos])
+			p.PrefetchablePages += int64(prefetchable)
+			if prefetchable > 0 {
+				p.PredictedOverlapSeconds += s.model.SeekSeconds +
+					float64(prefetchable)*s.model.TransferSeconds
+			}
 		}
 	}
 	mc.PhaseEnd()

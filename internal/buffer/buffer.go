@@ -36,18 +36,27 @@ func (p Policy) String() string {
 }
 
 // Stats counts buffer activity.
+//
+// Prefetched counts pages admitted through the Prefetch path, split from the
+// Hits/Misses they pre-charge: a prefetch read increments Misses (the miss it
+// replaces) and Prefetched; staging a resident page increments Hits (the hit
+// the later pin would have counted) and Prefetched. The later claim counts
+// nothing, so Hits/Misses/Evictions are identical with prefetch on or off and
+// Prefetched alone records how much traffic moved to the prefetch path.
 type Stats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Prefetched int64
 }
 
 // Add returns the field-wise sum s + o.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Hits:      s.Hits + o.Hits,
-		Misses:    s.Misses + o.Misses,
-		Evictions: s.Evictions + o.Evictions,
+		Hits:       s.Hits + o.Hits,
+		Misses:     s.Misses + o.Misses,
+		Evictions:  s.Evictions + o.Evictions,
+		Prefetched: s.Prefetched + o.Prefetched,
 	}
 }
 
@@ -55,9 +64,10 @@ func (s Stats) Add(o Stats) Stats {
 // two snapshots of one pool's counters.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Hits:      s.Hits - o.Hits,
-		Misses:    s.Misses - o.Misses,
-		Evictions: s.Evictions - o.Evictions,
+		Hits:       s.Hits - o.Hits,
+		Misses:     s.Misses - o.Misses,
+		Evictions:  s.Evictions - o.Evictions,
+		Prefetched: s.Prefetched - o.Prefetched,
 	}
 }
 
@@ -73,6 +83,7 @@ func (s Stats) HitRatio() float64 {
 type frame struct {
 	page   *disk.Page
 	pinned int
+	staged bool          // admitted by Prefetch, not yet claimed or released
 	elem   *list.Element // position in the eviction order list
 }
 
@@ -162,7 +173,16 @@ func (p *Pool) GetPinned(addr disk.PageAddr) (*disk.Page, error) {
 
 func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
 	if f, ok := p.frames[addr]; ok {
-		p.stats.Hits++
+		if f.staged {
+			// Claim: the access this frame exists for. Its hit or miss was
+			// already charged when Prefetch staged it, so claiming counts
+			// nothing — that is what keeps Hits/Misses identical with
+			// prefetch on or off. The recency touch still happens, putting
+			// the frame exactly where the pre-charged access would have.
+			f.staged = false
+		} else {
+			p.stats.Hits++
+		}
 		if p.policy == LRU {
 			p.order.MoveToBack(f.elem)
 		}
@@ -223,22 +243,26 @@ func (p *Pool) UnpinAll() {
 	}
 }
 
-// Evict removes the page at addr from the pool if resident and unpinned.
-// It reports whether the page was removed.
+// Evict removes the page at addr from the pool if resident, unpinned and not
+// staged. It reports whether the page was removed.
 func (p *Pool) Evict(addr disk.PageAddr) bool {
 	f, ok := p.frames[addr]
-	if !ok || f.pinned > 0 {
+	if !ok || f.pinned > 0 || f.staged {
 		return false
 	}
 	p.removeFrame(f.elem)
 	return true
 }
 
-// Flush evicts every unpinned frame, charging evictions. Pinned frames stay
-// resident — dropping them would break the pin invariant GetPinned/Unpin
-// enforce — and their presence is reported as an error so the caller learns
-// its pin ledger is not empty at a phase boundary.
+// Flush evicts every unpinned frame, charging evictions. Staged frames are
+// released first — Flush is a phase boundary, the point where unclaimed
+// prefetches lose their protection — so they are evicted like any other
+// unpinned frame. Pinned frames stay resident — dropping them would break the
+// pin invariant GetPinned/Unpin enforce — and their presence is reported as
+// an error so the caller learns its pin ledger is not empty at a phase
+// boundary.
 func (p *Pool) Flush() error {
+	p.ReleaseStaged()
 	pinned := 0
 	for e := p.order.Front(); e != nil; {
 		next := e.Next()
@@ -255,11 +279,87 @@ func (p *Pool) Flush() error {
 	return nil
 }
 
+// Prefetch stages the page at addr: it becomes resident (read from the source
+// if needed) and protected from eviction until the next Get/GetPinned claims
+// it or ReleaseStaged/Flush drops the protection. The access is pre-charged
+// here — a resident page counts the hit the later claim would have counted, a
+// read counts the miss — so the claim itself counts nothing (see Stats).
+//
+// Prefetch never displaces a pinned, staged, or currently-needed frame: when
+// no evictable victim exists it returns (false, nil) without reading, the
+// graceful-degradation contract — the caller simply stops prefetching and the
+// deferred reads happen at demand time. A read error returns (false, err).
+// Staging an already-staged page is a no-op counted as nothing.
+func (p *Pool) Prefetch(addr disk.PageAddr) (bool, error) {
+	if f, ok := p.frames[addr]; ok {
+		if f.staged {
+			return true, nil
+		}
+		p.stats.Hits++
+		p.stats.Prefetched++
+		if p.policy == LRU {
+			p.order.MoveToBack(f.elem)
+		}
+		f.staged = true
+		return true, nil
+	}
+	var victim *list.Element
+	if len(p.frames) >= p.capacity {
+		if victim = p.victim(); victim == nil {
+			return false, nil
+		}
+	}
+	// Same charge order as get: the miss is counted once the read is
+	// committed to, so a failed read leaves the same counters either path.
+	p.stats.Misses++
+	pg, err := p.d.Read(addr)
+	if err != nil {
+		return false, err
+	}
+	p.stats.Prefetched++
+	if p.onLoad != nil {
+		p.onLoad(pg)
+	}
+	if victim != nil {
+		p.removeFrame(victim)
+	}
+	f := &frame{page: pg, staged: true}
+	f.elem = p.order.PushBack(addr)
+	p.frames[addr] = f
+	return true, nil
+}
+
+// ReleaseStaged drops the eviction protection from every staged frame and
+// returns how many were released. The frames stay resident; they are simply
+// ordinary policy-evictable pages again. Callers invoke it at the cluster
+// boundary to give back whatever the next cluster did not claim.
+func (p *Pool) ReleaseStaged() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.staged {
+			f.staged = false
+			n++
+		}
+	}
+	return n
+}
+
+// Staged returns the number of currently staged frames.
+func (p *Pool) Staged() int {
+	n := 0
+	for _, f := range p.frames {
+		if f.staged {
+			n++
+		}
+	}
+	return n
+}
+
 // victim returns the next evictable frame's list element per the policy, or
-// nil when every resident frame is pinned.
+// nil when every resident frame is pinned or staged.
 func (p *Pool) victim() *list.Element {
 	for e := p.order.Front(); e != nil; e = e.Next() {
-		if p.frames[e.Value.(disk.PageAddr)].pinned == 0 {
+		if f := p.frames[e.Value.(disk.PageAddr)]; f.pinned == 0 && !f.staged {
 			return e
 		}
 	}

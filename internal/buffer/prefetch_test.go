@@ -1,0 +1,232 @@
+package buffer
+
+import (
+	"testing"
+
+	"pmjoin/internal/disk"
+)
+
+func addr(f disk.FileID, page int) disk.PageAddr {
+	return disk.PageAddr{File: f, Page: page}
+}
+
+func TestPrefetchStagesAndClaims(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 4, LRU)
+	ok, err := p.Prefetch(addr(f, 0))
+	if err != nil || !ok {
+		t.Fatalf("prefetch = %v, %v", ok, err)
+	}
+	if p.Staged() != 1 || !p.Contains(addr(f, 0)) {
+		t.Fatalf("staged = %d, resident = %v", p.Staged(), p.Resident())
+	}
+	// The prefetch pre-charged the miss; the claim counts nothing.
+	if s := p.Stats(); s.Misses != 1 || s.Hits != 0 || s.Prefetched != 1 {
+		t.Fatalf("after prefetch: %+v", s)
+	}
+	if _, err := p.GetPinned(addr(f, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("claim charged counters: %+v", s)
+	}
+	if p.Staged() != 0 {
+		t.Fatalf("claim left frame staged")
+	}
+	// A second access is an ordinary hit again.
+	if _, err := p.Get(addr(f, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.Hits != 1 {
+		t.Fatalf("post-claim access: %+v", s)
+	}
+}
+
+func TestPrefetchResidentPagePreChargesHit(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 4, LRU)
+	if _, err := p.Get(addr(f, 1)); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := p.Prefetch(addr(f, 1))
+	if err != nil || !ok {
+		t.Fatalf("prefetch = %v, %v", ok, err)
+	}
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 1 || s.Prefetched != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if d.Stats().Reads != 1 {
+		t.Fatalf("resident prefetch issued a read")
+	}
+	// Idempotent: staging a staged page counts nothing.
+	if ok, err := p.Prefetch(addr(f, 1)); err != nil || !ok {
+		t.Fatalf("re-prefetch = %v, %v", ok, err)
+	}
+	if s := p.Stats(); s.Hits != 1 || s.Prefetched != 1 {
+		t.Fatalf("re-prefetch charged: %+v", s)
+	}
+}
+
+// TestStagedFramesNotEvictable: a staged frame is protected from policy
+// eviction, explicit Evict, and further prefetch displacement until released
+// or claimed.
+func TestStagedFramesNotEvictable(t *testing.T) {
+	d, f := newDiskWithFile(t, 8)
+	p, _ := NewPool(d, 2, LRU)
+	p.Prefetch(addr(f, 0))
+	p.Prefetch(addr(f, 1))
+	if p.Evict(addr(f, 0)) {
+		t.Fatal("Evict displaced a staged frame")
+	}
+	// Demand miss with every frame staged: no victim, ErrBufferFull, and the
+	// staged frames stay resident.
+	if _, err := p.Get(addr(f, 2)); err != ErrBufferFull {
+		t.Fatalf("err = %v, want ErrBufferFull", err)
+	}
+	if !p.Contains(addr(f, 0)) || !p.Contains(addr(f, 1)) {
+		t.Fatalf("resident = %v", p.Resident())
+	}
+	// After release the frames are ordinary evictable pages again.
+	if n := p.ReleaseStaged(); n != 2 {
+		t.Fatalf("released = %d", n)
+	}
+	if _, err := p.Get(addr(f, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(addr(f, 0)) {
+		t.Fatal("LRU front staged frame not evicted after release")
+	}
+}
+
+// TestPrefetchNeverDisplacesPinned: with every frame pinned or staged,
+// Prefetch degrades gracefully — (false, nil), no read charged, pinned and
+// staged frames untouched.
+func TestPrefetchNeverDisplacesPinned(t *testing.T) {
+	d, f := newDiskWithFile(t, 8)
+	p, _ := NewPool(d, 2, LRU)
+	if _, err := p.GetPinned(addr(f, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := p.Prefetch(addr(f, 1)); err != nil || !ok {
+		t.Fatalf("prefetch with free frame = %v, %v", ok, err)
+	}
+	reads := d.Stats().Reads
+	stats := p.Stats()
+	ok, err := p.Prefetch(addr(f, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("prefetch displaced a pinned or staged frame")
+	}
+	if d.Stats().Reads != reads {
+		t.Fatal("degraded prefetch still issued a read")
+	}
+	if p.Stats() != stats {
+		t.Fatalf("degraded prefetch charged counters: %+v", p.Stats())
+	}
+	if !p.Contains(addr(f, 0)) || !p.Contains(addr(f, 1)) {
+		t.Fatalf("resident = %v", p.Resident())
+	}
+}
+
+// TestPrefetchEvictsLRUSurvivorFirst: prefetch victims are the same
+// front-first unpinned frames the demand path would evict.
+func TestPrefetchEvictsLRUSurvivorFirst(t *testing.T) {
+	d, f := newDiskWithFile(t, 8)
+	p, _ := NewPool(d, 3, LRU)
+	p.Get(addr(f, 0)) // survivor: least recently used
+	p.Get(addr(f, 1))
+	if _, err := p.GetPinned(addr(f, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := p.Prefetch(addr(f, 3)); err != nil || !ok {
+		t.Fatalf("prefetch = %v, %v", ok, err)
+	}
+	if p.Contains(addr(f, 0)) || !p.Contains(addr(f, 1)) || !p.Contains(addr(f, 2)) {
+		t.Fatalf("resident = %v, want survivor 0 evicted first", p.Resident())
+	}
+	if p.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestFlushReleasesStagedFrames(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 4, LRU)
+	p.Prefetch(addr(f, 0))
+	p.Prefetch(addr(f, 1))
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 0 || p.Staged() != 0 {
+		t.Fatalf("after flush: len=%d staged=%d", p.Len(), p.Staged())
+	}
+	if p.Stats().Evictions != 2 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestUnpinAllKeepsStaged(t *testing.T) {
+	d, f := newDiskWithFile(t, 4)
+	p, _ := NewPool(d, 4, LRU)
+	p.GetPinned(addr(f, 0))
+	p.Prefetch(addr(f, 1))
+	p.UnpinAll()
+	if p.Staged() != 1 {
+		t.Fatalf("UnpinAll dropped staged protection; staged = %d", p.Staged())
+	}
+}
+
+// TestPrefetchParityWithDemandPath replays the same access sequence through a
+// prefetch-staged pool and a demand-only pool and requires identical
+// Hits/Misses/Evictions and identical disk read sequences — the unit-level
+// statement of the engine's determinism contract.
+func TestPrefetchParityWithDemandPath(t *testing.T) {
+	run := func(prefetch bool) (Stats, disk.Stats, []disk.PageAddr) {
+		d, f := newDiskWithFile(t, 16)
+		p, _ := NewPool(d, 4, LRU)
+		// Cluster A pins 0..2; cluster B needs 2..5 (2 shared).
+		for i := 0; i <= 2; i++ {
+			if _, err := p.GetPinned(addr(f, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if prefetch {
+			for i := 3; i <= 5; i++ {
+				if ok, err := p.Prefetch(addr(f, i)); err != nil {
+					t.Fatal(err)
+				} else if i >= 4 && ok {
+					// capacity 4: frames 0-2 pinned + one staged; the rest
+					// must degrade.
+					t.Fatalf("page %d staged past budget", i)
+				}
+			}
+		}
+		p.UnpinAll()
+		for i := 2; i <= 5; i++ {
+			if _, err := p.GetPinned(addr(f, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.ReleaseStaged()
+		return p.Stats(), d.Stats(), p.Resident()
+	}
+	onB, onD, onR := run(true)
+	offB, offD, offR := run(false)
+	onB.Prefetched = 0
+	if onB != offB {
+		t.Fatalf("buffer stats diverge: on=%+v off=%+v", onB, offB)
+	}
+	if onD != offD {
+		t.Fatalf("disk stats diverge: on=%+v off=%+v", onD, offD)
+	}
+	if len(onR) != len(offR) {
+		t.Fatalf("resident sets diverge: on=%v off=%v", onR, offR)
+	}
+	for i := range onR {
+		if onR[i] != offR[i] {
+			t.Fatalf("LRU order diverges at %d: on=%v off=%v", i, onR, offR)
+		}
+	}
+}

@@ -25,6 +25,18 @@ type Session struct {
 	// a random seek (write reports the access direction). It is a tracing
 	// hook (see internal/metrics); set it before issuing any I/O.
 	onSeek func(addr PageAddr, write bool)
+	// timeline, when non-nil, receives the modeled cost of every charge so an
+	// overlapped pipeline clock can be derived without touching the counters.
+	timeline *Timeline
+}
+
+// SetTimeline attaches a pipeline timeline: every subsequent charge's modeled
+// cost is also folded into it, bucketed by the timeline's overlap state. A
+// nil tl detaches. Set it before issuing any I/O.
+func (s *Session) SetTimeline(tl *Timeline) {
+	s.mu.Lock()
+	s.timeline = tl
+	s.mu.Unlock()
 }
 
 // SetOnSeek installs the seek observer. The callback runs on the goroutine
@@ -62,6 +74,9 @@ func (s *Session) Read(addr PageAddr) (*Page, error) {
 	}
 	s.stats.add(delta)
 	s.d.addStats(delta)
+	if s.timeline != nil {
+		s.timeline.charge(s.d.model.Cost(delta), delta.Reads)
+	}
 	return pg, nil
 }
 
@@ -83,6 +98,9 @@ func (s *Session) Write(addr PageAddr, payload any) error {
 	}
 	s.stats.add(delta)
 	s.d.addStats(delta)
+	if s.timeline != nil {
+		s.timeline.charge(s.d.model.Cost(delta), 0)
+	}
 	return nil
 }
 

@@ -1,0 +1,111 @@
+package disk
+
+import "sync"
+
+// TimelineStats is a snapshot of a Timeline's modeled pipeline clock. All
+// fields are derived from Stats deltas and caller-supplied modeled CPU
+// seconds, so for a fixed access sequence they are as deterministic as the
+// counters themselves — they sit outside the on-vs-off determinism contract
+// only because prefetching moves I/O between the Demand and Overlap buckets
+// (that movement is the speedup being modeled).
+type TimelineStats struct {
+	// WallSeconds is the modeled pipeline wall clock: per stage,
+	// demand + max(overlap, cpu) — overlapped I/O hides behind the stage's
+	// CPU phase and only its excess extends the clock.
+	WallSeconds float64
+	// SerialSeconds is the same work with no overlap: per stage,
+	// demand + overlap + cpu. With nothing charged as overlapped,
+	// WallSeconds == SerialSeconds.
+	SerialSeconds float64
+	// DemandIOSeconds / OverlapIOSeconds split the modeled I/O time by how it
+	// was charged; their sum plus CPUSeconds equals SerialSeconds.
+	DemandIOSeconds  float64
+	OverlapIOSeconds float64
+	// CPUSeconds is the summed modeled CPU time passed to StageEnd.
+	CPUSeconds float64
+	// OverlapReads counts page reads charged to the overlap bucket.
+	OverlapReads int64
+	// Stages counts StageEnd calls.
+	Stages int64
+}
+
+// Timeline models the wall clock of an overlapped I/O–CPU pipeline alongside
+// a Session's counters. The counters (Seeks, Transfers, GapPages) are the
+// determinism contract and never change; the Timeline only re-buckets their
+// modeled cost in time. Between BeginOverlap and EndOverlap, I/O charged
+// through the attached Session accrues to the current stage's overlap bucket
+// (reads issued while the previous cluster's comparisons still run);
+// everything else accrues to the demand bucket. StageEnd closes a stage with
+// its modeled CPU seconds and folds demand + max(overlap, cpu) into the wall
+// clock — the pipeline timing identity — and demand + overlap + cpu into the
+// serial clock, so Wall/Serial is the modeled speedup of the overlap.
+//
+// A Timeline is safe for concurrent use, matching Session; executors
+// serialize their I/O anyway, so stage boundaries are well defined.
+type Timeline struct {
+	mu           sync.Mutex
+	overlapping  bool
+	stageDemand  float64
+	stageOverlap float64
+	total        TimelineStats
+}
+
+// NewTimeline returns an empty timeline; attach it with Session.SetTimeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// BeginOverlap marks subsequent charges as overlapped with the current
+// stage's CPU phase.
+func (t *Timeline) BeginOverlap() {
+	t.mu.Lock()
+	t.overlapping = true
+	t.mu.Unlock()
+}
+
+// EndOverlap reverts to demand charging.
+func (t *Timeline) EndOverlap() {
+	t.mu.Lock()
+	t.overlapping = false
+	t.mu.Unlock()
+}
+
+// charge records seconds of modeled I/O (reads pages) into the current
+// stage's bucket per the overlap flag.
+func (t *Timeline) charge(seconds float64, reads int64) {
+	t.mu.Lock()
+	if t.overlapping {
+		t.stageOverlap += seconds
+		t.total.OverlapIOSeconds += seconds
+		t.total.OverlapReads += reads
+	} else {
+		t.stageDemand += seconds
+		t.total.DemandIOSeconds += seconds
+	}
+	t.mu.Unlock()
+}
+
+// StageEnd closes the current stage with its modeled CPU seconds: the wall
+// clock gains demand + max(overlap, cpu), the serial clock
+// demand + overlap + cpu, and the stage buckets reset. Call it once per
+// pipeline stage (the engine: once per cluster).
+func (t *Timeline) StageEnd(cpuSeconds float64) {
+	t.mu.Lock()
+	hidden := t.stageOverlap
+	if cpuSeconds > hidden {
+		hidden = cpuSeconds
+	}
+	t.total.WallSeconds += t.stageDemand + hidden
+	t.total.SerialSeconds += t.stageDemand + t.stageOverlap + cpuSeconds
+	t.total.CPUSeconds += cpuSeconds
+	t.total.Stages++
+	t.stageDemand, t.stageOverlap = 0, 0
+	t.mu.Unlock()
+}
+
+// Stats returns a snapshot of the accumulated timeline. I/O charged since the
+// last StageEnd is included in the bucket totals but not yet in the wall and
+// serial clocks.
+func (t *Timeline) Stats() TimelineStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}

@@ -1,0 +1,151 @@
+package disk
+
+import (
+	"math"
+	"testing"
+)
+
+func timelineDisk(t *testing.T, pages int) (*Disk, FileID) {
+	t.Helper()
+	d := New(DefaultModel())
+	f := d.CreateFile()
+	for i := 0; i < pages; i++ {
+		if _, err := d.AppendPage(f, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, f
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestTimelineBucketsAndStageClock(t *testing.T) {
+	d, f := timelineDisk(t, 8)
+	s := d.NewSession()
+	tl := NewTimeline()
+	s.SetTimeline(tl)
+
+	// Stage 1: two demand reads (seek + sequential), then two overlapped
+	// reads, closed with a CPU phase shorter than the overlapped I/O.
+	m := d.Model()
+	if _, err := s.Read(PageAddr{File: f, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(PageAddr{File: f, Page: 1}); err != nil {
+		t.Fatal(err)
+	}
+	demand := m.SeekTime + 2*m.TransferTime
+	tl.BeginOverlap()
+	if _, err := s.Read(PageAddr{File: f, Page: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(PageAddr{File: f, Page: 3}); err != nil {
+		t.Fatal(err)
+	}
+	tl.EndOverlap()
+	overlap := 2 * m.TransferTime
+	cpu := overlap / 2
+	tl.StageEnd(cpu)
+
+	ts := tl.Stats()
+	if !approx(ts.DemandIOSeconds, demand) || !approx(ts.OverlapIOSeconds, overlap) {
+		t.Fatalf("buckets = %+v, want demand %v overlap %v", ts, demand, overlap)
+	}
+	if ts.OverlapReads != 2 {
+		t.Fatalf("overlap reads = %d", ts.OverlapReads)
+	}
+	// CPU shorter than overlapped I/O: the I/O's excess extends the wall.
+	if want := demand + overlap; !approx(ts.WallSeconds, want) {
+		t.Fatalf("wall = %v, want %v", ts.WallSeconds, want)
+	}
+	if want := demand + overlap + cpu; !approx(ts.SerialSeconds, want) {
+		t.Fatalf("serial = %v, want %v", ts.SerialSeconds, want)
+	}
+
+	// Stage 2: overlapped I/O fully hidden behind a longer CPU phase.
+	tl.BeginOverlap()
+	if _, err := s.Read(PageAddr{File: f, Page: 4}); err != nil {
+		t.Fatal(err)
+	}
+	tl.EndOverlap()
+	cpu2 := 10 * m.TransferTime
+	tl.StageEnd(cpu2)
+	ts2 := tl.Stats()
+	if want := demand + overlap + cpu2; !approx(ts2.WallSeconds, want) {
+		t.Fatalf("wall after stage 2 = %v, want %v", ts2.WallSeconds, want)
+	}
+	if ts2.Stages != 2 {
+		t.Fatalf("stages = %d", ts2.Stages)
+	}
+	if !approx(ts2.SerialSeconds, ts2.DemandIOSeconds+ts2.OverlapIOSeconds+ts2.CPUSeconds) {
+		t.Fatalf("serial identity violated: %+v", ts2)
+	}
+}
+
+// TestTimelineDoesNotPerturbCounters: the counters are the determinism
+// contract; attaching a timeline must not change them, and with nothing
+// overlapped wall == serial.
+func TestTimelineDoesNotPerturbCounters(t *testing.T) {
+	run := func(attach bool) (Stats, float64) {
+		d, f := timelineDisk(t, 16)
+		s := d.NewSession()
+		tl := NewTimeline()
+		if attach {
+			s.SetTimeline(tl)
+		}
+		for _, p := range []int{0, 1, 5, 2, 9} {
+			if _, err := s.Read(PageAddr{File: f, Page: p}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Write(PageAddr{File: f, Page: 3}, "x"); err != nil {
+			t.Fatal(err)
+		}
+		tl.StageEnd(0)
+		return s.Stats(), s.Cost()
+	}
+	withTL, costTL := run(true)
+	without, cost := run(false)
+	if withTL != without {
+		t.Fatalf("counters diverge: with=%+v without=%+v", withTL, without)
+	}
+	if !approx(costTL, cost) {
+		t.Fatalf("cost diverges: %v vs %v", costTL, cost)
+	}
+	// Re-derive: all-demand timeline reproduces the session cost as both
+	// clocks.
+	d, f := timelineDisk(t, 16)
+	s := d.NewSession()
+	tl := NewTimeline()
+	s.SetTimeline(tl)
+	for _, p := range []int{0, 1, 5, 2, 9} {
+		if _, err := s.Read(PageAddr{File: f, Page: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl.StageEnd(0)
+	ts := tl.Stats()
+	if !approx(ts.WallSeconds, ts.SerialSeconds) {
+		t.Fatalf("no overlap but wall %v != serial %v", ts.WallSeconds, ts.SerialSeconds)
+	}
+	if !approx(ts.WallSeconds, s.Cost()) {
+		t.Fatalf("all-demand wall %v != session cost %v", ts.WallSeconds, s.Cost())
+	}
+}
+
+func TestTimelineChargesPendingStageInBuckets(t *testing.T) {
+	d, f := timelineDisk(t, 4)
+	s := d.NewSession()
+	tl := NewTimeline()
+	s.SetTimeline(tl)
+	if _, err := s.Read(PageAddr{File: f, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	ts := tl.Stats()
+	if ts.DemandIOSeconds == 0 {
+		t.Fatal("pending charge missing from bucket")
+	}
+	if ts.WallSeconds != 0 || ts.Stages != 0 {
+		t.Fatalf("open stage already clocked: %+v", ts)
+	}
+}

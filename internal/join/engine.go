@@ -41,6 +41,20 @@ type Engine struct {
 	// instead of building it lazily inside worker tasks. Purely a CPU-side
 	// wall-clock concern: the Report is bit-identical either way.
 	Kernels bool
+	// Prefetch enables the double-buffered cluster pipeline: while workers
+	// compare cluster k's page pairs, the coordinator stages cluster k+1's
+	// prefetch-plan pages (Pool.Prefetch), promoting them to pinned at the
+	// boundary. Only the LRU policy preserves the determinism contract's
+	// victim order under staging, so the pipeline silently stays off under
+	// FIFO. The Report is bit-identical either way (see TestPrefetchDeterminism).
+	Prefetch bool
+	// PrefetchDepth bounds the pages staged ahead of each cluster boundary;
+	// <= 0 stages the successor's whole prefetch plan, budget permitting.
+	PrefetchDepth int
+	// Timeline, when non-nil, is attached to the run's disk session and fed
+	// one stage per cluster (demand vs overlapped I/O, modeled CPU), yielding
+	// the modeled pipeline wall clock reported through ExecStats/Metrics.
+	Timeline *disk.Timeline
 }
 
 func (e *Engine) validate(r, s *Dataset) error {
@@ -71,6 +85,9 @@ func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
 		return nil, err
 	}
 	rep := &Report{Method: method}
+	if e.Timeline != nil {
+		io.SetTimeline(e.Timeline)
+	}
 	if e.Kernels {
 		pool.SetOnLoad(func(pg *disk.Page) { PrepareFlat(pg.Payload) })
 	}
@@ -317,7 +334,20 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 			order = sched.IdentityOrder(len(clusters))
 		}
 
-		for _, ci := range order {
+		// The prefetch pipeline needs the per-step plan (the pages each
+		// cluster needs that its predecessor does not pin). Only LRU
+		// preserves the off-mode victim order under staged frames — staged
+		// protection mirrors the pin loop's incremental pinning and prefetch
+		// victims are the same front-first survivors — so FIFO runs stay
+		// unpipelined regardless of the option.
+		prefetching := e.Prefetch && e.Policy == buffer.LRU && len(order) > 1
+		var plan [][]any
+		if prefetching {
+			plan = sched.PrefetchPlan(pageSets, order)
+		}
+
+		var cpuMark float64
+		for oi, ci := range order {
 			// A cluster is one unit of work: cancellation is checked at its
 			// boundary, and its comparison tasks are flushed before the next
 			// cluster's pages are fetched.
@@ -327,16 +357,10 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 			c := clusters[ci]
 			e.Metrics.ClusterStart(ci)
 			// Fetch missing pages in ascending (file, page) order; pin all.
-			addrs := make([]disk.PageAddr, 0, c.Pages())
-			for a := range pageSets[ci] {
-				addrs = append(addrs, a.(disk.PageAddr))
-			}
-			sort.Slice(addrs, func(i, k int) bool {
-				if addrs[i].File != addrs[k].File {
-					return addrs[i].File < addrs[k].File
-				}
-				return addrs[i].Page < addrs[k].Page
-			})
+			// Staged frames from the predecessor's prefetch are claimed here:
+			// the claim counts nothing (their hit or miss was pre-charged at
+			// stage time), keeping the counters identical with prefetch off.
+			addrs := sortedAddrs(pageSets[ci])
 			for _, a := range addrs {
 				if _, err := x.Pool.GetPinned(a); err != nil {
 					return err
@@ -348,12 +372,89 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 					return err
 				}
 			}
+			// Double buffering: the comparison tasks are queued (workers are
+			// chewing on them now), so the coordinator overlaps the
+			// successor's new-page reads with this cluster's CPU phase. The
+			// reads occupy exactly the session-head sequence the successor's
+			// pin loop would have issued, so Seeks/Sequential/GapPages are
+			// untouched; only the timeline buckets them as overlapped.
+			if prefetching && oi+1 < len(order) {
+				x.Kick() // ship the sub-batch remainder so workers chew while we stage
+				if err := e.prefetchStep(x, plan[oi+1], order[oi+1]); err != nil {
+					return err
+				}
+			}
 			x.Flush()
+			if e.Timeline != nil {
+				e.Timeline.StageEnd(x.Rep.CPUJoinSeconds - cpuMark)
+				cpuMark = x.Rep.CPUJoinSeconds
+			}
 			x.Pool.UnpinAll()
 			e.Metrics.ClusterEnd()
 		}
 		return nil
 	})
+}
+
+// sortedAddrs returns the page set's addresses in ascending (file, page)
+// order — the optimal disk scheduling order [40] shared by the pin loop and
+// the prefetch loop, which is what keeps the two modes' read sequences
+// identical.
+func sortedAddrs(ps sched.PageSet) []disk.PageAddr {
+	addrs := make([]disk.PageAddr, 0, len(ps))
+	for a := range ps {
+		addrs = append(addrs, a.(disk.PageAddr))
+	}
+	sort.Slice(addrs, func(i, k int) bool {
+		if addrs[i].File != addrs[k].File {
+			return addrs[i].File < addrs[k].File
+		}
+		return addrs[i].Page < addrs[k].Page
+	})
+	return addrs
+}
+
+// prefetchStep stages the next cluster's prefetch-plan pages (ascending
+// order, bounded by PrefetchDepth) while the current cluster's comparisons
+// run. A degraded admission (no evictable frame) ends the step: every
+// remaining plan page is then non-resident — any resident one would itself
+// have been an eviction candidate — so the deferred reads fall through to the
+// successor's pin loop, where the victim order matches the unpipelined run.
+func (e *Engine) prefetchStep(x *Exec, step []any, target int) error {
+	if len(step) == 0 {
+		return nil
+	}
+	addrs := make([]disk.PageAddr, len(step))
+	for i, p := range step {
+		addrs[i] = p.(disk.PageAddr)
+	}
+	sort.Slice(addrs, func(i, k int) bool {
+		if addrs[i].File != addrs[k].File {
+			return addrs[i].File < addrs[k].File
+		}
+		return addrs[i].Page < addrs[k].Page
+	})
+	if e.PrefetchDepth > 0 && len(addrs) > e.PrefetchDepth {
+		addrs = addrs[:e.PrefetchDepth]
+	}
+	if e.Timeline != nil {
+		e.Timeline.BeginOverlap()
+		defer e.Timeline.EndOverlap()
+	}
+	readMark := x.IO.Stats().Reads
+	staged := int64(0)
+	for _, a := range addrs {
+		ok, err := x.Pool.Prefetch(a)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		staged++
+	}
+	e.Metrics.ClusterPrefetched(target, staged, x.IO.Stats().Reads-readMark)
+	return nil
 }
 
 // ModelSCPreprocess returns the modeled seconds of SC clustering over m

@@ -153,6 +153,19 @@ func (x *Exec) JoinPair(r, s *Dataset, pr, ps int, j ObjectJoiner) error {
 	return nil
 }
 
+// Kick ships any pending comparison tasks to the workers without waiting.
+// The engine calls it before coordinator-side work it wants overlapped with
+// the comparisons (the prefetch step): tasks below the batching threshold
+// would otherwise sit unsubmitted until Flush, serializing the two phases
+// the pipeline exists to overlap. A no-op without workers, and harmless for
+// determinism — Flush merges in submission order regardless of when the
+// batch shipped.
+func (x *Exec) Kick() {
+	if x.eng.Workers != nil {
+		x.submit()
+	}
+}
+
 // Flush waits for every scheduled task and merges their outputs into Rep in
 // submission order. Executors call it at the same boundaries where the
 // buffer's pinned set turns over (cluster end, outer block end), bounding

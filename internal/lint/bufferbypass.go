@@ -20,6 +20,15 @@ import (
 // disk.Session is policed identically: a session is a per-run accounting
 // scope over the same disk, and unpooled session I/O skips hit/miss
 // accounting just as unpooled disk I/O does.
+//
+// buffer.Source closes the remaining hole: the interface beneath the pool
+// has the same Read method, and a call through a Source-typed value resolves
+// to the interface method rather than to disk.Disk or disk.Session, escaping
+// the concrete-receiver checks. Engine code holding the pool's source (for
+// example to issue its own readahead instead of Pool.Prefetch, which would
+// skip staged-frame accounting and eviction protection) is exactly the
+// bypass this rule exists to catch, so interface-mediated reads are flagged
+// outside internal/buffer and internal/disk too.
 func bufferBypassAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "bufferbypass",
@@ -52,6 +61,10 @@ func runBufferBypass(p *Package) []Diagnostic {
 						"disk.%s.%s outside internal/buffer bypasses buffer-pool I/O accounting; route page access through buffer.Pool", recv, m))
 					break
 				}
+			}
+			if isMethodOf(fn, bufferPkgPath, "Source", "Read") {
+				diags = append(diags, p.diag(call, "bufferbypass",
+					"buffer.Source.Read outside internal/buffer bypasses buffer-pool I/O accounting; route page access through buffer.Pool (Get for demand, Prefetch for readahead)"))
 			}
 			return true
 		})

@@ -48,6 +48,10 @@ const stubBuffer = `package buffer
 
 import "pmjoin/internal/disk"
 
+type Source interface {
+	Read(addr disk.PageAddr) (*disk.Page, error)
+}
+
 type Pool struct{}
 
 func (p *Pool) Get(a disk.PageAddr) (*disk.Page, error)       { return nil, nil }
@@ -55,6 +59,7 @@ func (p *Pool) GetPinned(a disk.PageAddr) (*disk.Page, error) { return nil, nil 
 func (p *Pool) Unpin(a disk.PageAddr) error                   { return nil }
 func (p *Pool) UnpinAll()                                     {}
 func (p *Pool) Flush() error                                  { return nil }
+func (p *Pool) Prefetch(a disk.PageAddr) (bool, error)        { return false, nil }
 `
 
 const stubGeom = `package geom
@@ -417,6 +422,60 @@ import "pmjoin/internal/disk"
 
 func ok(s *disk.Session, f disk.FileID) int {
 	return s.NumPages(f)
+}
+`,
+		},
+		{
+			// A call through the pool's Source interface resolves to the
+			// interface method, not disk.Disk or disk.Session; the rule must
+			// still see it, or engines could hold the pool's source and issue
+			// their own readahead around Pool.Prefetch.
+			name: "read through buffer.Source is flagged",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func bad(src buffer.Source, a disk.PageAddr) error {
+	_, err := src.Read(a)
+	return err
+}
+`,
+			lines: []int{9},
+		},
+		{
+			name: "prefetch through the pool is clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr) error {
+	_, err := p.Prefetch(a)
+	return err
+}
+`,
+		},
+		{
+			// A fixture-local Read is not pool-source traffic: only the
+			// guarded interface (and the concrete disk types) carry the
+			// simulator's I/O charges.
+			name: "read on an unrelated local type is clean",
+			src: `package fixture
+
+import "pmjoin/internal/disk"
+
+type fake struct{}
+
+func (fake) Read(a disk.PageAddr) (*disk.Page, error) { return nil, nil }
+
+func ok(f fake, a disk.PageAddr) error {
+	_, err := f.Read(a)
+	return err
 }
 `,
 		},

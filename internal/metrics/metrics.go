@@ -163,8 +163,14 @@ type ClusterStats struct {
 	// Reused is how many pins hit pages still resident from earlier
 	// clusters (the schedule's realized sharing, Lemma 4).
 	Reused int64
+	// Prefetched is how many of the cluster's pages its predecessor staged
+	// ahead of time (Pool.Prefetch); their hits/misses are pre-charged at
+	// stage time and folded into Reused/Fetched here, so Fetched + Reused
+	// still partitions Pinned regardless of the prefetch setting.
+	Prefetched int64
 	// Disk is the cluster's full simulated I/O delta (fetch + any
-	// executor-side traffic until the next cluster starts).
+	// executor-side traffic until the next cluster starts, including reads
+	// prefetching the successor's pages).
 	Disk disk.Stats
 	// Wall is the cluster's real elapsed time (not deterministic).
 	Wall time.Duration
@@ -187,6 +193,9 @@ type Metrics struct {
 	// QueueHighWater is the worker pool's queue-depth high-water mark
 	// (0 when the run was serial).
 	QueueHighWater int
+	// Timeline is the modeled overlapped-pipeline clock (zero unless the
+	// engine attached a disk.Timeline, i.e. for clustered methods).
+	Timeline disk.TimelineStats
 	// Events is the trace, oldest first (nil unless tracing was enabled).
 	Events []Event
 	// EventsDropped counts events the bounded ring overwrote.
@@ -228,8 +237,13 @@ type Collector struct {
 	clusterDisk  disk.Stats
 	clusterBuf   buffer.Stats
 	clusterStart time.Time
+	// pendingPrefetch holds, per target cluster index, the {pages, reads}
+	// staged for it ahead of its ClusterStart; ClusterPinned consumes the
+	// entry so the pre-charged turnover lands on the cluster it belongs to.
+	pendingPrefetch map[int][2]int64
 
 	queueHighWater int
+	timeline       disk.TimelineStats
 
 	trace    bool
 	ring     []Event
@@ -370,7 +384,40 @@ func (c *Collector) ClusterPinned(pages int) {
 		bs := c.pool.Stats().Sub(c.clusterBuf)
 		cs.Fetched, cs.Reused = bs.Misses, bs.Hits
 	}
+	if pending, ok := c.pendingPrefetch[c.cluster]; ok {
+		// The predecessor pre-charged these pages: reads count as this
+		// cluster's fetches, resident stagings as its reuse.
+		cs.Prefetched = pending[0]
+		cs.Fetched += pending[1]
+		cs.Reused += pending[0] - pending[1]
+		delete(c.pendingPrefetch, c.cluster)
+	}
 	c.clusters = append(c.clusters, cs)
+}
+
+// ClusterPrefetched records that the currently open cluster staged pages for
+// the cluster with creation index target (reads of them actually hit the
+// disk; the rest were already resident). The turnover is credited to target's
+// ClusterStats entry when target's own pin loop completes.
+func (c *Collector) ClusterPrefetched(target int, pages, reads int64) {
+	if c == nil || pages == 0 {
+		return
+	}
+	if c.pendingPrefetch == nil {
+		c.pendingPrefetch = make(map[int][2]int64)
+	}
+	p := c.pendingPrefetch[target]
+	p[0] += pages
+	p[1] += reads
+	c.pendingPrefetch[target] = p
+}
+
+// RecordTimeline stores the run's modeled pipeline clock snapshot.
+func (c *Collector) RecordTimeline(ts disk.TimelineStats) {
+	if c == nil {
+		return
+	}
+	c.timeline = ts
 }
 
 // ClusterEnd closes the per-cluster window, completing the entry's disk
@@ -428,6 +475,7 @@ func (c *Collector) Finish() *Metrics {
 		Phases:         c.phases,
 		Clusters:       c.clusters,
 		QueueHighWater: c.queueHighWater,
+		Timeline:       c.timeline,
 		EventsDropped:  c.dropped,
 		Wall:           time.Since(c.start),
 	}

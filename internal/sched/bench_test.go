@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// sharingGraphMapRef is the pre-optimization SharingGraph: pairwise weights
+// via per-element map probes (hash work per (pair, element)). Kept as the
+// reference implementation for equivalence tests and the "before" side of
+// BenchmarkSharingGraph.
+func sharingGraphMapRef(pages []PageSet) []Edge {
+	var edges []Edge
+	for i := range pages {
+		for j := i + 1; j < len(pages); j++ {
+			a, b := pages[i], pages[j]
+			if len(b) < len(a) {
+				a, b = b, a
+			}
+			w := 0
+			for p := range a {
+				if _, ok := b[p]; ok {
+					w++
+				}
+			}
+			if w > 0 {
+				edges = append(edges, Edge{A: i, B: j, Weight: w})
+			}
+		}
+	}
+	return edges
+}
+
+// benchSets builds n overlapping page sets of ~setSize pages drawn from a
+// universe sized to give neighbouring clusters substantial sharing, the shape
+// the clustered executor produces.
+func benchSets(n, setSize int, seed int64) []PageSet {
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([]PageSet, n)
+	universe := n * setSize / 4
+	if universe < setSize {
+		universe = setSize
+	}
+	for i := range sets {
+		s := make(PageSet, setSize)
+		base := (i * setSize / 3) % universe
+		for k := 0; k < setSize; k++ {
+			s[(base+rng.Intn(setSize*2))%universe] = struct{}{}
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+func TestSharingGraphMatchesMapReference(t *testing.T) {
+	for _, tc := range []struct {
+		n, setSize int
+		seed       int64
+	}{
+		{0, 0, 1}, {1, 5, 2}, {8, 6, 3}, {40, 12, 4}, {60, 3, 5},
+	} {
+		sets := benchSets(tc.n, tc.setSize, tc.seed)
+		want := sharingGraphMapRef(sets)
+		got := SharingGraph(sets)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d setSize=%d: interned graph differs from map reference\n got %v\nwant %v",
+				tc.n, tc.setSize, got, want)
+		}
+		// The parallel path must match element for element too; an inline
+		// submit exercises the row fan-out without a pool.
+		par := SharingGraphParallel(sets, func(task func()) { task() })
+		if !reflect.DeepEqual(par, want) {
+			t.Fatalf("n=%d setSize=%d: parallel graph differs from reference", tc.n, tc.setSize)
+		}
+	}
+}
+
+func TestPrefetchPlanComplementsStepSavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 30; iter++ {
+		n := 1 + rng.Intn(12)
+		sets := benchSets(n, 2+rng.Intn(8), int64(100+iter))
+		order := GreedyOrder(n, SharingGraph(sets))
+		plan := PrefetchPlan(sets, order)
+		steps := StepSavings(sets, order)
+		if len(plan) != len(order) {
+			t.Fatalf("plan length %d != order length %d", len(plan), len(order))
+		}
+		if len(plan) > 0 && plan[0] != nil {
+			t.Fatalf("step 0 = %v, want nil (no predecessor to overlap with)", plan[0])
+		}
+		for i := 1; i < len(order); i++ {
+			cur := sets[order[i]]
+			if got, want := len(plan[i]), len(cur)-steps[i]; got != want {
+				t.Fatalf("iter %d step %d: len(plan)=%d, want %d (=|cluster|-StepSavings)",
+					iter, i, got, want)
+			}
+			prev := sets[order[i-1]]
+			seen := make(map[any]bool, len(plan[i]))
+			for _, p := range plan[i] {
+				if _, ok := cur[p]; !ok {
+					t.Fatalf("iter %d step %d: planned page %v not in cluster", iter, i, p)
+				}
+				if _, ok := prev[p]; ok {
+					t.Fatalf("iter %d step %d: planned page %v is pinned by predecessor", iter, i, p)
+				}
+				if seen[p] {
+					t.Fatalf("iter %d step %d: duplicate page %v", iter, i, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+func TestPrefetchPlanDisjointClusters(t *testing.T) {
+	sets := []PageSet{pageSet(1, 2), pageSet(3, 4, 5)}
+	plan := PrefetchPlan(sets, []int{0, 1})
+	if plan[0] != nil || len(plan[1]) != 3 {
+		t.Fatalf("plan = %v", plan)
+	}
+	got := make([]int, 0, 3)
+	for _, p := range plan[1] {
+		got = append(got, p.(int))
+	}
+	sort.Ints(got)
+	if !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Fatalf("step 1 pages = %v", got)
+	}
+}
+
+func benchmarkGraph(b *testing.B, f func([]PageSet) []Edge) {
+	for _, size := range []struct{ n, pages int }{
+		{64, 32}, {256, 32}, {256, 128},
+	} {
+		sets := benchSets(size.n, size.pages, 42)
+		b.Run(fmt.Sprintf("n=%d_pages=%d", size.n, size.pages), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f(sets)
+			}
+		})
+	}
+}
+
+// BenchmarkSharingGraph is the "after" side (interned sorted-slice merge);
+// BenchmarkSharingGraphMapProbe is the "before" side (per-element map probes).
+func BenchmarkSharingGraph(b *testing.B)         { benchmarkGraph(b, SharingGraph) }
+func BenchmarkSharingGraphMapProbe(b *testing.B) { benchmarkGraph(b, sharingGraphMapRef) }

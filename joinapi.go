@@ -9,6 +9,7 @@ import (
 	"pmjoin/internal/bfrj"
 	"pmjoin/internal/buffer"
 	"pmjoin/internal/cluster"
+	"pmjoin/internal/disk"
 	"pmjoin/internal/ego"
 	"pmjoin/internal/geom"
 	"pmjoin/internal/join"
@@ -33,6 +34,21 @@ type ExecStats struct {
 	PreprocessWall time.Duration
 	// JoinWall is the wall time of the join executor itself.
 	JoinWall time.Duration
+	// PrefetchedPages is the number of page reads the pipelined executor
+	// issued ahead of demand, overlapped with the previous cluster's CPU
+	// phase (0 with prefetch off, under FIFO, or for unclustered methods).
+	PrefetchedPages int64
+	// ModeledWallSeconds is the modeled pipeline wall clock of the join
+	// phase under the linear disk model: per cluster, demand I/O plus
+	// max(overlapped I/O, modeled CPU). ModeledSerialSeconds is the same
+	// work with every read at demand time; their difference is the modeled
+	// time the overlap hides. Both are zero for unclustered methods. They
+	// are deterministic for a fixed option set but — unlike Report — move
+	// between prefetch on and off; that movement is the point.
+	ModeledWallSeconds   float64
+	ModeledSerialSeconds float64
+	// OverlapIOSeconds is the modeled I/O time charged as overlapped.
+	OverlapIOSeconds float64
 	// Cancelled reports that the run stopped early because the context was
 	// cancelled; the accompanying error carries the cause.
 	Cancelled bool
@@ -195,6 +211,13 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		if opt.Method == RandomSC {
 			order = join.OrderRandom
 		}
+		// The timeline is attached with prefetch on AND off, so both modes
+		// report modeled wall/serial clocks (off: every read is demand, the
+		// clocks coincide) and the pipeline experiment can difference them.
+		tl := disk.NewTimeline()
+		eng.Timeline = tl
+		eng.Prefetch = opt.Prefetch == PrefetchOn
+		eng.PrefetchDepth = opt.PrefetchDepth
 		rep, err = timedJoin(func() (*join.Report, error) {
 			return eng.Clustered(&a.ds, &b.ds, m, clusters, joiner, join.ClusteredOptions{
 				Order:             order,
@@ -202,6 +225,12 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 				PreprocessSeconds: pre,
 			})
 		})
+		ts := tl.Stats()
+		res.Exec.PrefetchedPages = ts.OverlapReads
+		res.Exec.ModeledWallSeconds = ts.WallSeconds
+		res.Exec.ModeledSerialSeconds = ts.SerialSeconds
+		res.Exec.OverlapIOSeconds = ts.OverlapIOSeconds
+		mc.RecordTimeline(ts)
 		if rep != nil && opt.Method == CC {
 			rep.Method = "CC"
 		}

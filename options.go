@@ -241,6 +241,70 @@ func ParseKernelMode(s string) (KernelMode, error) {
 	return 0, fmt.Errorf("pmjoin: unknown kernel mode %q (want on, off or default)", s)
 }
 
+// PrefetchMode selects whether clustered joins pipeline the next cluster's
+// page reads behind the current cluster's CPU phase (double buffering through
+// the staged-frame prefetch path). Prefetch never changes Report, Pairs or
+// Plan — the staged admissions replay the exact hit/miss/eviction/read
+// sequence of the unpipelined run — so the knob only exists as an escape
+// hatch, for differential testing, and for the pipeline benchmark baseline.
+type PrefetchMode int
+
+const (
+	// PrefetchDefault resolves to PrefetchOn in Validate.
+	PrefetchDefault PrefetchMode = iota
+	// PrefetchOn overlaps the successor cluster's reads with the current
+	// cluster's comparisons (default; LRU policy only — FIFO runs stay
+	// unpipelined silently, since FIFO insertion order is not
+	// prefetch-invariant).
+	PrefetchOn
+	// PrefetchOff issues every read at demand time (the serial timeline).
+	PrefetchOff
+)
+
+func (p PrefetchMode) String() string {
+	switch p {
+	case PrefetchDefault:
+		return "default"
+	case PrefetchOn:
+		return "on"
+	case PrefetchOff:
+		return "off"
+	default:
+		return fmt.Sprintf("PrefetchMode(%d)", int(p))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (p PrefetchMode) MarshalText() ([]byte, error) {
+	if p < PrefetchDefault || p > PrefetchOff {
+		return nil, fmt.Errorf("pmjoin: unknown prefetch mode %d", int(p))
+	}
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler; see ParsePrefetchMode.
+func (p *PrefetchMode) UnmarshalText(text []byte) error {
+	v, err := ParsePrefetchMode(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// ParsePrefetchMode parses a prefetch mode name (case-insensitive).
+func ParsePrefetchMode(s string) (PrefetchMode, error) {
+	switch normalizeEnum(s) {
+	case "default", "":
+		return PrefetchDefault, nil
+	case "on":
+		return PrefetchOn, nil
+	case "off":
+		return PrefetchOff, nil
+	}
+	return 0, fmt.Errorf("pmjoin: unknown prefetch mode %q (want on, off or default)", s)
+}
+
 // normalizeEnum lower-cases a name and strips the separators the canonical
 // spellings use, so flag values round-trip however the user hyphenates.
 func normalizeEnum(s string) string {
@@ -303,12 +367,24 @@ type Options struct {
 	// never depend on this knob; KernelsOff exists as an escape hatch and
 	// for differential tests.
 	Kernels KernelMode
+	// Prefetch selects the pipelined cluster executor (default on): while
+	// workers compare one cluster's page pairs, the coordinator stages the
+	// next cluster's new pages, overlapping I/O with CPU. Report, Pairs and
+	// Plan are bit-for-bit independent of this knob (the staged reads replay
+	// the demand-time sequence exactly); the win is wall clock, visible in
+	// ExecStats' modeled timeline and JoinWall.
+	Prefetch PrefetchMode
+	// PrefetchDepth bounds how many pages may be staged ahead of each
+	// cluster boundary. 0 means unbounded (the whole per-step prefetch
+	// plan, budget permitting); negative values are rejected by Validate.
+	PrefetchDepth int
 }
 
 // Validate checks the options and normalizes defaulted fields in place:
 // MaxPairs 0 becomes 100000, Parallelism 0 becomes GOMAXPROCS,
-// ClusterRowFraction 0 becomes 0.5, HistogramBins 0 becomes 100, and
-// Kernels KernelsDefault becomes KernelsOn.
+// ClusterRowFraction 0 becomes 0.5, HistogramBins 0 becomes 100, Kernels
+// KernelsDefault becomes KernelsOn, and Prefetch PrefetchDefault becomes
+// PrefetchOn.
 // Validate is idempotent; Join, JoinContext, Explain and ExplainContext
 // call it on their own copy, so mutation is only observable when calling
 // it directly.
@@ -360,6 +436,15 @@ func (o *Options) Validate() error {
 	}
 	if o.Kernels == KernelsDefault {
 		o.Kernels = KernelsOn
+	}
+	if o.Prefetch < PrefetchDefault || o.Prefetch > PrefetchOff {
+		return fmt.Errorf("pmjoin: unknown prefetch mode %v", o.Prefetch)
+	}
+	if o.Prefetch == PrefetchDefault {
+		o.Prefetch = PrefetchOn
+	}
+	if o.PrefetchDepth < 0 {
+		return fmt.Errorf("pmjoin: negative prefetch depth %d", o.PrefetchDepth)
 	}
 	return nil
 }
