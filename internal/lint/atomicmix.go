@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicmixAnalyzer flags variables and fields that are accessed both
+// through sync/atomic and through plain loads/stores anywhere in the
+// package. Mixing the two silently forfeits every guarantee atomics buy:
+// the plain access races with the atomic one, and on weakly-ordered
+// hardware a torn or stale read can feed a stat into the report — a
+// nondeterminism source that no amount of WorkerPool submission-order
+// discipline can mask. The typed wrappers (atomic.Int64 et al.) make the
+// mix impossible; this rule covers the untyped escape hatch
+// (atomic.AddInt64(&x, 1) in one file, x++ in another).
+//
+// Addresses passed to atomic functions are collected per package, then
+// every plain read or write of those same objects/fields is reported. The
+// address-of argument at the atomic call site itself is not a plain access.
+func atomicmixAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "variable accessed both via sync/atomic and plainly — the plain access races and forfeits atomicity",
+		Run:  runAtomicmix,
+	}
+}
+
+// atomicTarget identifies what an atomic call operates on: a package-level
+// or local variable (obj) or a struct field (field, matched on the field's
+// types.Object so every instance of the struct type counts).
+type atomicTarget struct {
+	obj types.Object
+}
+
+func runAtomicmix(p *Package) []Diagnostic {
+	// Pass 1: collect objects whose address is taken at a sync/atomic call,
+	// and remember those argument expressions so pass 2 can skip them.
+	targets := map[types.Object]token.Pos{} // object -> first atomic use
+	atomicArgs := map[ast.Expr]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.calleeOf(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				obj := p.accessTarget(un.X)
+				if obj == nil {
+					continue
+				}
+				atomicArgs[un.X] = true
+				if _, seen := targets[obj]; !seen {
+					targets[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// Pass 2: find plain accesses of the same objects. One diagnostic per
+	// object, at its first plain access in file order.
+	type finding struct {
+		node ast.Node
+		obj  types.Object
+	}
+	var findings []finding
+	reported := map[types.Object]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok || atomicArgs[e] {
+				return true
+			}
+			switch e.(type) {
+			case *ast.Ident, *ast.SelectorExpr:
+			default:
+				return true
+			}
+			obj := p.accessTarget(e)
+			if obj == nil {
+				return true
+			}
+			if _, isTarget := targets[obj]; !isTarget || reported[obj] {
+				// Selector chains resolve their base idents too; returning
+				// true lets Inspect descend so prefix accesses still match.
+				return true
+			}
+			reported[obj] = true
+			findings = append(findings, finding{e, obj})
+			return false
+		})
+	}
+
+	sort.Slice(findings, func(i, j int) bool { return findings[i].node.Pos() < findings[j].node.Pos() })
+	var diags []Diagnostic
+	for _, fd := range findings {
+		diags = append(diags, p.diag(fd.node, "atomicmix",
+			"%s is accessed via sync/atomic (first at %s) and plainly here — the plain access races; use the atomic API (or an atomic.Int64-style typed wrapper) everywhere",
+			fd.obj.Name(), p.Fset.Position(targets[fd.obj])))
+	}
+	return diags
+}
+
+// accessTarget resolves an expression that denotes a variable or field to
+// the object that identifies it for mixing purposes: an *ast.Ident to its
+// variable object, a *ast.SelectorExpr to the field object (shared by all
+// instances of the struct type). Anything else — index expressions, calls,
+// dereferences of computed pointers — is not tracked.
+func (p *Package) accessTarget(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		// Uses only: a defining ident is a declaration, not an access.
+		if v, ok := p.Info.Uses[e].(*types.Var); ok && !v.IsField() {
+			return v
+		}
+	case *ast.SelectorExpr:
+		sel, ok := p.Info.Selections[e]
+		if ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,459 @@
+package lint
+
+// The intraprocedural control-flow graph underlying the dataflow rules
+// (lockbalance, pinleak). BuildCFG decomposes one function body into basic
+// blocks connected by execution-order edges, covering the full Go statement
+// repertoire: if/else, for (all three clauses), range, switch with
+// fallthrough, type switch, select, labeled break/continue, goto, and the
+// three ways out of a function — return, panic, and falling off the end.
+// All exits share the single synthetic Exit block; blocks record whether
+// they reach it via a return or a panic so rules can treat abnormal exits
+// differently (a panic abandons the run, so holding a lock or a pin across
+// one is not an accounting leak).
+//
+// Defer is deliberately not lowered into edges: deferred calls run at every
+// exit in LIFO order, which no block sequence expresses. Instead each
+// DeferStmt stays a regular node in its block (so a rule sees it on exactly
+// the paths that register it) and is also listed in CFG.Defers; rules model
+// the at-exit effect themselves (see lockbalance's deferred-release state).
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block // all blocks, including unreachable ones, in creation order
+	Entry  *Block   // synthetic, empty, no predecessors
+	Exit   *Block   // synthetic, empty; every return/panic/fall-off edges here
+	Defers []*ast.DeferStmt
+}
+
+// Block is a straight-line run of AST nodes with no internal control
+// transfer. Nodes holds leaf statements and the control expressions the
+// block evaluates (an if condition, a switch tag, a range operand) in
+// execution order; composite statements are decomposed, so walking a node
+// never re-enters a nested body.
+type Block struct {
+	Index int
+	Kind  string // diagnostic label: "entry", "if.then", "for.head", ...
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// Return is the return statement that terminates this block, if any.
+	Return *ast.ReturnStmt
+	// Panic is the panic call that terminates this block, if any.
+	Panic *ast.CallExpr
+}
+
+// Reachable returns the blocks reachable from Entry, as a set keyed by
+// block index.
+func (c *CFG) Reachable() map[int]bool {
+	seen := make(map[int]bool, len(c.Blocks))
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// Unreachable returns the non-empty blocks not reachable from Entry: dead
+// statements (code after return/panic/goto) and loop-done blocks of
+// infinite loops. Empty synthetic blocks (joins, headers) are skipped —
+// they carry no statements, so their reachability is of no analytic
+// interest.
+func (c *CFG) Unreachable() []*Block {
+	reach := c.Reachable()
+	var out []*Block
+	for _, b := range c.Blocks {
+		if !reach[b.Index] && len(b.Nodes) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BuildCFG constructs the control-flow graph of a function body. The
+// builder is purely syntactic — it needs no type information — so it works
+// on parse-only trees (the fuzz target exercises it that way). A call to an
+// identifier literally named "panic" is treated as the builtin; shadowing
+// panic with a local function is not a shape this module (or sane code)
+// uses.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.newBlock("body")
+	edge(b.cfg.Entry, b.cur)
+	b.stmtList(body.List)
+	// Falling off the end of the body is a normal exit.
+	edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+// branchTarget is one enclosing breakable/continuable construct.
+type branchTarget struct {
+	label      string // label of the enclosing LabeledStmt, "" if none
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block
+	targets []branchTarget
+	// labels maps a label name to the block starting its labeled statement;
+	// created on demand so forward gotos resolve.
+	labels map[string]*Block
+	// pendingLabel carries a just-seen label into the loop/switch/select it
+	// names, so `break L` / `continue L` find their targets.
+	pendingLabel string
+	// fallthroughTo is the body block of the next case clause while a
+	// switch clause body is being built.
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock closes cur with an edge into next and continues there.
+func (b *cfgBuilder) startBlock(next *Block) {
+	edge(b.cur, next)
+	b.cur = next
+}
+
+// deadBlock replaces cur with a fresh, unreachable block: the statements
+// after an unconditional transfer still get recorded (and reported by
+// Unreachable), but carry no edges in.
+func (b *cfgBuilder) deadBlock() {
+	b.cur = b.newBlock("dead")
+}
+
+// labelBlock returns (creating on demand) the block that starts the
+// statement labeled name.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// A label applies only to the statement it directly prefixes.
+	label := b.pendingLabel
+	b.pendingLabel = ""
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.startBlock(b.labelBlock(s.Label.Name))
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		join := b.newBlock("if.join")
+		then := b.newBlock("if.then")
+		edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			edge(b.cur, join)
+		} else {
+			edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		head := b.newBlock("for.head")
+		done := b.newBlock("for.done")
+		b.startBlock(head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			edge(head, done)
+		}
+		// continue targets the post statement when there is one, else the head.
+		contTo := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			edge(post, head)
+			contTo = post
+		}
+		b.targets = append(b.targets, branchTarget{label: label, breakTo: done, continueTo: contTo})
+		body := b.newBlock("for.body")
+		edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		edge(b.cur, contTo)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		done := b.newBlock("range.done")
+		head.Nodes = append(head.Nodes, s.X)
+		b.startBlock(head)
+		edge(head, done)
+		b.targets = append(b.targets, branchTarget{label: label, breakTo: done, continueTo: head})
+		body := b.newBlock("range.body")
+		edge(head, body)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		edge(b.cur, head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchClauses(s.Body.List, label, func(blk *Block, cc *ast.CaseClause) []ast.Stmt {
+			blk.Nodes = append(blk.Nodes, exprNodes(cc.List)...)
+			return cc.Body
+		})
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchClauses(s.Body.List, label, func(blk *Block, cc *ast.CaseClause) []ast.Stmt {
+			return cc.Body
+		})
+
+	case *ast.SelectStmt:
+		done := b.newBlock("select.done")
+		sel := b.cur
+		b.targets = append(b.targets, branchTarget{label: label, breakTo: done})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			edge(sel, blk)
+			if cc.Comm != nil {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+			b.cur = blk
+			b.stmtList(cc.Body)
+			edge(b.cur, done)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		// select{} blocks forever: done is unreachable, which is exactly
+		// what the graph says (sel has no clause edges).
+		b.cur = done
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s.Label, false); t != nil {
+				edge(b.cur, t)
+			}
+			b.deadBlock()
+		case token.CONTINUE:
+			if t := b.findTarget(s.Label, true); t != nil {
+				edge(b.cur, t)
+			}
+			b.deadBlock()
+		case token.GOTO:
+			edge(b.cur, b.labelBlock(s.Label.Name))
+			b.deadBlock()
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				edge(b.cur, b.fallthroughTo)
+			}
+			b.deadBlock()
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cur.Return = s
+		edge(b.cur, b.cfg.Exit)
+		b.deadBlock()
+
+	case *ast.ExprStmt:
+		if call := panicCall(s.X); call != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s)
+			b.cur.Panic = call
+			edge(b.cur, b.cfg.Exit)
+			b.deadBlock()
+			return
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Leaf statements: assignments, declarations, sends, inc/dec, go.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchClauses builds the shared clause structure of switch and type
+// switch: every clause block is a successor of the dispatching block, a
+// missing default adds a direct edge to done, and fallthrough (expression
+// switch only) chains into the next clause's block.
+func (b *cfgBuilder) switchClauses(clauses []ast.Stmt, label string, fill func(*Block, *ast.CaseClause) []ast.Stmt) {
+	dispatch := b.cur
+	done := b.newBlock("switch.done")
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		blocks[i] = b.newBlock("switch.case")
+		edge(dispatch, blocks[i])
+		if cl.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		edge(dispatch, done)
+	}
+	b.targets = append(b.targets, branchTarget{label: label, breakTo: done})
+	savedFall := b.fallthroughTo
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		body := fill(blocks[i], cc)
+		b.cur = blocks[i]
+		b.stmtList(body)
+		edge(b.cur, done)
+	}
+	b.fallthroughTo = savedFall
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = done
+}
+
+// findTarget resolves a break (wantContinue=false) or continue
+// (wantContinue=true) to its destination block. A nil result means the
+// statement is ill-formed (continue outside a loop, unknown label); the
+// builder tolerates it so parse-only trees from the fuzzer cannot wedge it.
+func (b *cfgBuilder) findTarget(label *ast.Ident, wantContinue bool) *Block {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := b.targets[i]
+		if label != nil && t.label != label.Name {
+			continue
+		}
+		if wantContinue {
+			if t.continueTo != nil {
+				return t.continueTo
+			}
+			if label != nil {
+				return nil // labeled switch/select: continue invalid
+			}
+			continue // unlabeled continue skips switch/select frames
+		}
+		return t.breakTo
+	}
+	return nil
+}
+
+// panicCall matches a direct call of the builtin panic.
+func panicCall(e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return nil
+	}
+	return call
+}
+
+// exprNodes converts a []ast.Expr to []ast.Node.
+func exprNodes(exprs []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(exprs))
+	for i, e := range exprs {
+		out[i] = e
+	}
+	return out
+}
+
+// walkBlockNodes visits every AST node of the block's statements in
+// execution order, calling fn on each. It does not descend into nested
+// function literals (their bodies are separate CFGs) nor into deferred
+// calls (the DeferStmt itself is visited; its at-exit effect is rule
+// business).
+func walkBlockNodes(blk *Block, fn func(n ast.Node)) {
+	for _, root := range blk.Nodes {
+		skipChildren := false
+		if _, isDefer := root.(*ast.DeferStmt); isDefer {
+			fn(root)
+			skipChildren = true
+		}
+		if skipChildren {
+			continue
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			if d, isDefer := n.(*ast.DeferStmt); isDefer {
+				fn(d)
+				return false
+			}
+			fn(n)
+			return true
+		})
+	}
+}

@@ -1,0 +1,667 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of one function and returns the
+// *ast.BlockStmt plus the fileset for position reporting.
+func parseBody(t *testing.T, body string) (*ast.BlockStmt, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\n\nfunc f() {\n" + body + "\n}\n"
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body, fset
+}
+
+// cfgInvariants asserts the structural contract every CFG must satisfy:
+// exactly one entry with no predecessors, edges symmetric between Succs
+// and Preds, and every statement of the body either inside a reachable
+// block or inside one the builder reports via Unreachable.
+func cfgInvariants(t *testing.T, cfg *CFG, body *ast.BlockStmt, fset *token.FileSet) {
+	t.Helper()
+	if len(cfg.Entry.Preds) != 0 {
+		t.Errorf("entry has %d predecessors, want 0", len(cfg.Entry.Preds))
+	}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			if !containsBlock(s.Preds, b) {
+				t.Errorf("edge %d->%d missing from Preds", b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			if !containsBlock(p.Succs, b) {
+				t.Errorf("edge %d->%d missing from Succs", p.Index, b.Index)
+			}
+		}
+	}
+
+	// Every node position of the body must be covered by some block's
+	// node span (reachable or reported-unreachable) — no statement may be
+	// silently dropped.
+	covered := map[token.Pos]bool{}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			markCovered(n, covered)
+		}
+	}
+	reach := cfg.Reachable()
+	var unreachOK []*Block
+	unreachOK = cfg.Unreachable()
+	_ = unreachOK
+	for _, s := range body.List {
+		checkCovered(t, s, covered, fset)
+	}
+	// Unreachable blocks must really be unreachable.
+	for _, b := range cfg.Unreachable() {
+		if reach[b.Index] {
+			t.Errorf("block %d reported unreachable but reachable", b.Index)
+		}
+	}
+}
+
+func containsBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// markCovered records the positions of n and all its children.
+func markCovered(n ast.Node, covered map[token.Pos]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m != nil {
+			covered[m.Pos()] = true
+		}
+		return true
+	})
+}
+
+// checkCovered walks the statement tree and asserts every leaf statement's
+// position is covered. Composite statements are decomposed by the builder
+// (their conditions and bodies are covered separately), so only the
+// per-statement leaves are demanded.
+func checkCovered(t *testing.T, s ast.Stmt, covered map[token.Pos]bool, fset *token.FileSet) {
+	t.Helper()
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, x := range s.List {
+			checkCovered(t, x, covered, fset)
+		}
+	case *ast.LabeledStmt:
+		checkCovered(t, s.Stmt, covered, fset)
+	case *ast.IfStmt:
+		if !covered[s.Cond.Pos()] {
+			t.Errorf("%s: if condition not in any block", fset.Position(s.Cond.Pos()))
+		}
+		checkCovered(t, s.Body, covered, fset)
+		if s.Else != nil {
+			checkCovered(t, s.Else, covered, fset)
+		}
+	case *ast.ForStmt:
+		checkCovered(t, s.Body, covered, fset)
+	case *ast.RangeStmt:
+		if !covered[s.X.Pos()] {
+			t.Errorf("%s: range operand not in any block", fset.Position(s.X.Pos()))
+		}
+		checkCovered(t, s.Body, covered, fset)
+	case *ast.SwitchStmt:
+		for _, cl := range s.Body.List {
+			for _, x := range cl.(*ast.CaseClause).Body {
+				checkCovered(t, x, covered, fset)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if !covered[s.Assign.Pos()] {
+			t.Errorf("%s: type-switch assign not in any block", fset.Position(s.Assign.Pos()))
+		}
+		for _, cl := range s.Body.List {
+			for _, x := range cl.(*ast.CaseClause).Body {
+				checkCovered(t, x, covered, fset)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			if cc.Comm != nil && !covered[cc.Comm.Pos()] {
+				t.Errorf("%s: select comm not in any block", fset.Position(cc.Comm.Pos()))
+			}
+			for _, x := range cc.Body {
+				checkCovered(t, x, covered, fset)
+			}
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt:
+		// control transfers and empties carry no analyzable payload
+	default:
+		if !covered[s.Pos()] {
+			t.Errorf("%s: statement %T not in any block", fset.Position(s.Pos()), s)
+		}
+	}
+}
+
+// reachableLine reports whether the statement starting at the given body
+// line (1 = first line inside the braces) lies in a reachable block.
+func reachableLine(cfg *CFG, fset *token.FileSet, line int) bool {
+	reach := cfg.Reachable()
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			// body text starts at file line 4 (package, blank, func header)
+			if fset.Position(n.Pos()).Line == line+3 {
+				return reach[b.Index]
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGBuild(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		// line (1-based within the body) -> expected reachability
+		reach map[int]bool
+		// expected number of return-terminated and panic-terminated blocks
+		returns, panics int
+	}{
+		{
+			name: "straight line",
+			body: `x := 1
+y := x + 1
+_ = y`,
+			reach: map[int]bool{1: true, 2: true, 3: true},
+		},
+		{
+			name: "if else join",
+			body: `x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x`,
+			reach: map[int]bool{3: true, 5: true, 7: true},
+		},
+		{
+			name: "code after return is unreachable",
+			body: `x := 1
+return
+_ = x`,
+			reach:   map[int]bool{1: true, 3: false},
+			returns: 1,
+		},
+		{
+			name: "panic-only exit",
+			body: `x := 1
+panic("boom")
+_ = x`,
+			reach:  map[int]bool{1: true, 2: true, 3: false},
+			panics: 1,
+		},
+		{
+			name: "infinite loop makes tail unreachable",
+			body: `for {
+	x := 1
+	_ = x
+}
+y := 2
+_ = y`,
+			reach: map[int]bool{2: true, 5: false},
+		},
+		{
+			name: "loop break reaches tail",
+			body: `for {
+	break
+}
+y := 2
+_ = y`,
+			reach: map[int]bool{4: true},
+		},
+		{
+			name: "goto forward",
+			body: `x := 1
+goto done
+x = 2
+done:
+_ = x`,
+			reach: map[int]bool{1: true, 3: false, 5: true},
+		},
+		{
+			name: "goto backward loops",
+			body: `x := 0
+again:
+x++
+if x < 3 {
+	goto again
+}
+_ = x`,
+			reach: map[int]bool{3: true, 7: true},
+		},
+		{
+			name: "labeled break exits outer loop",
+			body: `outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if i+j > 2 {
+			break outer
+		}
+		_ = j
+	}
+}
+x := 1
+_ = x`,
+			reach: map[int]bool{7: true, 10: true},
+		},
+		{
+			name: "labeled continue targets outer loop post",
+			body: `outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if j == 1 {
+			continue outer
+		}
+		_ = j
+	}
+}
+x := 1
+_ = x`,
+			reach: map[int]bool{7: true, 10: true},
+		},
+		{
+			name: "switch with fallthrough and default",
+			body: `x := 1
+switch x {
+case 1:
+	x = 10
+	fallthrough
+case 2:
+	x = 20
+default:
+	x = 30
+}
+_ = x`,
+			reach: map[int]bool{4: true, 7: true, 9: true, 11: true},
+		},
+		{
+			name: "switch without default falls through to tail",
+			body: `x := 1
+switch x {
+case 1:
+	return
+}
+_ = x`,
+			reach:   map[int]bool{6: true},
+			returns: 1,
+		},
+		{
+			name: "type switch clauses",
+			body: `var v any = 1
+switch y := v.(type) {
+case int:
+	_ = y
+case string:
+	_ = y
+default:
+	_ = y
+}
+z := 1
+_ = z`,
+			reach: map[int]bool{4: true, 6: true, 8: true, 10: true},
+		},
+		{
+			name: "select clauses all reachable, empty select blocks",
+			body: `ch := make(chan int)
+select {
+case v := <-ch:
+	_ = v
+case ch <- 1:
+	_ = ch
+default:
+	_ = ch
+}
+x := 1
+_ = x`,
+			reach: map[int]bool{4: true, 6: true, 8: true, 10: true},
+		},
+		{
+			name: "empty select blocks forever",
+			body: `select {}
+x := 1
+_ = x`,
+			reach: map[int]bool{2: false},
+		},
+		{
+			name: "defer in loop stays a body node",
+			body: `for i := 0; i < 3; i++ {
+	defer println(i)
+}
+x := 1
+_ = x`,
+			reach: map[int]bool{2: true, 4: true},
+		},
+		{
+			name: "continue skips rest of loop body",
+			body: `for i := 0; i < 3; i++ {
+	if i == 1 {
+		continue
+	}
+	_ = i
+}
+x := 1
+_ = x`,
+			reach: map[int]bool{5: true, 7: true},
+		},
+		{
+			name: "return in all branches makes tail unreachable",
+			body: `x := 1
+if x > 0 {
+	return
+} else {
+	return
+}
+_ = x`,
+			reach:   map[int]bool{7: false},
+			returns: 2,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, fset := parseBody(t, tc.body)
+			cfg := BuildCFG(body)
+			cfgInvariants(t, cfg, body, fset)
+			for line, want := range tc.reach {
+				if got := reachableLine(cfg, fset, line); got != want {
+					t.Errorf("body line %d: reachable=%v, want %v", line, got, want)
+				}
+			}
+			returns, panics := 0, 0
+			for _, b := range cfg.Blocks {
+				if b.Return != nil {
+					returns++
+				}
+				if b.Panic != nil {
+					panics++
+				}
+			}
+			if returns != tc.returns {
+				t.Errorf("got %d return blocks, want %d", returns, tc.returns)
+			}
+			if panics != tc.panics {
+				t.Errorf("got %d panic blocks, want %d", panics, tc.panics)
+			}
+		})
+	}
+}
+
+// TestCFGDefersCollected asserts defer statements land both in their block
+// (path-sensitivity) and in the CFG-wide defer list (at-exit modeling),
+// including defer inside a loop.
+func TestCFGDefersCollected(t *testing.T) {
+	body, _ := parseBody(t, `defer println(0)
+for i := 0; i < 2; i++ {
+	defer println(i)
+}`)
+	cfg := BuildCFG(body)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(cfg.Defers))
+	}
+	reach := cfg.Reachable()
+	for _, d := range cfg.Defers {
+		found := false
+		for _, b := range cfg.Blocks {
+			for _, n := range b.Nodes {
+				if n == ast.Node(d) {
+					found = true
+					if !reach[b.Index] {
+						t.Errorf("defer block %d unreachable", b.Index)
+					}
+				}
+			}
+		}
+		if !found {
+			t.Errorf("defer not present in any block")
+		}
+	}
+}
+
+// TestSolveFlowForward exercises the solver on a diamond with a loop: a
+// "taint" fact set in one branch must be MAYBE at the join and inside the
+// loop, and a kill in the loop body must drive the fixpoint.
+func TestSolveFlowForward(t *testing.T) {
+	body, fset := parseBody(t, `x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+for i := 0; i < 3; i++ {
+	x = 4
+}
+_ = x`)
+	cfg := BuildCFG(body)
+
+	// Fact: the constant last assigned to x on every path (-1 = conflict).
+	assignVal := func(n ast.Node) (int, bool) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return 0, false
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name != "x" {
+			return 0, false
+		}
+		if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+			v := 0
+			fmt.Sscanf(lit.Value, "%d", &v)
+			return v, true
+		}
+		return 0, false
+	}
+	res := solveFlow(flowProblem[int]{
+		cfg:      cfg,
+		boundary: 0,
+		merge: func(a, b int) int {
+			if a == b {
+				return a
+			}
+			return -1
+		},
+		equal: func(a, b int) bool { return a == b },
+		transfer: func(b *Block, in int) int {
+			out := in
+			walkBlockNodes(b, func(n ast.Node) {
+				if v, ok := assignVal(n); ok {
+					out = v
+				}
+			})
+			return out
+		},
+	})
+	if !res.Seen[cfg.Exit.Index] {
+		t.Fatalf("exit not reached by solver")
+	}
+	// The loop may run zero times, so at exit x is either the join's -1
+	// (2 vs 3) or the loop's 4 — i.e. conflict.
+	if got := res.In[cfg.Exit.Index]; got != -1 {
+		t.Errorf("fact at exit = %d, want -1 (conflict)", got)
+	}
+	// Inside the loop body the fact must include the pre-loop conflict on
+	// first entry; after the assignment it is 4.
+	for _, b := range cfg.Blocks {
+		if b.Kind == "for.body" && res.Seen[b.Index] {
+			if res.Out[b.Index] != 4 {
+				t.Errorf("loop body out-fact = %d, want 4", res.Out[b.Index])
+			}
+		}
+	}
+	_ = fset
+}
+
+// TestSolveFlowBackward runs a liveness-style backward problem: a variable
+// read at the end must be live at entry, and writes kill liveness.
+func TestSolveFlowBackward(t *testing.T) {
+	body, _ := parseBody(t, `x := 1
+if x > 0 {
+	x = 2
+}
+_ = x`)
+	cfg := BuildCFG(body)
+
+	// Fact: is x live (will be read before written)?
+	res := solveFlow(flowProblem[bool]{
+		cfg:      cfg,
+		backward: true,
+		boundary: false,
+		merge:    func(a, b bool) bool { return a || b },
+		equal:    func(a, b bool) bool { return a == b },
+		transfer: func(b *Block, in bool) bool {
+			out := in
+			// Walk nodes in reverse execution order for a backward problem.
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				n := b.Nodes[i]
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "x" {
+						out = false // write kills
+					}
+					if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						if rid, ok := s.Rhs[0].(*ast.Ident); ok && rid.Name == "x" {
+							out = true // read revives
+						}
+					}
+				case ast.Expr:
+					if strings.Contains(exprString(s), "x") {
+						out = true
+					}
+				}
+			}
+			return out
+		},
+	})
+	if !res.Seen[cfg.Entry.Index] {
+		t.Fatalf("entry not reached by backward solver")
+	}
+	// x is written (x := 1) before any read, so it is dead at entry.
+	if res.Out[cfg.Entry.Index] {
+		t.Errorf("x live at entry; want dead (x := 1 kills before any read)")
+	}
+	// At the end of the then-branch (after x = 2) x is live: the final
+	// `_ = x` reads it. In a backward problem In[b] is the fact at block end.
+	for _, b := range cfg.Blocks {
+		if b.Kind == "if.then" {
+			if !res.Seen[b.Index] {
+				t.Fatalf("then-block not solved")
+			}
+			if !res.In[b.Index] {
+				t.Errorf("x dead at end of then-branch; want live (read by the final use)")
+			}
+			// And dead at the branch start: x = 2 kills the pending read.
+			if res.Out[b.Index] {
+				t.Errorf("x live at start of then-branch; want dead (x = 2 kills)")
+			}
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.BinaryExpr:
+		return exprString(e.X) + exprString(e.Y)
+	}
+	return ""
+}
+
+// FuzzCFGBuild feeds arbitrary source through the parser and asserts the
+// builder's invariants hold for every function that parses: one entry with
+// no predecessors, symmetric edges, and every statement reachable from the
+// entry or reported by Unreachable.
+func FuzzCFGBuild(f *testing.F) {
+	seeds := []string{
+		"package p\nfunc f() { x := 1; _ = x }",
+		"package p\nfunc f() { for { break } }",
+		"package p\nfunc f() {\nL:\n\tfor i := 0; i < 3; i++ {\n\t\tfor {\n\t\t\tcontinue L\n\t\t}\n\t}\n}",
+		"package p\nfunc f() { goto X; X: return }",
+		"package p\nfunc f(ch chan int) { select { case <-ch: case ch <- 1: default: } }",
+		"package p\nfunc f(v any) { switch v.(type) { case int: case string: } }",
+		"package p\nfunc f() { switch 1 { case 1: fallthrough; case 2: } }",
+		"package p\nfunc f() { for i := 0; i < 2; i++ { defer println(i) } }",
+		"package p\nfunc f() { panic(1) }",
+		"package p\nfunc f() { if true { return }; select {} }",
+		"package p\nfunc f() { x := 0\nagain:\n\tx++\n\tif x < 3 { goto again } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			t.Skip()
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			cfg := BuildCFG(body)
+			if len(cfg.Entry.Preds) != 0 {
+				t.Fatalf("entry has predecessors")
+			}
+			reach := cfg.Reachable()
+			if !reach[cfg.Entry.Index] {
+				t.Fatalf("entry unreachable from itself")
+			}
+			// Edge symmetry.
+			for _, b := range cfg.Blocks {
+				for _, s := range b.Succs {
+					if !containsBlock(s.Preds, b) {
+						t.Fatalf("edge %d->%d missing from Preds", b.Index, s.Index)
+					}
+				}
+			}
+			// Every block is reachable or reported (Unreachable covers all
+			// non-empty unreachable blocks by construction; re-verify).
+			reported := map[int]bool{}
+			for _, b := range cfg.Unreachable() {
+				reported[b.Index] = true
+			}
+			for _, b := range cfg.Blocks {
+				if len(b.Nodes) > 0 && !reach[b.Index] && !reported[b.Index] {
+					t.Fatalf("block %d with %d nodes neither reachable nor reported", b.Index, len(b.Nodes))
+				}
+			}
+			// The solver must terminate on every graph the builder emits.
+			solveFlow(flowProblem[int]{
+				cfg:      cfg,
+				boundary: 0,
+				merge: func(a, b int) int {
+					if a > b {
+						return a
+					}
+					return b
+				},
+				equal:    func(a, b int) bool { return a == b },
+				transfer: func(b *Block, in int) int { return in },
+			})
+			return true
+		})
+	})
+}

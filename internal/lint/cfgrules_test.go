@@ -1,0 +1,751 @@
+package lint
+
+import "testing"
+
+// The determinism-contract rules run on the CFG + dataflow engine; these
+// tables are their positive/negative fixtures. Each fixture is type-checked
+// against the stub packages, so path-based matching (predmat.Mark,
+// WorkerPool.Run, metrics events) behaves exactly as on the real tree.
+
+func TestLockbalance(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "early return skips unlock",
+			src: `package fixture
+
+import "sync"
+
+func bad(mu *sync.Mutex, early bool) {
+	mu.Lock()
+	if early {
+		return
+	}
+	mu.Unlock()
+}
+`,
+			lines: []int{8},
+		},
+		{
+			name: "unlock on only one branch is mixed at exit",
+			src: `package fixture
+
+import "sync"
+
+func bad(mu *sync.Mutex, c bool) {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+	}
+}
+`,
+			lines: []int{6},
+		},
+		{
+			name: "double lock deadlocks even when balanced overall",
+			src: `package fixture
+
+import "sync"
+
+func bad(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+`,
+			lines: []int{7},
+		},
+		{
+			name: "unlock of unheld mutex",
+			src: `package fixture
+
+import "sync"
+
+func bad(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+	mu.Unlock()
+}
+`,
+			lines: []int{8},
+		},
+		{
+			name: "explicit unlock plus deferred unlock double-releases",
+			src: `package fixture
+
+import "sync"
+
+func bad(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	mu.Unlock()
+}
+`,
+			lines: []int{6},
+		},
+		{
+			// continue jumps back to the loop header with the lock still
+			// held: the second iteration's Lock would self-deadlock, and the
+			// loop can also exit with the lock held.
+			name: "continue skips the unlock",
+			src: `package fixture
+
+import "sync"
+
+func bad(mu *sync.Mutex, xs []int) {
+	for _, x := range xs {
+		mu.Lock()
+		if x < 0 {
+			continue
+		}
+		mu.Unlock()
+	}
+}
+`,
+			lines: []int{7, 7},
+		},
+		{
+			name: "RLock without RUnlock on the early return",
+			src: `package fixture
+
+import "sync"
+
+func bad(mu *sync.RWMutex, c bool) int {
+	mu.RLock()
+	if c {
+		return 1
+	}
+	mu.RUnlock()
+	return 0
+}
+`,
+			lines: []int{8},
+		},
+		{
+			// The inner mu shadows the outer one; its Unlock must not pay
+			// the outer Lock's debt. The keys are object identities, not
+			// names.
+			name: "shadowed mutex does not balance the outer lock",
+			src: `package fixture
+
+import "sync"
+
+func bad(c bool) {
+	var mu sync.Mutex
+	mu.Lock()
+	{
+		var mu sync.Mutex
+		mu.Unlock()
+	}
+}
+`,
+			lines: []int{7},
+		},
+		{
+			name: "deferred unlock is clean",
+			src: `package fixture
+
+import "sync"
+
+func ok(mu *sync.Mutex, early bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if early {
+		return 1
+	}
+	return 0
+}
+`,
+		},
+		{
+			// The stock idiom (WorkerPool.QueueHighWater): lock and defer
+			// both scoped to one branch. The deferred credit travels only on
+			// the registering path, so the merge with the lock-free path is
+			// clean.
+			name: "branch-scoped lock plus defer is clean",
+			src: `package fixture
+
+import "sync"
+
+func ok(mu *sync.Mutex, c bool) {
+	if c {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}
+`,
+		},
+		{
+			// The WorkerPool.Run shape: unlock before panicking. Panic exits
+			// are exempt; the non-panicking path is balanced.
+			name: "unlock-then-panic guard is clean",
+			src: `package fixture
+
+import "sync"
+
+func ok(mu *sync.Mutex, n int) {
+	mu.Lock()
+	if n < 0 {
+		mu.Unlock()
+		panic("negative")
+	}
+	mu.Unlock()
+}
+`,
+		},
+		{
+			name: "unlock on every branch is clean",
+			src: `package fixture
+
+import "sync"
+
+func ok(mu *sync.Mutex, c bool) int {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+`,
+		},
+		{
+			name: "write and read modes are independent",
+			src: `package fixture
+
+import "sync"
+
+func ok(mu *sync.RWMutex) {
+	mu.Lock()
+	mu.Unlock()
+	mu.RLock()
+	mu.RUnlock()
+}
+`,
+		},
+		{
+			// TryLock's result is conditional, so the pair is not tracked;
+			// the body has no tracked acquire and is skipped entirely.
+			name: "TryLock is not tracked",
+			src: `package fixture
+
+import "sync"
+
+func ok(mu *sync.Mutex) {
+	if mu.TryLock() {
+		mu.Unlock()
+	}
+}
+`,
+		},
+		{
+			// Unlock-only bodies are helpers releasing a caller-held lock.
+			name: "release-only helper is skipped",
+			src: `package fixture
+
+import "sync"
+
+func ok(mu *sync.Mutex) {
+	mu.Unlock()
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "lockbalance", fixturePath, tc.src), "lockbalance", tc.lines)
+		})
+	}
+}
+
+func TestMaporder(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "append without a later sort",
+			src: `package fixture
+
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`,
+			lines: []int{5},
+		},
+		{
+			name: "sorted-keys idiom is clean",
+			src: `package fixture
+
+import "sort"
+
+func ok(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+`,
+		},
+		{
+			name: "sort.Slice also normalizes",
+			src: `package fixture
+
+import "sort"
+
+func ok(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+`,
+		},
+		{
+			name: "slices.Sort also normalizes",
+			src: `package fixture
+
+import "slices"
+
+func ok(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+`,
+		},
+		{
+			name: "float accumulation is order-dependent",
+			src: `package fixture
+
+func bad(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+`,
+			lines: []int{5},
+		},
+		{
+			name: "integer counters are exact and commutative",
+			src: `package fixture
+
+func ok(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+`,
+		},
+		{
+			name: "map-to-map copy is order-insensitive",
+			src: `package fixture
+
+func ok(src, dst map[int]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+`,
+		},
+		{
+			name: "channel send leaks iteration order",
+			src: `package fixture
+
+func bad(m map[int]int, ch chan int) {
+	for k := range m {
+		ch <- k
+	}
+}
+`,
+			lines: []int{4},
+		},
+		{
+			name: "printing leaks iteration order",
+			src: `package fixture
+
+import "fmt"
+
+func bad(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+			lines: []int{6},
+		},
+		{
+			name: "prediction-matrix marks depend on insertion order",
+			src: `package fixture
+
+import "pmjoin/internal/predmat"
+
+func bad(pm *predmat.Matrix, pairs map[int]int) {
+	for i, j := range pairs {
+		pm.Mark(i, j)
+	}
+}
+`,
+			lines: []int{6},
+		},
+		{
+			name: "worker-pool submission order must not come from a map",
+			src: `package fixture
+
+import "pmjoin/internal/join"
+
+func bad(pool *join.WorkerPool, work map[int]func() any) {
+	for _, w := range work {
+		pool.Run([]func() any{w})
+	}
+}
+`,
+			lines: []int{6},
+		},
+		{
+			name: "trace events must not be emitted in map order",
+			src: `package fixture
+
+import "pmjoin/internal/metrics"
+
+func bad(c *metrics.Collector, names map[string]bool) {
+	for n := range names {
+		c.Event(n)
+	}
+}
+`,
+			lines: []int{6},
+		},
+		{
+			name: "range over a slice is always ordered",
+			src: `package fixture
+
+func ok(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "maporder", fixturePath, tc.src), "maporder", tc.lines)
+		})
+	}
+}
+
+func TestAtomicmix(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "package-level var read plainly and updated atomically",
+			src: `package fixture
+
+import "sync/atomic"
+
+var hits int64
+
+func incr() { atomic.AddInt64(&hits, 1) }
+
+func read() int64 { return hits }
+`,
+			lines: []int{9},
+		},
+		{
+			name: "struct field mixed across methods",
+			src: `package fixture
+
+import "sync/atomic"
+
+type counter struct{ n int64 }
+
+func (c *counter) incr() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return c.n }
+`,
+			lines: []int{9},
+		},
+		{
+			name: "all accesses atomic is clean",
+			src: `package fixture
+
+import "sync/atomic"
+
+var hits int64
+
+func incr() { atomic.AddInt64(&hits, 1) }
+
+func read() int64 { return atomic.LoadInt64(&hits) }
+`,
+		},
+		{
+			name: "typed atomic wrapper is clean",
+			src: `package fixture
+
+import "sync/atomic"
+
+var hits atomic.Int64
+
+func incr() { hits.Add(1) }
+
+func read() int64 { return hits.Load() }
+`,
+		},
+		{
+			name: "plain write races like a plain read",
+			src: `package fixture
+
+import "sync/atomic"
+
+var hits int64
+
+func reset() { hits = 0 }
+
+func read() int64 { return atomic.LoadInt64(&hits) }
+`,
+			lines: []int{7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "atomicmix", fixturePath, tc.src), "atomicmix", tc.lines)
+		})
+	}
+}
+
+func TestCtxdropped(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+	cases := []struct {
+		name  string
+		src   string
+		lines []int
+	}{
+		{
+			name: "Background passed where ctx should flow",
+			src: `package fixture
+
+import "context"
+
+func fetch(ctx context.Context) error { return nil }
+
+func bad(ctx context.Context) error {
+	return fetch(context.Background())
+}
+`,
+			lines: []int{8},
+		},
+		{
+			name: "TODO passed where ctx should flow",
+			src: `package fixture
+
+import "context"
+
+func fetch(ctx context.Context) error { return nil }
+
+func bad(ctx context.Context) error {
+	return fetch(context.TODO())
+}
+`,
+			lines: []int{8},
+		},
+		{
+			name: "forwarding ctx is clean",
+			src: `package fixture
+
+import "context"
+
+func fetch(ctx context.Context) error { return nil }
+
+func ok(ctx context.Context) error {
+	return fetch(ctx)
+}
+`,
+		},
+		{
+			name: "root creation without a ctx parameter is clean",
+			src: `package fixture
+
+import "context"
+
+func fetch(ctx context.Context) error { return nil }
+
+func ok() error {
+	return fetch(context.Background())
+}
+`,
+		},
+		{
+			name: "context-less call when a Context sibling exists",
+			src: `package fixture
+
+import "context"
+
+func fetch() error { return nil }
+
+func fetchContext(ctx context.Context) error { return nil }
+
+func bad(ctx context.Context) error {
+	return fetch()
+}
+`,
+			lines: []int{10},
+		},
+		{
+			name: "context-less method call when a Context sibling exists",
+			src: `package fixture
+
+import "context"
+
+type client struct{}
+
+func (c client) get() error { return nil }
+
+func (c client) getContext(ctx context.Context) error { return nil }
+
+func bad(ctx context.Context, c client) error {
+	return c.get()
+}
+`,
+			lines: []int{12},
+		},
+		{
+			name: "derived context is clean",
+			src: `package fixture
+
+import "context"
+
+func fetch(ctx context.Context) error { return nil }
+
+func ok(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return fetch(sub)
+}
+`,
+		},
+		{
+			name: "re-rooting inside a nested literal is still a drop",
+			src: `package fixture
+
+import "context"
+
+func fetch(ctx context.Context) error { return nil }
+
+func bad(ctx context.Context) func() error {
+	return func() error {
+		return fetch(context.Background())
+	}
+}
+`,
+			lines: []int{9},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectDiags(t, runOne(t, "ctxdropped", fixturePath, tc.src), "ctxdropped", tc.lines)
+		})
+	}
+}
+
+func TestLintunused(t *testing.T) {
+	const fixturePath = "pmjoin/internal/fixture"
+
+	t.Run("stale directive is reported", func(t *testing.T) {
+		src := `package fixture
+
+func clean() int {
+	//lint:ignore floateq was needed before the epsilon refactor
+	return 1
+}
+`
+		diags := Run([]*Package{checkFixture(t, fixturePath, src)}, Analyzers())
+		expectDiags(t, diags, "lintunused", []int{4})
+	})
+
+	t.Run("useful directive is not reported", func(t *testing.T) {
+		// floateq polices the geom package, so the fixture lives there.
+		src := `package geom
+
+func eq(a, b float64) bool {
+	//lint:ignore floateq fixture exercises the suppression path
+	return a+1 == b+1
+}
+`
+		diags := Run([]*Package{checkFixture(t, geomPkgPath, src)}, Analyzers())
+		expectDiags(t, diags, "lintunused", nil)
+	})
+
+	t.Run("stale all directive needs the full suite", func(t *testing.T) {
+		src := `package fixture
+
+func clean() int {
+	//lint:ignore all historical
+	return 1
+}
+`
+		pkg := checkFixture(t, fixturePath, src)
+		diags := Run([]*Package{pkg}, Analyzers())
+		expectDiags(t, diags, "lintunused", []int{4})
+
+		// Under a partial run the same directive is not checkable: the
+		// finding it suppresses might belong to an analyzer that did not run.
+		var partial []*Analyzer
+		for _, a := range Analyzers() {
+			if a.Name == "floateq" || a.Name == "lintunused" {
+				partial = append(partial, a)
+			}
+		}
+		expectDiags(t, Run([]*Package{pkg}, partial), "lintunused", nil)
+	})
+
+	t.Run("directive naming a rule outside the run is not checkable", func(t *testing.T) {
+		src := `package fixture
+
+func clean() int {
+	//lint:ignore pinleak helper pins for the caller
+	return 1
+}
+`
+		pkg := checkFixture(t, fixturePath, src)
+		var partial []*Analyzer
+		for _, a := range Analyzers() {
+			if a.Name == "floateq" || a.Name == "lintunused" {
+				partial = append(partial, a)
+			}
+		}
+		expectDiags(t, Run([]*Package{pkg}, partial), "lintunused", nil)
+		// With the full suite, pinleak ran, found nothing, and the directive
+		// is provably stale.
+		expectDiags(t, Run([]*Package{pkg}, Analyzers()), "lintunused", []int{4})
+	})
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxdroppedAnalyzer flags functions that take a context.Context and then
+// drop it: calling a callee with a fresh context.Background()/context.TODO()
+// where the parameter should flow through, or calling the context-less
+// variant of a callee when a "...Context" sibling exists in the same scope.
+// A dropped context detaches the callee from cancellation — the engine's
+// Ctx is checked between clusters precisely so a cancelled run stops
+// issuing simulated I/O, and a Background() slipped into that chain turns
+// cancellation into a silent no-op that only shows up as a run that will
+// not die. Creating a root context in a function *without* a Context
+// parameter (main, tests, goroutine entry points) is fine and not flagged.
+func ctxdroppedAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxdropped",
+		Doc:  "function with a ctx parameter passes context.Background()/TODO() (or calls a non-Context variant) instead of forwarding ctx",
+		Run:  runCtxdropped,
+	}
+}
+
+func runCtxdropped(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxName := p.contextParam(fd.Type)
+			if ctxName == "" {
+				continue
+			}
+			// Nested function literals see ctx lexically, so the whole body
+			// is walked — a literal that re-roots the context inside a
+			// ctx-taking function is the same bug.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					fn := p.calleeOf(inner)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+						continue
+					}
+					if fn.Name() == "Background" || fn.Name() == "TODO" {
+						diags = append(diags, p.diag(arg, "ctxdropped",
+							"%s has %s but passes context.%s() here — the callee detaches from cancellation; forward %s",
+							fd.Name.Name, ctxName, fn.Name(), ctxName))
+					}
+				}
+				if sib := p.contextSibling(call); sib != "" {
+					diags = append(diags, p.diag(call, "ctxdropped",
+						"%s has %s but calls the context-less %s — use %s so cancellation propagates",
+						fd.Name.Name, ctxName, calleeDisplay(call), sib))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+// contextParam returns the name of the first context.Context parameter of
+// the function type, or "" if it has none (or it is unnamed/blank — an
+// unusable parameter cannot be forwarded).
+func (p *Package) contextParam(ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || tv.Type == nil || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// contextSibling reports the name of a "<callee>Context" variant when the
+// called function takes no context but such a sibling exists — a function
+// in the same package scope, or a method on the same receiver type — and
+// that sibling's signature does accept a context.Context. Returns "" when
+// the call already takes a context or no sibling exists.
+func (p *Package) contextSibling(call *ast.CallExpr) string {
+	fn := p.calleeOf(call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || signatureTakesContext(sig) {
+		return ""
+	}
+	sibName := fn.Name() + "Context"
+	if sig.Recv() != nil {
+		recvType := sig.Recv().Type()
+		if ptr, ok := recvType.(*types.Pointer); ok {
+			recvType = ptr.Elem()
+		}
+		named, ok := recvType.(*types.Named)
+		if !ok {
+			return ""
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m.Name() == sibName && signatureTakesContext(m.Type().(*types.Signature)) {
+				return named.Obj().Name() + "." + sibName
+			}
+		}
+		return ""
+	}
+	sib, ok := fn.Pkg().Scope().Lookup(sibName).(*types.Func)
+	if !ok {
+		return ""
+	}
+	if sibSig, ok := sib.Type().(*types.Signature); ok && signatureTakesContext(sibSig) {
+		return sibName
+	}
+	return ""
+}
+
+func signatureTakesContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeDisplay renders the call target for a message (`Run`, `pool.Run`).
+func calleeDisplay(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return base.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "the callee"
+}

@@ -13,9 +13,10 @@ import (
 // match call targets by these import paths, so the suite keeps working if
 // files move around within the packages.
 const (
-	bufferPkgPath = "pmjoin/internal/buffer"
-	diskPkgPath   = "pmjoin/internal/disk"
-	joinPkgPath   = "pmjoin/internal/join"
+	bufferPkgPath  = "pmjoin/internal/buffer"
+	diskPkgPath    = "pmjoin/internal/disk"
+	joinPkgPath    = "pmjoin/internal/join"
+	predmatPkgPath = "pmjoin/internal/predmat"
 )
 
 // Diagnostic is one finding of one analyzer.
@@ -36,7 +37,11 @@ type Analyzer struct {
 	Run  func(p *Package) []Diagnostic
 }
 
-// Analyzers returns the full pmlint suite in reporting order.
+// Analyzers returns the full pmlint suite in reporting order. The CFG-based
+// determinism-contract rules (maporder, lockbalance, atomicmix, ctxdropped,
+// and the rebuilt pinleak) run alongside the original source-shape rules.
+// lintunused is a pseudo-analyzer: it has no Run of its own — Run() special-
+// cases it and reports //lint:ignore directives that suppressed nothing.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		pinleakAnalyzer(),
@@ -47,6 +52,26 @@ func Analyzers() []*Analyzer {
 		rawGoAnalyzer(),
 		walltimeAnalyzer(),
 		slowdistAnalyzer(),
+		maporderAnalyzer(),
+		lockbalanceAnalyzer(),
+		atomicmixAnalyzer(),
+		ctxdroppedAnalyzer(),
+		lintunusedAnalyzer(),
+	}
+}
+
+// lintunusedAnalyzer flags //lint:ignore directives that suppress nothing.
+// Stale suppressions are worse than missing ones: they advertise a fixed
+// bug as still present and silently swallow the next real finding on that
+// line. A directive is reported only when every rule it names actually ran
+// (an "all" directive needs the full suite), so partial runs never produce
+// false "unused" reports.
+func lintunusedAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lintunused",
+		Doc:  "//lint:ignore directive that suppresses no finding of any rule it names",
+		// Run is nil: lint.Run special-cases this analyzer, since directive
+		// usage is only known after every other analyzer has reported.
 	}
 }
 
@@ -112,38 +137,107 @@ func directives(p *Package) ([]directive, []Diagnostic) {
 	return dirs, diags
 }
 
-// suppressed reports whether d is silenced by a directive on its own line,
-// on the line above, or in the doc comment of the enclosing declaration.
-func suppressed(d Diagnostic, dirs []directive) bool {
-	for _, dir := range dirs {
-		if dir.pos.Filename != d.Pos.Filename {
-			continue
-		}
-		inLineScope := dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1
-		inDeclScope := dir.endLine > 0 && d.Pos.Line > dir.pos.Line && d.Pos.Line <= dir.endLine
-		if !inLineScope && !inDeclScope {
+// suppressorIndex returns the index of the first directive that silences d —
+// a directive on d's own line, on the line above, or in the doc comment of
+// the enclosing declaration, naming d's rule or "all" — or -1 if none does.
+func suppressorIndex(d Diagnostic, dirs []directive) int {
+	for i, dir := range dirs {
+		if !dir.covers(d.Pos) {
 			continue
 		}
 		for _, r := range dir.rules {
 			if r == d.Rule || r == "all" {
-				return true
+				return i
 			}
 		}
 	}
-	return false
+	return -1
+}
+
+// covers reports whether the directive's scope includes the position: its
+// own line, the line below, or — for decl-scoped directives — anywhere in
+// the declaration.
+func (dir directive) covers(pos token.Position) bool {
+	if dir.pos.Filename != pos.Filename {
+		return false
+	}
+	inLineScope := dir.pos.Line == pos.Line || dir.pos.Line == pos.Line-1
+	inDeclScope := dir.endLine > 0 && pos.Line > dir.pos.Line && pos.Line <= dir.endLine
+	return inLineScope || inDeclScope
+}
+
+// suppressed reports whether d is silenced by any directive.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	return suppressorIndex(d, dirs) >= 0
 }
 
 // Run executes the analyzers over the packages, applies //lint:ignore
 // suppression, and returns the surviving diagnostics sorted by position.
+// When the analyzer set includes lintunused, directives that silenced no
+// finding are themselves reported — but only if every rule a directive
+// names was part of this run ("all" requires the full suite), so running a
+// single rule never mislabels other rules' suppressions as stale.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	ranRules := map[string]bool{}
+	checkUnused := false
+	for _, a := range analyzers {
+		if a.Name == "lintunused" {
+			checkUnused = true
+			continue
+		}
+		ranRules[a.Name] = true
+	}
+	fullSuite := true
+	for _, a := range Analyzers() {
+		if a.Run != nil && !ranRules[a.Name] {
+			fullSuite = false
+		}
+	}
+
 	var out []Diagnostic
 	for _, p := range pkgs {
 		dirs, malformed := directives(p)
 		out = append(out, malformed...)
+		used := make([]bool, len(dirs))
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, d := range a.Run(p) {
-				if !suppressed(d, dirs) {
+				if i := suppressorIndex(d, dirs); i >= 0 {
+					used[i] = true
+				} else {
 					out = append(out, d)
+				}
+			}
+		}
+		if checkUnused {
+			for i, dir := range dirs {
+				if used[i] || !unusedCheckable(dir, ranRules, fullSuite) {
+					continue
+				}
+				// A lintunused finding lands on the directive's own line, so
+				// the directive itself (or its "all") must not silence it:
+				// only a distinct directive explicitly naming lintunused can.
+				silenced := false
+				for j, other := range dirs {
+					if j == i || !other.covers(dir.pos) {
+						continue
+					}
+					for _, r := range other.rules {
+						if r == "lintunused" {
+							used[j] = true
+							silenced = true
+						}
+					}
+				}
+				if !silenced {
+					out = append(out, Diagnostic{
+						Pos:  dir.pos,
+						Rule: "lintunused",
+						Message: fmt.Sprintf("//lint:ignore %s suppresses nothing — the finding it silenced is gone; delete the directive",
+							strings.Join(dir.rules, ",")),
+					})
 				}
 			}
 		}
@@ -162,6 +256,29 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return a.Rule < b.Rule
 	})
 	return out
+}
+
+// unusedCheckable reports whether an unused directive can be confidently
+// reported given the rules that ran: every named rule must have run, and
+// "all" needs the full suite.
+func unusedCheckable(dir directive, ranRules map[string]bool, fullSuite bool) bool {
+	for _, r := range dir.rules {
+		if r == "all" {
+			if !fullSuite {
+				return false
+			}
+			continue
+		}
+		// lintdirective findings (malformed directives) bypass suppression,
+		// so a directive naming it can never be "used"; still checkable.
+		if r == "lintdirective" || r == "lintunused" {
+			continue
+		}
+		if !ranRules[r] {
+			return false
+		}
+	}
+	return true
 }
 
 // calleeOf resolves the static callee of a call expression, or nil when the

@@ -2,9 +2,7 @@ package lint
 
 import (
 	"go/ast"
-	"go/importer"
 	"go/parser"
-	"go/token"
 	"go/types"
 	"strings"
 	"testing"
@@ -77,6 +75,27 @@ func (n Norm) MinDist(a, b MBR) float64            { return 0 }
 func (n Norm) MinDistPoint(p Vector, m MBR) float64 { return 0 }
 `
 
+const stubPredmat = `package predmat
+
+type Matrix struct{}
+
+func (m *Matrix) Mark(i, j int) {}
+`
+
+const stubJoin = `package join
+
+type WorkerPool struct{}
+
+func (p *WorkerPool) Run(tasks []func() any) []any { return nil }
+`
+
+const stubMetrics = `package metrics
+
+type Collector struct{}
+
+func (c *Collector) Event(name string) {}
+`
+
 // checkFixture type-checks the stub packages plus one fixture source under
 // the given import path and returns the fixture as a *Package ready for
 // analysis.
@@ -89,14 +108,16 @@ func checkFixture(t *testing.T, path, src string) *Package {
 // rules whose matching depends on the file (rawgo exempts workerpool.go).
 func checkFixtureFile(t *testing.T, path, filename, src string) *Package {
 	t.Helper()
-	fset := token.NewFileSet()
-	std := importer.ForCompiler(fset, "source", nil)
+	// Fixtures share the process-wide fset and stdlib importer (see load.go):
+	// the stdlib closure is type-checked once for the whole test run instead
+	// of once per fixture, which is what used to dominate this suite's time.
+	fset := stdlibFset
 	checked := map[string]*types.Package{}
 	imp := importerFunc(func(p string) (*types.Package, error) {
 		if pkg, ok := checked[p]; ok {
 			return pkg, nil
 		}
-		return std.Import(p)
+		return importStdlib(p)
 	})
 	check := func(path, filename, src string) *Package {
 		f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
@@ -120,6 +141,9 @@ func checkFixtureFile(t *testing.T, path, filename, src string) *Package {
 	check(diskPkgPath, "disk.go", stubDisk)
 	check(bufferPkgPath, "buffer.go", stubBuffer)
 	check(geomPkgPath, "geom.go", stubGeom)
+	check(predmatPkgPath, "predmat.go", stubPredmat)
+	check(joinPkgPath, "join.go", stubJoin)
+	check(metricsPkgPath, "metrics.go", stubMetrics)
 	return check(path, filename, src)
 }
 
@@ -336,6 +360,140 @@ func mixed(p *buffer.Pool, a disk.PageAddr, early bool) error {
 }
 `,
 			lines: []int{13},
+		},
+		// The remaining cases are differential against the pre-CFG analysis,
+		// which scanned the body in source order with a boolean pinned flag
+		// and a function-wide "has deferred unpin" shortcut. Each comment
+		// records what that scan concluded; the CFG dataflow gets them right.
+		{
+			// Old scan: clean — it cleared its pinned flag at the Unpin in
+			// the branch, never noticing the flag only cleared on one path.
+			name: "unpin on only one branch is flagged",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func bad(p *buffer.Pool, a disk.PageAddr, done bool) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	if done {
+		p.Unpin(a)
+	}
+	return nil
+}
+`,
+			lines: []int{15},
+		},
+		{
+			// Old scan: clean — in source order the single Unpin follows the
+			// GetPinned, but the loop pins once per iteration and only one
+			// pin is ever released.
+			name: "pin inside a loop with a single unpin is flagged",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func bad(p *buffer.Pool, f disk.FileID, n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := p.GetPinned(disk.PageAddr{File: f, Page: i}); err != nil {
+			return err
+		}
+	}
+	p.Unpin(disk.PageAddr{File: f, Page: 0})
+	return nil
+}
+`,
+			lines: []int{15},
+		},
+		{
+			// Old scan: clean — any deferred unpin anywhere exonerated the
+			// whole function, even one registered on a single branch.
+			name: "defer registered on only one branch is flagged",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func bad(p *buffer.Pool, a disk.PageAddr, tidy bool) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	if tidy {
+		defer p.UnpinAll()
+	}
+	return nil
+}
+`,
+			lines: []int{15},
+		},
+		{
+			// The defer credit is per-path: a pin and its deferred release
+			// scoped to the same branch owe nothing on the other path.
+			name: "branch-scoped pin with branch-scoped defer is clean",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr, warm bool) error {
+	if warm {
+		if _, err := p.GetPinned(a); err != nil {
+			return err
+		}
+		defer p.UnpinAll()
+	}
+	return nil
+}
+`,
+		},
+		{
+			name: "deferred counted Unpin matches one pin",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr) error {
+	if _, err := p.GetPinned(a); err != nil {
+		return err
+	}
+	defer p.Unpin(a)
+	return nil
+}
+`,
+		},
+		{
+			// Paths that exit by panicking abandon the run and are exempt;
+			// the non-panicking path still owes its release and has one.
+			name: "panic exit with outstanding pin is exempt",
+			src: `package fixture
+
+import (
+	"pmjoin/internal/buffer"
+	"pmjoin/internal/disk"
+)
+
+func ok(p *buffer.Pool, a disk.PageAddr, n int) {
+	p.GetPinned(a)
+	if n < 0 {
+		panic("bad page count")
+	}
+	p.UnpinAll()
+}
+`,
 		},
 	}
 	for _, tc := range cases {

@@ -23,7 +23,30 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// The source importer type-checks standard-library dependencies from
+// source — several seconds of work for the transitive closure this module
+// touches — and caches the results, but only inside one importer instance.
+// A single process-wide instance makes that price a per-process cost
+// instead of a per-LoadModule (and, in the test suite, per-fixture) cost.
+// Module files are parsed into the same shared FileSet so every position
+// in scope resolves against one fset; token.FileSet is safe for concurrent
+// use, and stdlibMu serializes the importer itself, which is not.
+var (
+	stdlibMu       sync.Mutex
+	stdlibFset     = token.NewFileSet()
+	stdlibImporter = importer.ForCompiler(stdlibFset, "source", nil)
+)
+
+// importStdlib resolves a standard-library import through the shared
+// importer. Safe for concurrent use.
+func importStdlib(path string) (*types.Package, error) {
+	stdlibMu.Lock()
+	defer stdlibMu.Unlock()
+	return stdlibImporter.Import(path)
+}
 
 // Package is one parsed and type-checked package of the module under
 // analysis.
@@ -93,7 +116,7 @@ func LoadModule(root string) ([]*Package, error) {
 		return nil, err
 	}
 
-	fset := token.NewFileSet()
+	fset := stdlibFset
 	raw := make(map[string]*rawPkg)
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
@@ -128,13 +151,12 @@ func LoadModule(root string) ([]*Package, error) {
 		return nil, err
 	}
 
-	std := importer.ForCompiler(fset, "source", nil)
 	checked := make(map[string]*types.Package)
 	imp := importerFunc(func(path string) (*types.Package, error) {
 		if p, ok := checked[path]; ok {
 			return p, nil
 		}
-		return std.Import(path)
+		return importStdlib(path)
 	})
 
 	var pkgs []*Package

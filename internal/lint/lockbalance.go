@@ -1,0 +1,400 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockbalanceAnalyzer flags sync.Mutex / sync.RWMutex acquisitions without
+// the matching release on every control-flow path. The merge discipline the
+// determinism contract rests on (WorkerPool results folded in submission
+// order, predmat.Mark under markMu, the pool's frame table under its own
+// lock) is only as good as its lock hygiene: one early return or continue
+// that skips an Unlock deadlocks the next submitter, and a Lock that is
+// sometimes double-acquired deadlocks immediately. The Go runtime only
+// reports the *second* fault (a hang, a "fatal error: all goroutines are
+// asleep"), far from the line that caused it; this rule reports the line.
+//
+// The analysis runs on the control-flow graph (BuildCFG) with a forward
+// dataflow per lock object and mode: write mode pairs Lock/Unlock on both
+// mutex kinds, read mode pairs RLock/RUnlock. A lock object is the
+// canonicalized receiver path (`mu`, `p.mu`, `s.pool.mu`); receivers that
+// are not ident/selector chains (map elements, call results) are not
+// tracked. Deferred releases are modeled as a per-path obligation credit:
+// `mu.Lock(); defer mu.Unlock()` satisfies every exit that path reaches.
+// Paths that leave the function by panicking are exempt — a panic abandons
+// the run, and the idiomatic guard (`mu.Lock(); if bad { mu.Unlock();
+// panic(...) }`) is still checked on its non-panicking paths. TryLock /
+// TryRLock results are conditional and are not tracked.
+func lockbalanceAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockbalance",
+		Doc:  "Mutex/RWMutex Lock or RLock without the matching release on every path (CFG dataflow, defer-aware)",
+		Run:  runLockbalance,
+	}
+}
+
+// lockFact is the per-path state of one (lock, mode) pair.
+//
+// held and deferred are saturating counters capped at 2; -1 means the
+// paths merging at this point disagree (mixed). firstAcquire anchors the
+// diagnostic when the imbalance is only detectable at an exit.
+type lockFact struct {
+	held         int8
+	deferred     int8
+	firstAcquire token.Pos
+}
+
+func mergeCount(a, b int8) int8 {
+	if a == b {
+		return a
+	}
+	return -1
+}
+
+func mergeLockFact(a, b lockFact) lockFact {
+	pos := a.firstAcquire
+	if pos == token.NoPos || (b.firstAcquire != token.NoPos && b.firstAcquire < pos) {
+		pos = b.firstAcquire
+	}
+	return lockFact{
+		held:         mergeCount(a.held, b.held),
+		deferred:     mergeCount(a.deferred, b.deferred),
+		firstAcquire: pos,
+	}
+}
+
+// canonLockFact nets deferred releases against held acquires. A path that
+// locked and deferred the unlock owes nothing at any later exit, so it must
+// merge cleanly with paths that never locked: without netting,
+// `if c { mu.Lock(); defer mu.Unlock() }; return` would merge (1,1) with
+// (0,0) into mixed — a false positive on the repo's stock idiom
+// (WorkerPool.QueueHighWater). The cost is that a re-Lock after a
+// lock+defer pair reports as a leak at exit rather than as a doublelock at
+// the acquire — still reported, just one notch less precisely.
+func canonLockFact(f lockFact) lockFact {
+	for f.held > 0 && f.deferred > 0 {
+		f.held--
+		f.deferred--
+	}
+	return f
+}
+
+func satIncr(c int8) int8 {
+	if c < 0 {
+		return -1
+	}
+	if c >= 2 {
+		return 2
+	}
+	return c + 1
+}
+
+// lockMode distinguishes the write pair (Lock/Unlock) from the read pair
+// (RLock/RUnlock).
+type lockMode uint8
+
+const (
+	writeLock lockMode = iota
+	readLock
+)
+
+func (m lockMode) acquire() string {
+	if m == readLock {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func (m lockMode) release() string {
+	if m == readLock {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// lockOp is one classified Lock/Unlock call site.
+type lockOp struct {
+	key     string // identity-rooted canonical receiver path
+	display string // human-readable receiver path for messages
+	mode    lockMode
+	acquire bool
+	call    *ast.CallExpr
+}
+
+func runLockbalance(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, nb := range funcBodies(f) {
+			diags = append(diags, p.lockbalanceBody(nb)...)
+		}
+	}
+	return diags
+}
+
+func (p *Package) lockbalanceBody(nb namedBody) []Diagnostic {
+	// Classify every lock call in the body (nested literals excluded; each
+	// literal is analyzed as its own function). Only keys with at least one
+	// acquire are analyzed: release-only bodies are helpers operating on a
+	// caller-held lock.
+	type keyMode struct {
+		key  string
+		mode lockMode
+	}
+	ops := map[ast.Node]lockOp{}
+	acquires := map[keyMode]bool{}
+	display := map[keyMode]string{}
+	order := []keyMode{}
+	walkSkipFuncLits(nb.body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		op, ok := p.classifyLockOp(call)
+		if !ok {
+			return
+		}
+		ops[call] = op
+		km := keyMode{op.key, op.mode}
+		display[km] = op.display
+		if op.acquire && !acquires[km] {
+			acquires[km] = true
+			order = append(order, km)
+		}
+	})
+	if len(order) == 0 {
+		return nil
+	}
+
+	cfg := BuildCFG(nb.body)
+	var diags []Diagnostic
+	for _, km := range order {
+		diags = append(diags, p.solveLock(nb, cfg, ops, km.key, display[km], km.mode)...)
+	}
+	return diags
+}
+
+// solveLock runs the forward dataflow for one (key, mode) pair and turns
+// imbalances into diagnostics. At most one diagnostic per kind is emitted
+// per pair, so a single leaked Unlock does not flood every return site.
+func (p *Package) solveLock(nb namedBody, cfg *CFG, ops map[ast.Node]lockOp, key, display string, mode lockMode) []Diagnostic {
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	report := func(kind string, node ast.Node, format string, args ...any) {
+		if seen[kind] {
+			return
+		}
+		seen[kind] = true
+		diags = append(diags, p.diag(node, "lockbalance", format, args...))
+	}
+
+	transfer := func(b *Block, in lockFact) lockFact {
+		out := in
+		walkBlockNodes(b, func(n ast.Node) {
+			if d, isDefer := n.(*ast.DeferStmt); isDefer {
+				if op, ok := ops[ast.Node(d.Call)]; ok && op.key == key && op.mode == mode && !op.acquire {
+					out.deferred = satIncr(out.deferred)
+				}
+				return
+			}
+			op, ok := ops[n]
+			if !ok || op.key != key || op.mode != mode {
+				return
+			}
+			if op.acquire {
+				if out.firstAcquire == token.NoPos {
+					out.firstAcquire = n.Pos()
+				}
+				out.held = satIncr(out.held)
+			} else if out.held > 0 {
+				out.held--
+			}
+			// Release while not held (0) or mixed (-1) leaves the count
+			// unchanged; the reporting pass diagnoses it.
+		})
+		return canonLockFact(out)
+	}
+
+	res := solveFlow(flowProblem[lockFact]{
+		cfg:      cfg,
+		boundary: lockFact{},
+		merge:    mergeLockFact,
+		equal:    func(a, b lockFact) bool { return a == b },
+		transfer: transfer,
+	})
+
+	// Second pass over solved facts for position-accurate diagnostics:
+	// re-run each reachable block's transfer from its solved in-fact and
+	// report faults at the node that trips them.
+	reach := cfg.Reachable()
+	for _, b := range cfg.Blocks {
+		if !reach[b.Index] || !res.Seen[b.Index] {
+			continue
+		}
+		fact := res.In[b.Index]
+		walkBlockNodes(b, func(n ast.Node) {
+			if d, isDefer := n.(*ast.DeferStmt); isDefer {
+				if op, ok := ops[ast.Node(d.Call)]; ok && op.key == key && op.mode == mode && !op.acquire {
+					fact.deferred = satIncr(fact.deferred)
+				}
+				return
+			}
+			op, ok := ops[n]
+			if !ok || op.key != key || op.mode != mode {
+				return
+			}
+			if op.acquire {
+				if mode == writeLock {
+					if fact.held > 0 {
+						report("doublelock", n,
+							"%s: %s.%s while already held on this path — deadlock",
+							nb.name, display, mode.acquire())
+					} else if fact.held < 0 {
+						report("maybelock", n,
+							"%s: %s.%s while possibly held (a path into this point leaks the lock)",
+							nb.name, display, mode.acquire())
+					}
+				}
+				if fact.firstAcquire == token.NoPos {
+					fact.firstAcquire = n.Pos()
+				}
+				fact.held = satIncr(fact.held)
+			} else {
+				if fact.held == 0 && fact.deferred > 0 {
+					report("deferdouble", n,
+						"%s: explicit %s.%s after a deferred %s — double release at exit",
+						nb.name, display, mode.release(), mode.release())
+				} else if fact.held == 0 && fact.deferred == 0 {
+					report("overrelease", n,
+						"%s: %s.%s while not held on this path — runtime \"unlock of unlocked mutex\"",
+						nb.name, display, mode.release())
+				}
+				if fact.held > 0 {
+					fact.held--
+				}
+			}
+		})
+	}
+
+	// Exit check: any non-panicking path into Exit with net obligations.
+	for _, b := range cfg.Exit.Preds {
+		if !res.Seen[b.Index] || b.Panic != nil {
+			continue
+		}
+		f := res.Out[b.Index]
+		at := fallbackNode(nb, f)
+		if b.Return != nil {
+			at = b.Return
+		}
+		switch {
+		case f.held < 0 || f.deferred < 0:
+			report("mixed", at,
+				"%s: %s may still be %sed here (held on some paths into this exit, released on others)",
+				nb.name, display, mode.acquire())
+		case f.held > f.deferred:
+			report("leak", at,
+				"%s: exits with %s.%s not released on this path; add %s (or defer it)",
+				nb.name, display, mode.acquire(), mode.release())
+		case f.deferred > f.held:
+			// Transfer nets deferred releases against acquires, so a
+			// surplus here means the defers will release more than is held
+			// when they run at this exit.
+			report("deferdouble", at,
+				"%s: deferred %s.%s exceeds held acquires at this exit — double release when the defers run",
+				nb.name, display, mode.release())
+		}
+	}
+	return diags
+}
+
+// fallbackNode anchors an exit diagnostic when the exiting block has no
+// return statement (the function falls off its end): prefer the first
+// acquire position, else the body itself.
+func fallbackNode(nb namedBody, f lockFact) ast.Node {
+	if f.firstAcquire != token.NoPos {
+		return posNode{f.firstAcquire}
+	}
+	return nb.body
+}
+
+// posNode adapts a bare position to the ast.Node interface for diag().
+type posNode struct{ pos token.Pos }
+
+func (p posNode) Pos() token.Pos { return p.pos }
+func (p posNode) End() token.Pos { return p.pos }
+
+// classifyLockOp matches a call to (*sync.Mutex).Lock/Unlock or
+// (*sync.RWMutex).Lock/Unlock/RLock/RUnlock with a canonicalizable
+// receiver.
+func (p *Package) classifyLockOp(call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockOp{}, false
+	}
+	recvType := sig.Recv().Type()
+	if ptr, ok := recvType.(*types.Pointer); ok {
+		recvType = ptr.Elem()
+	}
+	named, ok := recvType.(*types.Named)
+	if !ok {
+		return lockOp{}, false
+	}
+	kind := named.Obj().Name()
+	if kind != "Mutex" && kind != "RWMutex" {
+		return lockOp{}, false
+	}
+	var mode lockMode
+	var acquire bool
+	switch fn.Name() {
+	case "Lock":
+		mode, acquire = writeLock, true
+	case "Unlock":
+		mode, acquire = writeLock, false
+	case "RLock":
+		mode, acquire = readLock, true
+	case "RUnlock":
+		mode, acquire = readLock, false
+	default:
+		return lockOp{}, false // TryLock/TryRLock/RLocker: untracked
+	}
+	key, disp, ok := p.canonPath(sel.X)
+	if !ok {
+		return lockOp{}, false
+	}
+	return lockOp{key: key, display: disp, mode: mode, acquire: acquire, call: call}, true
+}
+
+// canonPath renders an ident/selector chain (`mu`, `p.mu`, `s.pool.mu`) as
+// a key plus a human-readable display path. The key's root is the object
+// identity of the base identifier — not its name — so a shadowed variable
+// cannot alias two different locks onto one key.
+func (p *Package) canonPath(e ast.Expr) (key, display string, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		if obj == nil {
+			return "", "", false
+		}
+		return fmt.Sprintf("%s@%p", e.Name, obj), e.Name, true
+	case *ast.SelectorExpr:
+		baseKey, baseDisplay, ok := p.canonPath(e.X)
+		if !ok {
+			return "", "", false
+		}
+		return baseKey + "." + e.Sel.Name, baseDisplay + "." + e.Sel.Name, true
+	}
+	return "", "", false
+}

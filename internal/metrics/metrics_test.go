@@ -62,9 +62,9 @@ func TestPhaseDeltasSumToTotals(t *testing.T) {
 	get(2, 4)
 	c.PhaseEnd()
 	c.PhaseStart(PhaseJoin)
-	get(0, 4) // hits
+	get(0, 4)                  // hits
 	c.PhaseStart(PhaseCluster) // nested
-	get(4, 8) // evicts
+	get(4, 8)                  // evicts
 	c.PhaseEnd()
 	get(0, 2) // back in join: misses again
 	c.PhaseEnd()

@@ -167,6 +167,7 @@ func PrefetchPlan(pages []PageSet, order []int) [][]any {
 	for i := 1; i < len(order); i++ {
 		prev, cur := pages[order[i-1]], pages[order[i]]
 		step := make([]any, 0, len(cur))
+		//lint:ignore maporder step order is documented as unspecified; PageSet keys are `any` and unsortable here — callers sort by their concrete key type before issuing I/O
 		for p := range cur {
 			if _, ok := prev[p]; !ok {
 				step = append(step, p)

@@ -23,7 +23,9 @@ echo "==> go vet ./..."
 go vet ./...
 
 echo "==> pmlint ./..."
-go run ./cmd/pmlint ./...
+# -stats prints the rule count, finding count, and load/analyze wall time,
+# so a slow or noisy lint gate is visible right here in the verify log.
+go run ./cmd/pmlint -stats ./...
 
 echo "==> metrics determinism (metrics/trace on vs off, serial vs parallel)"
 # Run the dedicated contract test on its own first: a bit-identical Report /
