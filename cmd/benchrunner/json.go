@@ -76,6 +76,46 @@ func writePipelineJSON(dir string, records []experiments.PipelinePoint) error {
 	return enc.Encode(rep)
 }
 
+// shardsReport is the BENCH_shards.json document: the N-shard vs 1-shard
+// comparison records plus enough host context to read the wall-clock columns
+// in perspective (the modeled columns are host-independent, and every row's
+// report equality against the baseline was asserted before it was recorded).
+type shardsReport struct {
+	GoVersion  string
+	GOARCH     string
+	GOMAXPROCS int
+	// Note flags host conditions under which the wall columns carry no
+	// signal (single-core hosts cannot run shard workers concurrently).
+	Note    string `json:",omitempty"`
+	Records []experiments.ShardsPoint
+}
+
+// writeShardsJSON writes the sharded-execution records as BENCH_shards.json
+// — into dir when -csv is set, else into the working directory (the repo
+// root in the committed-evidence workflow).
+func writeShardsJSON(dir string, records []experiments.ShardsPoint) error {
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_shards.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	rep := shardsReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Records:    records,
+	}
+	if rep.GOMAXPROCS == 1 {
+		rep.Note = "single-core host: shard workers cannot run concurrently in host time, so the JoinWall columns are expected to sit at ~1.0x; the modeled columns are the host-independent signal"
+	}
+	return enc.Encode(rep)
+}
+
 // writeKernelsJSON writes the kernel micro-benchmark records as
 // BENCH_kernels.json — into dir when -csv is set, else into the working
 // directory (the repo root in the committed-evidence workflow).

@@ -48,6 +48,8 @@ func main() {
 		pairs     = flag.Int("pairs", 0, "print up to this many result pairs")
 		parallel  = flag.Int("parallel", 0, "comparison workers (0: GOMAXPROCS, 1: serial)")
 		depth     = flag.Int("prefetch-depth", 0, "max pages staged ahead per cluster boundary (0: unbounded)")
+		shards    = flag.Int("shards", 0, "cut the clustered join into this many shards (0: unsharded)")
+		shardWork = flag.Int("shard-workers", 0, "parallel shard workers (0: min(shards, GOMAXPROCS))")
 		metrics   = flag.Bool("metrics", false, "print the phase-scoped metrics snapshot")
 		trace     = flag.Int("trace", 0, "record and print up to this many trace events (implies -metrics)")
 	)
@@ -94,8 +96,8 @@ func main() {
 		Metrics:       *metrics,
 		Trace:         *trace > 0,
 		TraceCapacity: *trace,
-		Prefetch:      prefetch,
-		PrefetchDepth: *depth,
+		Pipeline:      pmjoin.PipelineOptions{Prefetch: prefetch, PrefetchDepth: *depth},
+		Sharding:      pmjoin.ShardingOptions{Shards: *shards, Workers: *shardWork},
 	}
 	res, err := sys.Join(da, db, opt)
 	if err != nil {
@@ -117,6 +119,9 @@ func main() {
 		fmt.Printf("  pipeline:       %d pages prefetched, modeled wall %.3f sim-s (serial %.3f, overlap %.3f hidden-capable)\n",
 			res.Exec.PrefetchedPages, res.Exec.ModeledWallSeconds,
 			res.Exec.ModeledSerialSeconds, res.Exec.OverlapIOSeconds)
+	}
+	if res.Exec.Shards > 0 {
+		fmt.Printf("  sharding:       %d shards on %d workers\n", res.Exec.Shards, res.Exec.ShardWorkers)
 	}
 	for i, p := range res.Pairs {
 		fmt.Printf("  pair %d: (%d, %d)\n", i, p[0], p[1])

@@ -8,6 +8,7 @@ import (
 	"pmjoin/internal/metrics"
 	"pmjoin/internal/predmat"
 	"pmjoin/internal/sched"
+	"pmjoin/internal/shard"
 )
 
 // ClusterIOPlan is the analytic per-cluster read prediction for one scheduled
@@ -31,6 +32,19 @@ type ClusterIOPlan struct {
 	// CPU phase (the sched.PrefetchPlan step size). It equals Reads at every
 	// position except the first, which has no predecessor to overlap with.
 	Prefetchable int
+}
+
+// ShardIOPlan is the predicted I/O of one planned shard: Clusters clusters
+// holding Pages pinned pages, of which PredictedReads must actually be read
+// under the shard's own greedy schedule (the rest is Lemma 4 sharing reuse
+// within the shard). CostSeconds is the modeled solo cost the planner
+// balanced shards over.
+type ShardIOPlan struct {
+	Shard          int
+	Clusters       int
+	Pages          int64
+	PredictedReads int64
+	CostSeconds    float64
 }
 
 // Plan describes what a prediction-matrix join would do, without executing
@@ -82,6 +96,19 @@ type Plan struct {
 	// snapshot's Clusters to see predicted vs. actually-measured I/O.
 	ClusterIO []ClusterIOPlan
 
+	// Shards is the sharding plan in shard-index order (nil unless
+	// Options.Sharding.Shards > 0): the planner cuts the greedy schedule at
+	// its weakest sharing edges, balanced over modeled per-cluster cost, and
+	// each entry carries that shard's own Lemma 4 read prediction.
+	Shards []ShardIOPlan
+	// CutLostPages is the buffer reuse the cut severed: the shards' summed
+	// predicted reads minus the uncut schedule's. CutPenaltySeconds is its
+	// modeled I/O price (a transfer per lost page plus a cold first seek per
+	// extra shard) — what N-way sharding pays in total I/O for its
+	// wall-clock concurrency. Zero when unsharded.
+	CutLostPages      int64
+	CutPenaltySeconds float64
+
 	// Metrics is the planning-time metrics snapshot (nil unless
 	// Options.Metrics or Options.Trace was set). Like Result.Metrics it is
 	// outside the determinism contract; every other Plan field is
@@ -91,7 +118,7 @@ type Plan struct {
 
 // String renders the plan as a compact report.
 func (p *Plan) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"matrix %dx%d pages, %d marked (%.2f%%), %d marked rows, %d marked cols\n"+
 			"page reads: NLJ=%d, pm-NLJ>=%d (Lemma 1), clustered=%d - %d reused (schedule) = %d\n"+
 			"clusters: %d (max %d pages, avg %.1f entries)\n"+
@@ -101,6 +128,15 @@ func (p *Plan) String() string {
 		p.ClusteredPageReads-p.ScheduleSavings,
 		p.Clusters, p.MaxClusterPages, p.AvgEntriesPerCluster,
 		p.PrefetchablePages, p.PredictedOverlapSeconds)
+	if len(p.Shards) > 0 {
+		var reads int64
+		for _, sh := range p.Shards {
+			reads += sh.PredictedReads
+		}
+		out += fmt.Sprintf("\nsharding: %d shards, %d predicted reads (cut lost %d pages, penalty %.3fs)",
+			len(p.Shards), reads, p.CutLostPages, p.CutPenaltySeconds)
+	}
+	return out
 }
 
 // Explain builds the prediction matrix and SC clustering for joining a and b
@@ -156,32 +192,19 @@ func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options)
 	p.NLJPageReads = nljReads(a.ds.Pages, b.ds.Pages, opt.BufferPages)
 	p.PMNLJLowerBound = lemma1Bound(m)
 
-	// Page-set keys mirror the executor's disk.PageAddr sets: for a self
-	// join both sides read the same file, so a cluster's row page and equal
-	// col page are one frame, not two. Without the dedup the sharing graph
-	// (and so the schedule and its savings) would diverge from the one the
-	// run actually builds.
-	self := a == b || a.ds.File == b.ds.File
-	colFile := 1
-	if self {
-		colFile = 0
-	}
-	pageSets := make([]sched.PageSet, len(clusters))
+	// Page-set keys are the executor's disk.PageAddr sets (shard.PageSets):
+	// for a self join both sides read the same file, so a cluster's row page
+	// and equal col page are one frame, not two. Without the dedup the
+	// sharing graph (and so the schedule and its savings) would diverge from
+	// the one the run actually builds.
+	pageSets := shard.PageSets(clusters, a.ds.File, b.ds.File)
 	var entries int
-	for i, c := range clusters {
+	for _, c := range clusters {
 		p.ClusteredPageReads += int64(c.Pages())
 		if c.Pages() > p.MaxClusterPages {
 			p.MaxClusterPages = c.Pages()
 		}
 		entries += len(c.Entries)
-		ps := make(sched.PageSet, c.Pages())
-		for _, r := range c.Rows() {
-			ps[[2]int{0, r}] = struct{}{}
-		}
-		for _, col := range c.Cols() {
-			ps[[2]int{colFile, col}] = struct{}{}
-		}
-		pageSets[i] = ps
 	}
 	if len(clusters) > 0 {
 		p.AvgEntriesPerCluster = float64(entries) / float64(len(clusters))
@@ -213,6 +236,27 @@ func (s *System) ExplainContext(ctx context.Context, a, b *Dataset, opt Options)
 					float64(prefetchable)*s.model.TransferSeconds
 			}
 		}
+	}
+	if opt.Sharding.Shards > 0 {
+		// The same planner call the sharded run makes, so the predicted
+		// per-shard I/O here is the plan the coordinator will execute.
+		sp, err := shard.Cut(pageSets, shard.Entries(clusters), opt.Sharding.Shards, s.shardCost())
+		if err != nil {
+			mc.PhaseEnd()
+			return nil, err
+		}
+		p.Shards = make([]ShardIOPlan, len(sp.Shards))
+		for i, sh := range sp.Shards {
+			p.Shards[i] = ShardIOPlan{
+				Shard:          i,
+				Clusters:       len(sh.Clusters),
+				Pages:          sh.Pages,
+				PredictedReads: sh.PredictedReads,
+				CostSeconds:    sh.CostSeconds,
+			}
+		}
+		p.CutLostPages = sp.CutLostPages
+		p.CutPenaltySeconds = sp.CutPenaltySeconds
 	}
 	mc.PhaseEnd()
 	p.Metrics = mc.Finish()

@@ -93,7 +93,7 @@ func PipelineBench(cfg *Config) ([]PipelinePoint, error) {
 
 		run := func(mode pmjoin.PrefetchMode) (*pmjoin.Result, time.Duration, error) {
 			o := opt
-			o.Prefetch = mode
+			o.Pipeline.Prefetch = mode
 			var best *pmjoin.Result
 			var bestWall time.Duration
 			for rep := 0; rep < pipelineReps; rep++ {

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"time"
+
+	"pmjoin"
+)
+
+// ShardsPoint is one row of the sharded-execution experiment: one workload x
+// method x shard count, compared against the 1-shard baseline.
+type ShardsPoint struct {
+	Workload string
+	Method   string
+	Shards   int
+	// Workers is the coordinator's parallel shard workers for the wall
+	// columns (min(Shards, GOMAXPROCS); determinism is worker-independent).
+	Workers  int
+	Clusters int
+
+	// Cut cost from the shard planner: pages of buffer reuse the cut severs
+	// and their modeled seconds (plus the extra per-shard seeks).
+	PredictedReads    int64
+	CutLostPages      int64
+	CutPenaltySeconds float64
+
+	// Modeled shard clock (simulated seconds, deterministic). Shards run
+	// concurrently, so the sharded wall is the slowest shard's modeled
+	// pipeline clock; the baseline is the 1-shard run's. ModeledSpeedup is
+	// their ratio — what sharding buys after paying the cut penalty.
+	ModeledWallBase   float64
+	ModeledWall       float64
+	ModeledSpeedup    float64
+
+	// Host wall clock of the join phase, 1-shard baseline vs sharded, best
+	// of the reps. Machine-dependent; the modeled columns are the signal.
+	JoinWallBase, JoinWall time.Duration
+	WallSpeedup            float64
+}
+
+// shardsReps is the repetitions per configuration; wall columns keep the
+// fastest rep, the standard defense against scheduler noise.
+const shardsReps = 3
+
+// ShardsBench measures sharded cluster execution against the 1-shard
+// baseline on the paper's clustered workloads, asserting the determinism
+// contract along the way: the 1-shard Report must be byte-identical to the
+// unsharded executor's, every sharded Report must be identical across worker
+// counts {1, GOMAXPROCS}, and the modeled speedup of every multi-shard row
+// must exceed 1 (the cut penalty must not swallow the parallelism). Host
+// wall clocks vary by machine (the experiment runs only when named, like
+// -exp pipeline); the benchrunner serializes the records as
+// BENCH_shards.json.
+func ShardsBench(cfg *Config) ([]ShardsPoint, error) {
+	cfg.defaults()
+
+	type load struct {
+		name   string
+		method pmjoin.Method
+		buf    int
+		build  func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error)
+	}
+	loads := []load{
+		{"spatial", pmjoin.SC, cfg.buf(160), func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error) {
+			return SpatialPair(cfg)
+		}},
+		{"spatial", pmjoin.CC, cfg.buf(160), func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error) {
+			return SpatialPair(cfg)
+		}},
+		{"landsat", pmjoin.SC, cfg.buf(400), func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error) {
+			return LandsatPair(cfg, 0.5)
+		}},
+	}
+	shardCounts := []int{2, 4}
+
+	cfg.printf("\nSharded execution: N shards vs the 1-shard baseline (wall = host clock, modeled = sim-s)\n")
+	cfg.printf("%-10s %-8s %7s %8s %9s %9s %12s %12s %8s %10s %10s %8s %10s\n",
+		"workload", "method", "shards", "workers", "clusters", "cut pages",
+		"wall base", "wall", "speedup", "mod base", "mod wall", "mod spd", "report")
+
+	var points []ShardsPoint
+	for _, l := range loads {
+		sys, da, db, eps, err := l.build()
+		if err != nil {
+			return nil, err
+		}
+		opt := pmjoin.Options{
+			Method:      l.method,
+			Epsilon:     eps,
+			BufferPages: l.buf,
+			Parallelism: 0, // GOMAXPROCS comparison workers, shared across shards
+		}
+
+		run := func(shards, workers int) (*pmjoin.Result, time.Duration, error) {
+			o := opt
+			o.Sharding = pmjoin.ShardingOptions{Shards: shards, Workers: workers}
+			var best *pmjoin.Result
+			var bestWall time.Duration
+			for rep := 0; rep < shardsReps; rep++ {
+				res, err := sys.Join(da, db, o)
+				if err != nil {
+					return nil, 0, err
+				}
+				if best == nil || res.Exec.JoinWall < bestWall {
+					best, bestWall = res, res.Exec.JoinWall
+				}
+			}
+			return best, bestWall, nil
+		}
+
+		unsharded, _, err := run(0, 0)
+		if err != nil {
+			return nil, err
+		}
+		base, wallBase, err := run(1, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(base.Report, unsharded.Report) {
+			return nil, fmt.Errorf("experiments: %s/%s 1-shard report differs from unsharded:\n  unsharded: %+v\n  1-shard:   %+v",
+				l.name, l.method, unsharded.Report, base.Report)
+		}
+
+		for _, k := range shardCounts {
+			serial, _, err := run(k, 1)
+			if err != nil {
+				return nil, err
+			}
+			res, wall, err := run(k, 0)
+			if err != nil {
+				return nil, err
+			}
+			if !reflect.DeepEqual(res.Report, serial.Report) {
+				return nil, fmt.Errorf("experiments: %s/%s shards=%d report differs between 1 and %d workers:\n  1: %+v\n  %d: %+v",
+					l.name, l.method, k, res.Exec.ShardWorkers, serial.Report, res.Exec.ShardWorkers, res.Report)
+			}
+
+			po := opt
+			po.Sharding = pmjoin.ShardingOptions{Shards: k}
+			plan, err := sys.Explain(da, db, po)
+			if err != nil {
+				return nil, err
+			}
+			var predicted int64
+			for _, sh := range plan.Shards {
+				predicted += sh.PredictedReads
+			}
+
+			p := ShardsPoint{
+				Workload:          l.name,
+				Method:            l.method.String(),
+				Shards:            res.Exec.Shards,
+				Workers:           res.Exec.ShardWorkers,
+				Clusters:          res.Report.Clusters,
+				PredictedReads:    predicted,
+				CutLostPages:      plan.CutLostPages,
+				CutPenaltySeconds: plan.CutPenaltySeconds,
+				ModeledWallBase:   base.Exec.ModeledWallSeconds,
+				ModeledWall:       res.Exec.ModeledWallSeconds,
+				JoinWallBase:      wallBase,
+				JoinWall:          wall,
+				WallSpeedup:       float64(wallBase) / float64(wall),
+			}
+			if p.ModeledWall > 0 {
+				p.ModeledSpeedup = p.ModeledWallBase / p.ModeledWall
+			}
+			if p.ModeledSpeedup <= 1 {
+				return nil, fmt.Errorf("experiments: %s/%s shards=%d modeled speedup %.3f <= 1 (cut penalty %.3fs swallowed the parallelism)",
+					l.name, l.method, k, p.ModeledSpeedup, p.CutPenaltySeconds)
+			}
+			points = append(points, p)
+			cfg.printf("%-10s %-8s %7d %8d %9d %9d %12v %12v %7.2fx %10.3f %10.3f %7.2fx %10s\n",
+				p.Workload, p.Method, p.Shards, p.Workers, p.Clusters, p.CutLostPages,
+				wallBase.Round(time.Microsecond), wall.Round(time.Microsecond), p.WallSpeedup,
+				p.ModeledWallBase, p.ModeledWall, p.ModeledSpeedup, "identical")
+		}
+	}
+	cfg.printf("\n")
+	return points, nil
+}

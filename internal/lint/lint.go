@@ -17,6 +17,7 @@ const (
 	diskPkgPath    = "pmjoin/internal/disk"
 	joinPkgPath    = "pmjoin/internal/join"
 	predmatPkgPath = "pmjoin/internal/predmat"
+	shardPkgPath   = "pmjoin/internal/shard"
 )
 
 // Diagnostic is one finding of one analyzer.

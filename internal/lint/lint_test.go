@@ -676,6 +676,24 @@ func spawn(task func()) {
 			}
 		}
 	})
+	t.Run("coordinator.go in internal/shard is exempt", func(t *testing.T) {
+		src := strings.Replace(goSrc, "package fixture", "package shard", 1)
+		pkg := checkFixtureFile(t, shardPkgPath, "coordinator.go", src)
+		for _, a := range Analyzers() {
+			if a.Name == "rawgo" {
+				expectDiags(t, Run([]*Package{pkg}, []*Analyzer{a}), "rawgo", nil)
+			}
+		}
+	})
+	t.Run("other files in internal/shard are not exempt", func(t *testing.T) {
+		src := strings.Replace(goSrc, "package fixture", "package shard", 1)
+		pkg := checkFixtureFile(t, shardPkgPath, "runner.go", src)
+		for _, a := range Analyzers() {
+			if a.Name == "rawgo" {
+				expectDiags(t, Run([]*Package{pkg}, []*Analyzer{a}), "rawgo", []int{4, 6})
+			}
+		}
+	})
 	t.Run("suppressed spawn is clean", func(t *testing.T) {
 		src := `package fixture
 

@@ -202,6 +202,32 @@ type Metrics struct {
 	EventsDropped int64
 	// Wall is the total collection window.
 	Wall time.Duration
+	// Shards holds the per-shard snapshots of a sharded run, in shard-index
+	// order (nil when unsharded). Each shard runs its own collector over its
+	// private session and pool; AddShard folds the shard's totals into this
+	// snapshot and keeps the originals here.
+	Shards []*Metrics
+}
+
+// AddShard folds one shard's snapshot into m, in shard-index order: the
+// shard's disk and buffer totals are charged to m's join phase (keeping the
+// phases-sum-to-totals invariant), its cluster stats are appended, and the
+// full shard snapshot is kept under Shards. Wall clocks are NOT summed —
+// shards run concurrently inside the window m already measures; the
+// per-shard walls remain visible on the kept snapshots. A nil m or s no-ops.
+func (m *Metrics) AddShard(s *Metrics) {
+	if m == nil || s == nil {
+		return
+	}
+	m.Shards = append(m.Shards, s)
+	m.Phases[PhaseJoin].Disk = m.Phases[PhaseJoin].Disk.Add(s.Disk)
+	m.Phases[PhaseJoin].Buffer = m.Phases[PhaseJoin].Buffer.Add(s.Buffer)
+	m.Disk = m.Disk.Add(s.Disk)
+	m.Buffer = m.Buffer.Add(s.Buffer)
+	m.Clusters = append(m.Clusters, s.Clusters...)
+	if s.QueueHighWater > m.QueueHighWater {
+		m.QueueHighWater = s.QueueHighWater
+	}
 }
 
 // Config configures a Collector.

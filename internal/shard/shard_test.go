@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pmjoin/internal/sched"
+)
+
+// chainSets builds n page sets where consecutive clusters share `overlap`
+// pages: cluster i owns pages [i*stride, i*stride+size). With stride <
+// size the greedy schedule is the identity chain and every step shares
+// size-stride pages.
+func chainSets(n, size, stride int) []sched.PageSet {
+	sets := make([]sched.PageSet, n)
+	for i := range sets {
+		ps := make(sched.PageSet, size)
+		for p := 0; p < size; p++ {
+			ps[i*stride+p] = struct{}{}
+		}
+		sets[i] = ps
+	}
+	return sets
+}
+
+func uniformEntries(n, e int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = e
+	}
+	return out
+}
+
+var testCost = CostModel{SeekSeconds: 0.008, TransferSeconds: 0.001, EntrySeconds: 1e-7}
+
+func TestCutRejects(t *testing.T) {
+	if _, err := Cut(chainSets(3, 4, 2), uniformEntries(2, 1), 2, testCost); err == nil {
+		t.Fatal("mismatched entries length accepted")
+	}
+	if _, err := Cut(chainSets(3, 4, 2), uniformEntries(3, 1), 0, testCost); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}
+
+func TestCutPartition(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 16} {
+		n := 10
+		plan, err := Cut(chainSets(n, 6, 4), uniformEntries(n, 50), shards, testCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := shards
+		if want > n {
+			want = n
+		}
+		if len(plan.Shards) != want {
+			t.Fatalf("shards=%d: got %d shards, want %d", shards, len(plan.Shards), want)
+		}
+		// Every cluster appears in exactly one shard, and no shard is empty.
+		var all []int
+		for i, sh := range plan.Shards {
+			if len(sh.Clusters) == 0 {
+				t.Fatalf("shards=%d: shard %d is empty", shards, i)
+			}
+			all = append(all, sh.Clusters...)
+		}
+		sort.Ints(all)
+		for i, ci := range all {
+			if ci != i {
+				t.Fatalf("shards=%d: clusters not a partition: %v", shards, all)
+			}
+		}
+		// The cut can only lose sharing relative to the uncut schedule here
+		// (chain graph: any contiguous cut severs exactly its boundary edges).
+		if plan.ShardedReads < plan.UnshardedReads {
+			t.Fatalf("shards=%d: sharded reads %d < unsharded %d", shards, plan.ShardedReads, plan.UnshardedReads)
+		}
+		if plan.CutLostPages != plan.ShardedReads-plan.UnshardedReads {
+			t.Fatalf("CutLostPages %d != %d - %d", plan.CutLostPages, plan.ShardedReads, plan.UnshardedReads)
+		}
+	}
+}
+
+func TestCutSingleShardMatchesGlobal(t *testing.T) {
+	n := 8
+	pages := chainSets(n, 5, 3)
+	plan, err := Cut(pages, uniformEntries(n, 10), 1, testCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 1 {
+		t.Fatalf("got %d shards", len(plan.Shards))
+	}
+	if plan.ShardedReads != plan.UnshardedReads || plan.CutLostPages != 0 {
+		t.Fatalf("1-shard plan pays a cut: sharded=%d unsharded=%d lost=%d",
+			plan.ShardedReads, plan.UnshardedReads, plan.CutLostPages)
+	}
+	if plan.CutPenaltySeconds != 0 {
+		t.Fatalf("1-shard penalty %g != 0", plan.CutPenaltySeconds)
+	}
+}
+
+func TestCutPrefersWeakEdges(t *testing.T) {
+	// Two tight blocks of 3 clusters (heavy intra-block sharing) joined by a
+	// weak bridge. A 2-way cut balanced on cost alone could fall anywhere
+	// near the middle; the planner must pick the weak boundary between the
+	// blocks, losing only the bridge's single shared page.
+	block := func(base int) []sched.PageSet {
+		var sets []sched.PageSet
+		for i := 0; i < 3; i++ {
+			ps := make(sched.PageSet)
+			for p := 0; p < 8; p++ {
+				ps[base+p] = struct{}{} // the block's shared core
+			}
+			ps[base+100+i] = struct{}{} // a private page each
+			sets = append(sets, ps)
+		}
+		return sets
+	}
+	pages := append(block(0), block(50)...)
+	// One shared bridge page between the blocks.
+	pages[2][50] = struct{}{}
+	plan, err := Cut(pages, uniformEntries(6, 10), 2, testCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range plan.Shards {
+		lo, hi := 0, 0
+		for _, ci := range sh.Clusters {
+			if ci < 3 {
+				lo++
+			} else {
+				hi++
+			}
+		}
+		if lo != 0 && hi != 0 {
+			t.Fatalf("cut crossed the weak boundary: shards %+v", plan.Shards)
+		}
+	}
+	if plan.CutLostPages > 1 {
+		t.Fatalf("cut lost %d pages, want <= 1 (the bridge)", plan.CutLostPages)
+	}
+}
+
+func TestCutDeterministic(t *testing.T) {
+	n := 12
+	pages := chainSets(n, 7, 4)
+	entries := uniformEntries(n, 25)
+	a, err := Cut(pages, entries, 4, testCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cut(pages, entries, 4, testCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("plans differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCutEmpty(t *testing.T) {
+	plan, err := Cut(nil, nil, 3, testCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 1 || len(plan.Shards[0].Clusters) != 0 {
+		t.Fatalf("empty input plan: %+v", plan)
+	}
+	if got := plan.Tasks(); len(got) != 1 {
+		t.Fatalf("tasks: %+v", got)
+	}
+}
+
+// indexRunner records which goroutine-visible order tasks complete in and
+// returns a marker result per shard; used to pin the coordinator's
+// index-ordered results independent of completion order.
+type indexRunner struct{}
+
+func (indexRunner) RunShard(ctx context.Context, t Task) (*Result, error) {
+	return &Result{Shard: t.Shard, Pairs: [][2]int{{t.Shard, len(t.Clusters)}}}, nil
+}
+
+type failingRunner struct{ fail int }
+
+func (f failingRunner) RunShard(ctx context.Context, t Task) (*Result, error) {
+	if t.Shard >= f.fail {
+		return nil, fmt.Errorf("boom %d", t.Shard)
+	}
+	return &Result{Shard: t.Shard}, nil
+}
+
+func TestCoordinatorOrder(t *testing.T) {
+	tasks := make([]Task, 9)
+	for i := range tasks {
+		tasks[i] = Task{Shard: i, Clusters: make([]int, i+1)}
+	}
+	for _, workers := range []int{0, 1, 3, 100} {
+		c := &Coordinator{Runner: indexRunner{}, Workers: workers}
+		results, err := c.Run(context.Background(), tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r.Shard != i || r.Pairs[0] != [2]int{i, i + 1} {
+				t.Fatalf("workers=%d: slot %d holds %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestCoordinatorFirstError(t *testing.T) {
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		tasks[i] = Task{Shard: i}
+	}
+	for _, workers := range []int{1, 4} {
+		c := &Coordinator{Runner: failingRunner{fail: 3}, Workers: workers}
+		_, err := c.Run(context.Background(), tasks)
+		if err == nil || err.Error() != "shard 3: boom 3" {
+			t.Fatalf("workers=%d: err = %v, want first failure by index", workers, err)
+		}
+	}
+}
+
+func TestMergePairsCapsAndFlags(t *testing.T) {
+	results := []*Result{
+		{Pairs: [][2]int{{1, 1}, {1, 2}}},
+		nil,
+		{Pairs: [][2]int{{2, 1}}},
+	}
+	pairs, trunc := MergePairs(results, 10)
+	if trunc || !reflect.DeepEqual(pairs, [][2]int{{1, 1}, {1, 2}, {2, 1}}) {
+		t.Fatalf("pairs %v trunc %v", pairs, trunc)
+	}
+	pairs, trunc = MergePairs(results, 2)
+	if !trunc || len(pairs) != 2 {
+		t.Fatalf("capped merge: pairs %v trunc %v", pairs, trunc)
+	}
+	results[0].Truncated = true
+	_, trunc = MergePairs(results, 10)
+	if !trunc {
+		t.Fatal("local truncation not propagated")
+	}
+}

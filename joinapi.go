@@ -18,6 +18,7 @@ import (
 	"pmjoin/internal/mrsindex"
 	"pmjoin/internal/pbsm"
 	"pmjoin/internal/predmat"
+	"pmjoin/internal/shard"
 )
 
 // ExecStats reports how a join actually executed on the host machine. Unlike
@@ -49,6 +50,13 @@ type ExecStats struct {
 	ModeledSerialSeconds float64
 	// OverlapIOSeconds is the modeled I/O time charged as overlapped.
 	OverlapIOSeconds float64
+	// Shards and ShardWorkers report sharded execution (0 when unsharded):
+	// the planned shard count and the concurrent shard workers. When sharded,
+	// ModeledWallSeconds is the slowest shard's modeled clock (shards run
+	// concurrently) while ModeledSerialSeconds sums every shard — their ratio
+	// is the modeled sharding speedup benchrunner reports.
+	Shards       int
+	ShardWorkers int
 	// Cancelled reports that the run stopped early because the context was
 	// cancelled; the accompanying error carries the cause.
 	Cancelled bool
@@ -167,6 +175,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 
 	var rep *join.Report
 	var err error
+	var shardSnaps []*metrics.Metrics // per-shard snapshots, folded in at Finish
 	switch opt.Method {
 	case NLJ:
 		rep, err = timedJoin(func() (*join.Report, error) { return eng.NLJ(&a.ds, &b.ds, joiner) })
@@ -211,26 +220,34 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		if opt.Method == RandomSC {
 			order = join.OrderRandom
 		}
-		// The timeline is attached with prefetch on AND off, so both modes
-		// report modeled wall/serial clocks (off: every read is demand, the
-		// clocks coincide) and the pipeline experiment can difference them.
-		tl := disk.NewTimeline()
-		eng.Timeline = tl
-		eng.Prefetch = opt.Prefetch == PrefetchOn
-		eng.PrefetchDepth = opt.PrefetchDepth
-		rep, err = timedJoin(func() (*join.Report, error) {
-			return eng.Clustered(&a.ds, &b.ds, m, clusters, joiner, join.ClusteredOptions{
-				Order:             order,
-				Seed:              opt.Seed,
-				PreprocessSeconds: pre,
+		if opt.Sharding.Shards > 0 {
+			rep, err = timedJoin(func() (*join.Report, error) {
+				r2, snaps, err2 := s.joinSharded(ctx, a, b, m, clusters, joiner, order, pre, opt, res, wp, mc)
+				shardSnaps = snaps
+				return r2, err2
 			})
-		})
-		ts := tl.Stats()
-		res.Exec.PrefetchedPages = ts.OverlapReads
-		res.Exec.ModeledWallSeconds = ts.WallSeconds
-		res.Exec.ModeledSerialSeconds = ts.SerialSeconds
-		res.Exec.OverlapIOSeconds = ts.OverlapIOSeconds
-		mc.RecordTimeline(ts)
+		} else {
+			// The timeline is attached with prefetch on AND off, so both modes
+			// report modeled wall/serial clocks (off: every read is demand, the
+			// clocks coincide) and the pipeline experiment can difference them.
+			tl := disk.NewTimeline()
+			eng.Timeline = tl
+			eng.Prefetch = opt.Pipeline.Prefetch == PrefetchOn
+			eng.PrefetchDepth = opt.Pipeline.PrefetchDepth
+			rep, err = timedJoin(func() (*join.Report, error) {
+				return eng.Clustered(&a.ds, &b.ds, m, clusters, joiner, join.ClusteredOptions{
+					Order:             order,
+					Seed:              opt.Seed,
+					PreprocessSeconds: pre,
+				})
+			})
+			ts := tl.Stats()
+			res.Exec.PrefetchedPages = ts.OverlapReads
+			res.Exec.ModeledWallSeconds = ts.WallSeconds
+			res.Exec.ModeledSerialSeconds = ts.SerialSeconds
+			res.Exec.OverlapIOSeconds = ts.OverlapIOSeconds
+			mc.RecordTimeline(ts)
+		}
 		if rep != nil && opt.Method == CC {
 			rep.Method = "CC"
 		}
@@ -273,7 +290,96 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		mc.RecordQueueHighWater(wp.QueueHighWater())
 	}
 	res.Metrics = mc.Finish()
+	for _, sn := range shardSnaps {
+		res.Metrics.AddShard(sn)
+	}
 	return res, nil
+}
+
+// joinSharded runs the clustered join through the shard planner and
+// coordinator: the schedule is cut into opt.Sharding.Shards segments along
+// minimum-sharing edges and each shard reruns the unchanged clustered
+// executor over its subset, with a cold disk session and private buffer pool
+// per shard. Results merge in shard-index order (reports and timelines sum /
+// max deterministically; pairs concatenate under the global cap), so the
+// Report and Pairs are bit-identical for any Sharding.Workers — and, at
+// Shards=1, to the unsharded executor, since the single shard re-derives the
+// identical global schedule. The returned snapshots are the per-shard metrics
+// (empty when metrics are off), appended to Result.Metrics after Finish.
+func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matrix,
+	clusters []*cluster.Cluster, joiner join.ObjectJoiner, order join.ClusterOrder,
+	pre float64, opt Options, res *Result, wp *join.WorkerPool, mc *metrics.Collector,
+) (*join.Report, []*metrics.Metrics, error) {
+	pageSets := shard.PageSets(clusters, a.ds.File, b.ds.File)
+	plan, err := shard.Cut(pageSets, shard.Entries(clusters), opt.Sharding.Shards, s.shardCost())
+	if err != nil {
+		return nil, nil, err
+	}
+	runner := &shard.LocalRunner{
+		Disk:              s.d,
+		BufferSize:        opt.BufferPages,
+		Policy:            buffer.Policy(opt.Policy),
+		Workers:           wp,
+		Kernels:           opt.Kernels == KernelsOn,
+		Prefetch:          opt.Pipeline.Prefetch == PrefetchOn,
+		PrefetchDepth:     opt.Pipeline.PrefetchDepth,
+		R:                 &a.ds,
+		S:                 &b.ds,
+		Matrix:            m,
+		Clusters:          clusters,
+		Joiner:            joiner,
+		Order:             order,
+		Seed:              opt.Seed,
+		PreprocessSeconds: pre,
+		CollectPairs:      opt.CollectPairs,
+		MaxPairs:          opt.MaxPairs,
+		Metrics:           opt.Metrics,
+		MetricsConfig:     metrics.Config{Trace: opt.Trace, TraceCapacity: opt.TraceCapacity},
+	}
+	coord := &shard.Coordinator{Runner: runner, Workers: opt.Sharding.Workers}
+	results, err := coord.Run(ctx, plan.Tasks())
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := shard.MergeReports(results)
+	if opt.CollectPairs {
+		res.Pairs, res.Truncated = shard.MergePairs(results, opt.MaxPairs)
+	}
+	ts := shard.MergeTimelines(results)
+	res.Exec.PrefetchedPages = ts.OverlapReads
+	res.Exec.ModeledWallSeconds = ts.WallSeconds
+	res.Exec.ModeledSerialSeconds = ts.SerialSeconds
+	res.Exec.OverlapIOSeconds = ts.OverlapIOSeconds
+	res.Exec.Shards = len(plan.Shards)
+	res.Exec.ShardWorkers = coordWorkers(opt.Sharding.Workers, len(plan.Shards))
+	mc.RecordTimeline(ts)
+	var snaps []*metrics.Metrics
+	for _, r := range results {
+		if r != nil && r.Metrics != nil {
+			snaps = append(snaps, r.Metrics)
+		}
+	}
+	return rep, snaps, nil
+}
+
+// coordWorkers mirrors the coordinator's clamp so ExecStats reports the
+// worker count that actually ran.
+func coordWorkers(workers, tasks int) int {
+	if workers <= 0 || workers > tasks {
+		return tasks
+	}
+	return workers
+}
+
+// shardCost is the planner's balance model: the system's linear disk terms
+// plus a per-marked-entry CPU weight. Only the relative magnitudes matter to
+// the cut, so the SC preprocessing constant serves as the entry weight proxy.
+func (s *System) shardCost() shard.CostModel {
+	return shard.CostModel{
+		SeekSeconds:     s.model.SeekSeconds,
+		TransferSeconds: s.model.TransferSeconds,
+		EntrySeconds:    join.SCEntryCost,
+	}
 }
 
 // checkJoinable verifies that a and b belong to this system and can be

@@ -3,315 +3,43 @@ package pmjoin
 import (
 	"fmt"
 	"runtime"
-	"strings"
 )
 
-// Method selects the join algorithm.
-type Method int
-
-const (
-	// NLJ is block nested loop join (the no-information baseline, §2.1).
-	NLJ Method = iota
-	// PMNLJ restricts NLJ to the marked prediction-matrix entries (§6).
-	PMNLJ
-	// RandomSC is square clustering with clusters processed in random
-	// order (isolates the scheduling optimization, §9.1).
-	RandomSC
-	// SC is square clustering with greedy sharing-graph scheduling — the
-	// paper's primary technique (§7.1, §8).
-	SC
-	// CC is cost-based clustering with greedy scheduling, the approximate
-	// I/O lower bound (§7.2).
-	CC
-	// EGO is the epsilon grid ordering join baseline (§9).
-	EGO
-	// BFRJ is the breadth-first R-tree join baseline (§9).
-	BFRJ
-	// PBSM is the Partition Based Spatial-Merge join of Patel & DeWitt,
-	// surveyed in §2.1 — an extension baseline beyond the paper's
-	// evaluation, available for vector data only.
-	PBSM
-)
-
-func (m Method) String() string {
-	switch m {
-	case NLJ:
-		return "NLJ"
-	case PMNLJ:
-		return "pm-NLJ"
-	case RandomSC:
-		return "random-SC"
-	case SC:
-		return "SC"
-	case CC:
-		return "CC"
-	case EGO:
-		return "EGO"
-	case BFRJ:
-		return "BFRJ"
-	case PBSM:
-		return "PBSM"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
-	}
+// ShardingOptions groups the sharded-execution knobs (see internal/shard):
+// the cluster schedule is cut into Shards segments along minimum-sharing
+// edges and each shard runs the clustered executor over its own cold disk
+// session and private buffer pool, on up to Workers concurrent shard workers.
+// Sharding applies to the clustered methods (RandomSC, SC, CC) only.
+type ShardingOptions struct {
+	// Shards is the number of shards the planner cuts the schedule into.
+	// 0 (the default) runs the regular unsharded executor. 1 routes through
+	// the shard machinery with a single shard, which produces a Report,
+	// Pairs and Plan bit-identical to the unsharded run — the seam
+	// TestShardDeterminism pins.
+	Shards int
+	// Workers bounds how many shards execute concurrently; 0 means
+	// min(Shards, GOMAXPROCS). Like Parallelism, Report, Pairs and Plan are
+	// bit-for-bit independent of this knob: shard results merge in
+	// shard-index order regardless of completion order. Each in-flight shard
+	// holds its own BufferPages-frame pool, so memory scales with Workers.
+	Workers int
 }
 
-// MarshalText implements encoding.TextMarshaler; the text form is the
-// canonical name ("SC", "pm-NLJ", ...).
-func (m Method) MarshalText() ([]byte, error) {
-	if m < NLJ || m > PBSM {
-		return nil, fmt.Errorf("pmjoin: unknown method %d", int(m))
-	}
-	return []byte(m.String()), nil
-}
-
-// UnmarshalText implements encoding.TextUnmarshaler; see ParseMethod.
-func (m *Method) UnmarshalText(text []byte) error {
-	v, err := ParseMethod(string(text))
-	if err != nil {
-		return err
-	}
-	*m = v
-	return nil
-}
-
-// ParseMethod parses a method name. Matching is case-insensitive and
-// ignores hyphens, so "pm-NLJ", "pmnlj" and "PM-nlj" all parse to PMNLJ.
-func ParseMethod(s string) (Method, error) {
-	switch normalizeEnum(s) {
-	case "nlj":
-		return NLJ, nil
-	case "pmnlj":
-		return PMNLJ, nil
-	case "randomsc":
-		return RandomSC, nil
-	case "sc":
-		return SC, nil
-	case "cc":
-		return CC, nil
-	case "ego":
-		return EGO, nil
-	case "bfrj":
-		return BFRJ, nil
-	case "pbsm":
-		return PBSM, nil
-	}
-	return 0, fmt.Errorf("pmjoin: unknown method %q (want NLJ, pm-NLJ, random-SC, SC, CC, EGO, BFRJ or PBSM)", s)
-}
-
-// MarshalText implements encoding.TextMarshaler; the text form is the
-// canonical name ("vector", "series", "string").
-func (k Kind) MarshalText() ([]byte, error) {
-	if k < KindVector || k > KindString {
-		return nil, fmt.Errorf("pmjoin: unknown kind %d", int(k))
-	}
-	return []byte(k.String()), nil
-}
-
-// UnmarshalText implements encoding.TextUnmarshaler; see ParseKind.
-func (k *Kind) UnmarshalText(text []byte) error {
-	v, err := ParseKind(string(text))
-	if err != nil {
-		return err
-	}
-	*k = v
-	return nil
-}
-
-// ParseKind parses a data-kind name (case-insensitive).
-func ParseKind(s string) (Kind, error) {
-	switch normalizeEnum(s) {
-	case "vector":
-		return KindVector, nil
-	case "series":
-		return KindSeries, nil
-	case "string":
-		return KindString, nil
-	}
-	return 0, fmt.Errorf("pmjoin: unknown kind %q (want vector, series or string)", s)
-}
-
-// ReplacementPolicy selects the buffer replacement policy.
-type ReplacementPolicy int
-
-const (
-	// LRU is the paper's default policy.
-	LRU ReplacementPolicy = iota
-	// FIFO is provided for the replacement ablation.
-	FIFO
-)
-
-func (p ReplacementPolicy) String() string {
-	switch p {
-	case LRU:
-		return "LRU"
-	case FIFO:
-		return "FIFO"
-	default:
-		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
-	}
-}
-
-// MarshalText implements encoding.TextMarshaler.
-func (p ReplacementPolicy) MarshalText() ([]byte, error) {
-	if p < LRU || p > FIFO {
-		return nil, fmt.Errorf("pmjoin: unknown replacement policy %d", int(p))
-	}
-	return []byte(p.String()), nil
-}
-
-// UnmarshalText implements encoding.TextUnmarshaler; see
-// ParseReplacementPolicy.
-func (p *ReplacementPolicy) UnmarshalText(text []byte) error {
-	v, err := ParseReplacementPolicy(string(text))
-	if err != nil {
-		return err
-	}
-	*p = v
-	return nil
-}
-
-// ParseReplacementPolicy parses a policy name (case-insensitive).
-func ParseReplacementPolicy(s string) (ReplacementPolicy, error) {
-	switch normalizeEnum(s) {
-	case "lru":
-		return LRU, nil
-	case "fifo":
-		return FIFO, nil
-	}
-	return 0, fmt.Errorf("pmjoin: unknown replacement policy %q (want LRU or FIFO)", s)
-}
-
-// KernelMode selects whether joins use the threshold-aware distance kernels
-// of internal/kernel for their CPU hot path. The kernels are exact: Report,
-// Pairs and Plan are bit-identical in either mode, so the knob only exists
-// as an escape hatch and for differential testing.
-type KernelMode int
-
-const (
-	// KernelsDefault resolves to KernelsOn in Validate.
-	KernelsDefault KernelMode = iota
-	// KernelsOn uses the allocation-free early-exiting kernels (default).
-	KernelsOn
-	// KernelsOff keeps the reference comparison loops.
-	KernelsOff
-)
-
-func (k KernelMode) String() string {
-	switch k {
-	case KernelsDefault:
-		return "default"
-	case KernelsOn:
-		return "on"
-	case KernelsOff:
-		return "off"
-	default:
-		return fmt.Sprintf("KernelMode(%d)", int(k))
-	}
-}
-
-// MarshalText implements encoding.TextMarshaler.
-func (k KernelMode) MarshalText() ([]byte, error) {
-	if k < KernelsDefault || k > KernelsOff {
-		return nil, fmt.Errorf("pmjoin: unknown kernel mode %d", int(k))
-	}
-	return []byte(k.String()), nil
-}
-
-// UnmarshalText implements encoding.TextUnmarshaler; see ParseKernelMode.
-func (k *KernelMode) UnmarshalText(text []byte) error {
-	v, err := ParseKernelMode(string(text))
-	if err != nil {
-		return err
-	}
-	*k = v
-	return nil
-}
-
-// ParseKernelMode parses a kernel mode name (case-insensitive).
-func ParseKernelMode(s string) (KernelMode, error) {
-	switch normalizeEnum(s) {
-	case "default", "":
-		return KernelsDefault, nil
-	case "on":
-		return KernelsOn, nil
-	case "off":
-		return KernelsOff, nil
-	}
-	return 0, fmt.Errorf("pmjoin: unknown kernel mode %q (want on, off or default)", s)
-}
-
-// PrefetchMode selects whether clustered joins pipeline the next cluster's
-// page reads behind the current cluster's CPU phase (double buffering through
-// the staged-frame prefetch path). Prefetch never changes Report, Pairs or
-// Plan — the staged admissions replay the exact hit/miss/eviction/read
-// sequence of the unpipelined run — so the knob only exists as an escape
-// hatch, for differential testing, and for the pipeline benchmark baseline.
-type PrefetchMode int
-
-const (
-	// PrefetchDefault resolves to PrefetchOn in Validate.
-	PrefetchDefault PrefetchMode = iota
-	// PrefetchOn overlaps the successor cluster's reads with the current
-	// cluster's comparisons (default; LRU policy only — FIFO runs stay
-	// unpipelined silently, since FIFO insertion order is not
-	// prefetch-invariant).
-	PrefetchOn
-	// PrefetchOff issues every read at demand time (the serial timeline).
-	PrefetchOff
-)
-
-func (p PrefetchMode) String() string {
-	switch p {
-	case PrefetchDefault:
-		return "default"
-	case PrefetchOn:
-		return "on"
-	case PrefetchOff:
-		return "off"
-	default:
-		return fmt.Sprintf("PrefetchMode(%d)", int(p))
-	}
-}
-
-// MarshalText implements encoding.TextMarshaler.
-func (p PrefetchMode) MarshalText() ([]byte, error) {
-	if p < PrefetchDefault || p > PrefetchOff {
-		return nil, fmt.Errorf("pmjoin: unknown prefetch mode %d", int(p))
-	}
-	return []byte(p.String()), nil
-}
-
-// UnmarshalText implements encoding.TextUnmarshaler; see ParsePrefetchMode.
-func (p *PrefetchMode) UnmarshalText(text []byte) error {
-	v, err := ParsePrefetchMode(string(text))
-	if err != nil {
-		return err
-	}
-	*p = v
-	return nil
-}
-
-// ParsePrefetchMode parses a prefetch mode name (case-insensitive).
-func ParsePrefetchMode(s string) (PrefetchMode, error) {
-	switch normalizeEnum(s) {
-	case "default", "":
-		return PrefetchDefault, nil
-	case "on":
-		return PrefetchOn, nil
-	case "off":
-		return PrefetchOff, nil
-	}
-	return 0, fmt.Errorf("pmjoin: unknown prefetch mode %q (want on, off or default)", s)
-}
-
-// normalizeEnum lower-cases a name and strips the separators the canonical
-// spellings use, so flag values round-trip however the user hyphenates.
-func normalizeEnum(s string) string {
-	s = strings.ToLower(strings.TrimSpace(s))
-	s = strings.ReplaceAll(s, "-", "")
-	s = strings.ReplaceAll(s, "_", "")
-	return s
+// PipelineOptions groups the prefetch pipeline knobs. The flat
+// Options.Prefetch / Options.PrefetchDepth fields are deprecated aliases;
+// Validate reconciles the two spellings and rejects conflicting settings.
+type PipelineOptions struct {
+	// Prefetch selects the pipelined cluster executor (default on): while
+	// workers compare one cluster's page pairs, the coordinator stages the
+	// next cluster's new pages, overlapping I/O with CPU. Report, Pairs and
+	// Plan are bit-for-bit independent of this knob (the staged reads replay
+	// the demand-time sequence exactly); the win is wall clock, visible in
+	// ExecStats' modeled timeline and JoinWall.
+	Prefetch PrefetchMode
+	// PrefetchDepth bounds how many pages may be staged ahead of each
+	// cluster boundary. 0 means unbounded (the whole per-step prefetch
+	// plan, budget permitting); negative values are rejected by Validate.
+	PrefetchDepth int
 }
 
 // Options configures one join execution. The zero value of every optional
@@ -367,29 +95,35 @@ type Options struct {
 	// never depend on this knob; KernelsOff exists as an escape hatch and
 	// for differential tests.
 	Kernels KernelMode
-	// Prefetch selects the pipelined cluster executor (default on): while
-	// workers compare one cluster's page pairs, the coordinator stages the
-	// next cluster's new pages, overlapping I/O with CPU. Report, Pairs and
-	// Plan are bit-for-bit independent of this knob (the staged reads replay
-	// the demand-time sequence exactly); the win is wall clock, visible in
-	// ExecStats' modeled timeline and JoinWall.
+	// Sharding selects sharded clustered execution (default: unsharded).
+	Sharding ShardingOptions
+	// Pipeline groups the prefetch pipeline knobs; see PipelineOptions.
+	Pipeline PipelineOptions
+	// Prefetch is the deprecated flat alias of Pipeline.Prefetch. Validate
+	// keeps the two in sync and rejects runs that set both to different
+	// modes.
+	//
+	// Deprecated: set Pipeline.Prefetch.
 	Prefetch PrefetchMode
-	// PrefetchDepth bounds how many pages may be staged ahead of each
-	// cluster boundary. 0 means unbounded (the whole per-step prefetch
-	// plan, budget permitting); negative values are rejected by Validate.
+	// PrefetchDepth is the deprecated flat alias of Pipeline.PrefetchDepth.
+	//
+	// Deprecated: set Pipeline.PrefetchDepth.
 	PrefetchDepth int
 }
 
 // Validate checks the options and normalizes defaulted fields in place:
 // MaxPairs 0 becomes 100000, Parallelism 0 becomes GOMAXPROCS,
 // ClusterRowFraction 0 becomes 0.5, HistogramBins 0 becomes 100, Kernels
-// KernelsDefault becomes KernelsOn, and Prefetch PrefetchDefault becomes
-// PrefetchOn.
+// KernelsDefault becomes KernelsOn, Pipeline.Prefetch PrefetchDefault
+// becomes PrefetchOn, and Sharding.Workers 0 becomes min(Shards, GOMAXPROCS)
+// when sharding. The deprecated flat Prefetch/PrefetchDepth aliases are
+// reconciled with the Pipeline group: either spelling may set a knob, both
+// may only agree, and after Validate the flat fields mirror the group.
 // Validate is idempotent; Join, JoinContext, Explain and ExplainContext
 // call it on their own copy, so mutation is only observable when calling
 // it directly.
 func (o *Options) Validate() error {
-	if o.Method < NLJ || o.Method > PBSM {
+	if !methodSpec.valid(o.Method) {
 		return fmt.Errorf("pmjoin: unknown method %v", o.Method)
 	}
 	if o.BufferPages < 4 {
@@ -398,7 +132,7 @@ func (o *Options) Validate() error {
 	if o.Epsilon < 0 {
 		return fmt.Errorf("pmjoin: negative epsilon %g", o.Epsilon)
 	}
-	if o.Policy < LRU || o.Policy > FIFO {
+	if !policySpec.valid(o.Policy) {
 		return fmt.Errorf("pmjoin: unknown replacement policy %v", o.Policy)
 	}
 	if o.Parallelism < 0 {
@@ -431,20 +165,71 @@ func (o *Options) Validate() error {
 	if o.Trace {
 		o.Metrics = true
 	}
-	if o.Kernels < KernelsDefault || o.Kernels > KernelsOff {
+	if !kernelSpec.valid(o.Kernels) {
 		return fmt.Errorf("pmjoin: unknown kernel mode %v", o.Kernels)
 	}
 	if o.Kernels == KernelsDefault {
 		o.Kernels = KernelsOn
 	}
-	if o.Prefetch < PrefetchDefault || o.Prefetch > PrefetchOff {
+
+	// Pipeline group vs. the deprecated flat aliases: a knob may be set
+	// through either spelling; setting both to different values is a
+	// conflict, not a precedence question.
+	if !prefetchSpec.valid(o.Prefetch) {
 		return fmt.Errorf("pmjoin: unknown prefetch mode %v", o.Prefetch)
 	}
-	if o.Prefetch == PrefetchDefault {
-		o.Prefetch = PrefetchOn
+	if !prefetchSpec.valid(o.Pipeline.Prefetch) {
+		return fmt.Errorf("pmjoin: unknown prefetch mode %v", o.Pipeline.Prefetch)
 	}
+	if o.Prefetch != PrefetchDefault && o.Pipeline.Prefetch != PrefetchDefault &&
+		o.Prefetch != o.Pipeline.Prefetch {
+		return fmt.Errorf("pmjoin: conflicting prefetch modes: deprecated Prefetch=%v but Pipeline.Prefetch=%v",
+			o.Prefetch, o.Pipeline.Prefetch)
+	}
+	if o.Pipeline.Prefetch == PrefetchDefault {
+		o.Pipeline.Prefetch = o.Prefetch
+	}
+	if o.Pipeline.Prefetch == PrefetchDefault {
+		o.Pipeline.Prefetch = PrefetchOn
+	}
+	o.Prefetch = o.Pipeline.Prefetch
 	if o.PrefetchDepth < 0 {
 		return fmt.Errorf("pmjoin: negative prefetch depth %d", o.PrefetchDepth)
+	}
+	if o.Pipeline.PrefetchDepth < 0 {
+		return fmt.Errorf("pmjoin: negative prefetch depth %d", o.Pipeline.PrefetchDepth)
+	}
+	if o.PrefetchDepth != 0 && o.Pipeline.PrefetchDepth != 0 &&
+		o.PrefetchDepth != o.Pipeline.PrefetchDepth {
+		return fmt.Errorf("pmjoin: conflicting prefetch depths: deprecated PrefetchDepth=%d but Pipeline.PrefetchDepth=%d",
+			o.PrefetchDepth, o.Pipeline.PrefetchDepth)
+	}
+	if o.Pipeline.PrefetchDepth == 0 {
+		o.Pipeline.PrefetchDepth = o.PrefetchDepth
+	}
+	o.PrefetchDepth = o.Pipeline.PrefetchDepth
+
+	if o.Sharding.Shards < 0 {
+		return fmt.Errorf("pmjoin: negative shard count %d", o.Sharding.Shards)
+	}
+	if o.Sharding.Workers < 0 {
+		return fmt.Errorf("pmjoin: negative shard workers %d", o.Sharding.Workers)
+	}
+	if o.Sharding.Workers > 0 && o.Sharding.Shards == 0 {
+		return fmt.Errorf("pmjoin: Sharding.Workers=%d without Sharding.Shards; set Shards >= 1 to shard", o.Sharding.Workers)
+	}
+	if o.Sharding.Shards > 0 {
+		switch o.Method {
+		case RandomSC, SC, CC:
+		default:
+			return fmt.Errorf("pmjoin: sharding requires a clustered method (random-SC, SC or CC), got %v", o.Method)
+		}
+		if o.Sharding.Workers == 0 {
+			o.Sharding.Workers = o.Sharding.Shards
+			if g := runtime.GOMAXPROCS(0); g < o.Sharding.Workers {
+				o.Sharding.Workers = g
+			}
+		}
 	}
 	return nil
 }

@@ -2,7 +2,9 @@ package pmjoin
 
 import (
 	"flag"
+	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -185,3 +187,168 @@ func TestFlagTextVar(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestEnumSpecTable pins every enum against its full canonical name table:
+// String/MarshalText produce the canonical spelling for each value, Parse
+// accepts case- and separator-insensitive variants, out-of-range values
+// refuse to marshal (and String falls back to Type(n)), junk refuses to
+// parse, and the empty string parses to the zero value exactly for the mode
+// enums that treat "" as Default.
+func TestEnumSpecTable(t *testing.T) {
+	type enum struct {
+		typeName   string
+		names      []string
+		allowEmpty bool
+		str        func(int) string
+		marshal    func(int) (string, error)
+		parse      func(string) (int, error)
+	}
+	enums := []enum{
+		{"Method", []string{"NLJ", "pm-NLJ", "random-SC", "SC", "CC", "EGO", "BFRJ", "PBSM"}, false,
+			func(i int) string { return Method(i).String() },
+			func(i int) (string, error) { b, err := Method(i).MarshalText(); return string(b), err },
+			func(s string) (int, error) { v, err := ParseMethod(s); return int(v), err }},
+		{"Kind", []string{"vector", "series", "string"}, false,
+			func(i int) string { return Kind(i).String() },
+			func(i int) (string, error) { b, err := Kind(i).MarshalText(); return string(b), err },
+			func(s string) (int, error) { v, err := ParseKind(s); return int(v), err }},
+		{"ReplacementPolicy", []string{"LRU", "FIFO"}, false,
+			func(i int) string { return ReplacementPolicy(i).String() },
+			func(i int) (string, error) { b, err := ReplacementPolicy(i).MarshalText(); return string(b), err },
+			func(s string) (int, error) { v, err := ParseReplacementPolicy(s); return int(v), err }},
+		{"KernelMode", []string{"default", "on", "off"}, true,
+			func(i int) string { return KernelMode(i).String() },
+			func(i int) (string, error) { b, err := KernelMode(i).MarshalText(); return string(b), err },
+			func(s string) (int, error) { v, err := ParseKernelMode(s); return int(v), err }},
+		{"PrefetchMode", []string{"default", "on", "off"}, true,
+			func(i int) string { return PrefetchMode(i).String() },
+			func(i int) (string, error) { b, err := PrefetchMode(i).MarshalText(); return string(b), err },
+			func(s string) (int, error) { v, err := ParsePrefetchMode(s); return int(v), err }},
+	}
+	for _, e := range enums {
+		t.Run(e.typeName, func(t *testing.T) {
+			for i, name := range e.names {
+				if got := e.str(i); got != name {
+					t.Errorf("String(%d) = %q, want %q", i, got, name)
+				}
+				got, err := e.marshal(i)
+				if err != nil || got != name {
+					t.Errorf("MarshalText(%d) = %q, %v, want %q", i, got, err, name)
+				}
+				for _, sp := range []string{
+					name,
+					strings.ToUpper(name),
+					strings.ToLower(name),
+					strings.ReplaceAll(name, "-", "_"),
+					" " + name + " ",
+				} {
+					v, err := e.parse(sp)
+					if err != nil || v != i {
+						t.Errorf("parse(%q) = %d, %v, want %d", sp, v, err, i)
+					}
+				}
+			}
+			for _, bad := range []int{-1, len(e.names)} {
+				if _, err := e.marshal(bad); err == nil {
+					t.Errorf("MarshalText(%d) succeeded for out-of-range value", bad)
+				}
+			}
+			if got, want := e.str(len(e.names)), fmt.Sprintf("%s(%d)", e.typeName, len(e.names)); got != want {
+				t.Errorf("out-of-range String = %q, want %q", got, want)
+			}
+			if _, err := e.parse("bogus"); err == nil {
+				t.Error("junk parsed")
+			}
+			v, err := e.parse("")
+			if e.allowEmpty {
+				if err != nil || v != 0 {
+					t.Errorf("parse(\"\") = %d, %v, want zero value", v, err)
+				}
+			} else if err == nil {
+				t.Error("empty string parsed for an enum without an empty form")
+			}
+		})
+	}
+}
+
+// TestOptionsValidateGrouped covers the grouped sub-structs and their flat
+// deprecated aliases: adoption in both directions, mirrored fields after
+// Validate, conflict rejection, and the sharding field checks.
+func TestOptionsValidateGrouped(t *testing.T) {
+	base := Options{Method: SC, Epsilon: 0.1, BufferPages: 8}
+
+	t.Run("flat prefetch adopted into Pipeline", func(t *testing.T) {
+		o := base
+		o.Prefetch = PrefetchOff
+		o.PrefetchDepth = 7
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if o.Pipeline.Prefetch != PrefetchOff || o.Pipeline.PrefetchDepth != 7 {
+			t.Errorf("Pipeline = %+v, want deprecated fields adopted", o.Pipeline)
+		}
+	})
+	t.Run("Pipeline mirrored back to flat aliases", func(t *testing.T) {
+		o := base
+		o.Pipeline = PipelineOptions{Prefetch: PrefetchOff, PrefetchDepth: 3}
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if o.Prefetch != PrefetchOff || o.PrefetchDepth != 3 {
+			t.Errorf("flat aliases %v/%d not mirrored from Pipeline", o.Prefetch, o.PrefetchDepth)
+		}
+	})
+	t.Run("agreeing flat and grouped accepted", func(t *testing.T) {
+		o := base
+		o.Prefetch = PrefetchOn
+		o.Pipeline.Prefetch = PrefetchOn
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("sharding workers default", func(t *testing.T) {
+		o := base
+		o.Sharding.Shards = 3
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := 3
+		if g := runtime.GOMAXPROCS(0); g < want {
+			want = g
+		}
+		if o.Sharding.Workers != want {
+			t.Errorf("Sharding.Workers = %d, want %d", o.Sharding.Workers, want)
+		}
+		// Idempotent across the grouped fields too.
+		before := o
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if o != before {
+			t.Errorf("Validate not idempotent: %+v vs %+v", o, before)
+		}
+	})
+
+	rejects := []struct {
+		name string
+		mut  func(*Options)
+	}{
+		{"conflicting prefetch modes", func(o *Options) { o.Prefetch = PrefetchOn; o.Pipeline.Prefetch = PrefetchOff }},
+		{"conflicting prefetch depths", func(o *Options) { o.PrefetchDepth = 2; o.Pipeline.PrefetchDepth = 3 }},
+		{"negative flat prefetch depth", func(o *Options) { o.PrefetchDepth = -1 }},
+		{"negative grouped prefetch depth", func(o *Options) { o.Pipeline.PrefetchDepth = -1 }},
+		{"negative shards", func(o *Options) { o.Sharding.Shards = -1 }},
+		{"negative shard workers", func(o *Options) { o.Sharding.Shards = 2; o.Sharding.Workers = -3 }},
+		{"workers without shards", func(o *Options) { o.Sharding.Workers = 2 }},
+		{"sharding an unclustered method", func(o *Options) { o.Method = NLJ; o.Sharding.Shards = 2 }},
+	}
+	for _, tc := range rejects {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mut(&o)
+			if err := o.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", o)
+			}
+		})
+	}
+}

@@ -52,19 +52,6 @@ const (
 	KindString
 )
 
-func (k Kind) String() string {
-	switch k {
-	case KindVector:
-		return "vector"
-	case KindSeries:
-		return "series"
-	case KindString:
-		return "string"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
-
 // DiskModel is the linear disk cost model of the simulator.
 type DiskModel struct {
 	SeekSeconds     float64 // cost of one random seek

@@ -38,6 +38,35 @@ func (o *QueryOptions) validate() error {
 	return nil
 }
 
+// legacyQueryOptions maps the deprecated positional bufferPages argument to
+// QueryOptions, preserving the old contract that bufferPages < 1 is an error
+// (QueryOptions itself treats 0 as "use the default").
+func legacyQueryOptions(bufferPages int) (QueryOptions, error) {
+	if bufferPages < 1 {
+		return QueryOptions{}, fmt.Errorf("pmjoin: buffer of %d pages", bufferPages)
+	}
+	return QueryOptions{BufferPages: bufferPages}, nil
+}
+
+// queryScope validates the preconditions shared by every query and opens the
+// private disk session and buffer pool the query reads candidate data pages
+// through. The session starts with cold heads, so concurrent queries do not
+// perturb each other's costs.
+func (s *System) queryScope(d *Dataset, center []float64, opts *QueryOptions) (*disk.Session, *buffer.Pool, error) {
+	if err := s.checkQuery(d, center); err != nil {
+		return nil, nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, nil, err
+	}
+	io := s.d.NewSession()
+	pool, err := buffer.NewPool(io, opts.BufferPages, buffer.LRU)
+	if err != nil {
+		return nil, nil, err
+	}
+	return io, pool, nil
+}
+
 // QueryResult reports the outcome and simulated I/O of a single-dataset
 // query (range or k-nearest-neighbor).
 type QueryResult struct {
@@ -62,10 +91,11 @@ type QueryResult struct {
 // result capping. RangeQuery(d, c, eps, b) is RangeQueryOpts(d, c, eps,
 // QueryOptions{BufferPages: b}).
 func (s *System) RangeQuery(d *Dataset, center []float64, eps float64, bufferPages int) (*QueryResult, error) {
-	if bufferPages < 1 {
-		return nil, fmt.Errorf("pmjoin: buffer of %d pages", bufferPages)
+	opts, err := legacyQueryOptions(bufferPages)
+	if err != nil {
+		return nil, err
 	}
-	return s.RangeQueryOpts(d, center, eps, QueryOptions{BufferPages: bufferPages})
+	return s.RangeQueryOpts(d, center, eps, opts)
 }
 
 // RangeQueryOpts returns the objects of the vector dataset d within eps of
@@ -73,17 +103,10 @@ func (s *System) RangeQuery(d *Dataset, center []float64, eps float64, bufferPag
 // read-only call, the query charges its I/O to a private disk session, so
 // concurrent queries do not perturb each other's costs.
 func (s *System) RangeQueryOpts(d *Dataset, center []float64, eps float64, opts QueryOptions) (*QueryResult, error) {
-	if err := s.checkQuery(d, center); err != nil {
-		return nil, err
-	}
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
 	if eps < 0 {
 		return nil, fmt.Errorf("pmjoin: negative epsilon %g", eps)
 	}
-	io := s.d.NewSession()
-	pool, err := buffer.NewPool(io, opts.BufferPages, buffer.LRU)
+	io, pool, err := s.queryScope(d, center, &opts)
 	if err != nil {
 		return nil, err
 	}
@@ -149,10 +172,11 @@ func (q *nnPQ) Pop() any          { o := *q; n := len(o); e := o[n-1]; *q = o[:n
 // supports result capping. NearestNeighbors(d, c, k, b) is
 // NearestNeighborsOpts(d, c, k, QueryOptions{BufferPages: b}).
 func (s *System) NearestNeighbors(d *Dataset, center []float64, k, bufferPages int) (*QueryResult, error) {
-	if bufferPages < 1 {
-		return nil, fmt.Errorf("pmjoin: buffer of %d pages", bufferPages)
+	opts, err := legacyQueryOptions(bufferPages)
+	if err != nil {
+		return nil, err
 	}
-	return s.NearestNeighborsOpts(d, center, k, QueryOptions{BufferPages: bufferPages})
+	return s.NearestNeighborsOpts(d, center, k, opts)
 }
 
 // NearestNeighborsOpts returns the k objects of the vector dataset d closest
@@ -161,24 +185,17 @@ func (s *System) NearestNeighbors(d *Dataset, center []float64, k, bufferPages i
 // the head of the queue. A MaxResults below k lowers k and marks the result
 // truncated.
 func (s *System) NearestNeighborsOpts(d *Dataset, center []float64, k int, opts QueryOptions) (*QueryResult, error) {
-	if err := s.checkQuery(d, center); err != nil {
-		return nil, err
-	}
-	if err := opts.validate(); err != nil {
-		return nil, err
-	}
 	if k <= 0 {
 		return nil, fmt.Errorf("pmjoin: k = %d", k)
+	}
+	io, pool, err := s.queryScope(d, center, &opts)
+	if err != nil {
+		return nil, err
 	}
 	res := &QueryResult{}
 	if opts.MaxResults > 0 && k > opts.MaxResults {
 		k = opts.MaxResults
 		res.Truncated = true
-	}
-	io := s.d.NewSession()
-	pool, err := buffer.NewPool(io, opts.BufferPages, buffer.LRU)
-	if err != nil {
-		return nil, err
 	}
 	q := geom.Vector(center)
 	pq := &nnPQ{}

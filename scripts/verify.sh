@@ -27,11 +27,13 @@ echo "==> pmlint ./..."
 # so a slow or noisy lint gate is visible right here in the verify log.
 go run ./cmd/pmlint -stats ./...
 
-echo "==> metrics determinism (metrics/trace on vs off, serial vs parallel)"
-# Run the dedicated contract test on its own first: a bit-identical Report /
-# Pairs / Plan with collection enabled is the invariant that keeps the
-# metrics layer an observer rather than a participant.
-go test -race -run 'TestMetricsDeterminism' .
+echo "==> determinism contracts (metrics observer + sharded execution)"
+# Run the dedicated contract tests on their own first: a bit-identical
+# Report / Pairs / Plan with collection enabled is the invariant that keeps
+# the metrics layer an observer rather than a participant, and the same
+# triple must be identical across shard worker counts and vs the unsharded
+# executor at shards=1.
+go test -race -run 'TestMetricsDeterminism|TestShardDeterminism' .
 
 echo "==> go test -race ${SHORT_FLAG} ./..."
 # Race instrumentation slows the experiment replications several-fold;

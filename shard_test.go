@@ -1,0 +1,241 @@
+package pmjoin
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"pmjoin/internal/dataset"
+)
+
+// TestShardDeterminism is the sharding half of the determinism contract:
+// for every clustered method, the merged Report, Pairs and Plan of a sharded
+// run are bit-identical across shard worker counts {1, GOMAXPROCS} for a
+// fixed shard count, and a 1-shard run is bit-identical to the unsharded
+// executor (the single shard re-derives the identical global schedule over
+// its own cold session and private pool). Run under -race, this also
+// exercises the coordinator's concurrent shard execution against the shared
+// comparison pool.
+func TestShardDeterminism(t *testing.T) {
+	type workload struct {
+		name  string
+		build func(t *testing.T) (*System, *Dataset, *Dataset)
+		opt   Options
+	}
+	loads := []workload{
+		{
+			// Small buffer relative to the matrix so clustering yields many
+			// clusters: enough schedule to cut, with real sharing at the
+			// boundaries the planner severs.
+			name: "vector-tight-buffer",
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(400, 2, 31), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddVectors("b", randomVecs(300, 2, 32), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Epsilon: 0.05, BufferPages: 12, CollectPairs: true, Parallelism: 4},
+		},
+		{
+			// Self join: row and column pages share a file, so the planner's
+			// page sets must dedup exactly like the executor's.
+			name: "series-self",
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 1024})
+				ds, err := sys.AddSeries("walk", dataset.RandomWalk(2500, 33), SeriesOptions{Window: 32, Stride: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, ds, ds
+			},
+			opt: Options{Epsilon: 8.0, BufferPages: 16, CollectPairs: true},
+		},
+	}
+	methods := []Method{SC, RandomSC, CC}
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+
+	for _, wl := range loads {
+		t.Run(wl.name, func(t *testing.T) {
+			sys, da, db := wl.build(t)
+			for _, m := range methods {
+				opt := wl.opt
+				opt.Method = m
+				base, err := sys.Join(da, db, opt)
+				if err != nil {
+					t.Fatalf("%v unsharded: %v", m, err)
+				}
+				for _, shards := range []int{1, 3} {
+					var ref *Result
+					for _, w := range workerCounts {
+						o := opt
+						o.Sharding = ShardingOptions{Shards: shards, Workers: w}
+						res, err := sys.Join(da, db, o)
+						if err != nil {
+							t.Fatalf("%v shards=%d workers=%d: %v", m, shards, w, err)
+						}
+						if res.Exec.Shards == 0 {
+							t.Fatalf("%v shards=%d: Exec.Shards not reported", m, shards)
+						}
+						if ref == nil {
+							ref = res
+							continue
+						}
+						if !reflect.DeepEqual(res.Report, ref.Report) {
+							t.Errorf("%v shards=%d: Report differs between workers %d and %d:\n%+v\n%+v",
+								m, shards, workerCounts[0], w, ref.Report, res.Report)
+						}
+						if !reflect.DeepEqual(res.Pairs, ref.Pairs) || res.Truncated != ref.Truncated {
+							t.Errorf("%v shards=%d: Pairs differ between workers %d and %d",
+								m, shards, workerCounts[0], w)
+						}
+					}
+					if shards == 1 {
+						if !reflect.DeepEqual(ref.Report, base.Report) {
+							t.Errorf("%v: 1-shard Report differs from unsharded:\n%+v\n%+v",
+								m, base.Report, ref.Report)
+						}
+						if !reflect.DeepEqual(ref.Pairs, base.Pairs) || ref.Truncated != base.Truncated {
+							t.Errorf("%v: 1-shard Pairs differ from unsharded", m)
+						}
+					}
+				}
+			}
+
+			// Plan: repeated sharded Explains are bit-identical, the sharding
+			// block is populated, and clearing it recovers the unsharded plan
+			// field for field — sharding only adds to the Plan.
+			po := wl.opt
+			po.Method = SC
+			plain, err := sys.Explain(da, db, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			po.Sharding = ShardingOptions{Shards: 3}
+			p1, err := sys.Explain(da, db, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := sys.Explain(da, db, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(p1, p2) {
+				t.Errorf("sharded Plan not deterministic:\n%+v\n%+v", p1, p2)
+			}
+			if len(p1.Shards) == 0 {
+				t.Fatal("sharded Explain reported no shards")
+			}
+			var shardReads, shardClusters int64
+			for _, sh := range p1.Shards {
+				shardReads += sh.PredictedReads
+				shardClusters += int64(sh.Clusters)
+			}
+			if shardClusters != int64(p1.Clusters) {
+				t.Errorf("shards cover %d clusters, plan has %d", shardClusters, p1.Clusters)
+			}
+			// The planner dedups pages a cluster touches through both join
+			// sides (a self-join shares the file), while ClusteredPageReads
+			// counts per-side pages, so the deduped baseline is only bounded
+			// above by the plan's clustered read estimate.
+			if got := shardReads - p1.CutLostPages; got > p1.ClusteredPageReads-p1.ScheduleSavings {
+				t.Errorf("sharded baseline %d > clustered reads %d - savings %d",
+					got, p1.ClusteredPageReads, p1.ScheduleSavings)
+			}
+			p1.Shards, p1.CutLostPages, p1.CutPenaltySeconds = nil, 0, 0
+			if !reflect.DeepEqual(p1, plain) {
+				t.Errorf("sharding changed the unsharded Plan fields:\n%+v\n%+v", plain, p1)
+			}
+		})
+	}
+}
+
+// TestShardedCC pins the sharded CC path's method label and cluster count:
+// the merged report must still read "CC" and cover every cluster once.
+func TestShardedCC(t *testing.T) {
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(300, 2, 34), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sys.AddVectors("b", randomVecs(200, 2, 35), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Method: CC, Epsilon: 0.05, BufferPages: 12}
+	base, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Sharding = ShardingOptions{Shards: 2}
+	res, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Method != "CC" {
+		t.Errorf("sharded CC method = %q", res.Report.Method)
+	}
+	if res.Report.Clusters != base.Report.Clusters {
+		t.Errorf("sharded CC clusters = %d, unsharded %d", res.Report.Clusters, base.Report.Clusters)
+	}
+	if res.Report.Results != base.Report.Results {
+		t.Errorf("sharded CC results = %d, unsharded %d", res.Report.Results, base.Report.Results)
+	}
+}
+
+// TestShardMetricsMerge checks the observational side: a sharded run with
+// metrics on carries one snapshot per shard, per-shard cluster stats
+// concatenated in shard-index order, and totals that include the shards'
+// disk work — without perturbing Report or Pairs (the determinism contract).
+func TestShardMetricsMerge(t *testing.T) {
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(300, 2, 36), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sys.AddVectors("b", randomVecs(200, 2, 37), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Method: SC, Epsilon: 0.05, BufferPages: 12, CollectPairs: true,
+		Sharding: ShardingOptions{Shards: 2}}
+	plainRes, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Metrics = true
+	res, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Report, plainRes.Report) || !reflect.DeepEqual(res.Pairs, plainRes.Pairs) {
+		t.Fatal("enabling metrics changed a sharded run's Report or Pairs")
+	}
+	mm := res.Metrics
+	if mm == nil {
+		t.Fatal("no metrics snapshot")
+	}
+	if len(mm.Shards) != res.Exec.Shards {
+		t.Fatalf("%d shard snapshots, Exec.Shards=%d", len(mm.Shards), res.Exec.Shards)
+	}
+	var clusters int
+	var reads int64
+	for _, sn := range mm.Shards {
+		clusters += len(sn.Clusters)
+		reads += sn.Disk.Reads
+	}
+	if clusters != len(mm.Clusters) {
+		t.Errorf("merged cluster stats %d != per-shard sum %d", len(mm.Clusters), clusters)
+	}
+	if mm.Disk.Reads < reads {
+		t.Errorf("merged disk reads %d < shard sum %d", mm.Disk.Reads, reads)
+	}
+	if reads != res.Report.PageReads {
+		t.Errorf("shard disk reads %d != report reads %d", reads, res.Report.PageReads)
+	}
+}
