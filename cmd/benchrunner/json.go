@@ -137,3 +137,40 @@ func writeKernelsJSON(dir string, records []experiments.KernelsRecord) error {
 		Records:    records,
 	})
 }
+
+// loadReport is the BENCH_load.json document: the pmjoind load-mix outcome
+// (request accounting, latency percentiles, the server's own ledger) plus
+// enough host context to read the wall-clock columns in perspective. The
+// correctness columns (zero failed, zero mismatched) are host-independent —
+// the run itself fails if either is violated.
+type loadReport struct {
+	GoVersion  string
+	GOARCH     string
+	GOMAXPROCS int
+	Point      *experiments.LoadPoint
+}
+
+// writeLoadJSON writes the load-mix outcome as BENCH_load.json — into dir
+// when -csv is set, else into the working directory (the repo root in the
+// committed-evidence workflow).
+func writeLoadJSON(dir string, point *experiments.LoadPoint) error {
+	if point == nil {
+		return nil
+	}
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.Create(filepath.Join(dir, "BENCH_load.json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(loadReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Point:      point,
+	})
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig10|fig11|fig12|fig13a|fig13b|fig13c|fig14|table2|ablations] [-scale 0.25] [-seed 1]
+//	benchrunner [-exp all|fig10|...|table2|ablations|load] [-scale 0.25] [-seed 1]
 //
 // Scale 1.0 uses the paper's exact dataset cardinalities and buffer sizes
 // (several minutes of wall time); the default 0.25 scales cardinalities and
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations, parallel, kernels, pipeline, shards")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations, parallel, kernels, pipeline, shards, load")
 	scale := flag.Float64("scale", 0.25, "dataset/buffer scale factor (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
@@ -175,6 +175,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("-- shards done in %v --\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "load" {
+		start := time.Now()
+		fmt.Printf("== load (scale %g, seed %d) ==\n", *scale, *seed)
+		point, err := experiments.LoadBench(cfg, experiments.LoadSpec{})
+		if werr := writeLoadJSON(*csvDir, point); err == nil {
+			err = werr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- load done in %v --\n\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *exp == "parallel" {

@@ -48,6 +48,12 @@ type Stats struct {
 	Misses     int64
 	Evictions  int64
 	Prefetched int64
+	// SharedHits counts misses whose page was resident in an attached
+	// SharedPool (see AttachShared): reads another in-flight run had already
+	// materialized. Purely observational — the miss is still charged to the
+	// run's own session, so Hits/Misses (and the Report) are identical with
+	// or without the shared pool. Always 0 when no shared pool is attached.
+	SharedHits int64
 }
 
 // Add returns the field-wise sum s + o.
@@ -57,6 +63,7 @@ func (s Stats) Add(o Stats) Stats {
 		Misses:     s.Misses + o.Misses,
 		Evictions:  s.Evictions + o.Evictions,
 		Prefetched: s.Prefetched + o.Prefetched,
+		SharedHits: s.SharedHits + o.SharedHits,
 	}
 }
 
@@ -68,6 +75,7 @@ func (s Stats) Sub(o Stats) Stats {
 		Misses:     s.Misses - o.Misses,
 		Evictions:  s.Evictions - o.Evictions,
 		Prefetched: s.Prefetched - o.Prefetched,
+		SharedHits: s.SharedHits - o.SharedHits,
 	}
 }
 
@@ -113,6 +121,40 @@ type Pool struct {
 	// per-page derived state (flat kernel blocks) on the coordinator, once
 	// per residency, instead of inside worker join loops.
 	onLoad func(pg *disk.Page)
+	// shared, when non-nil, is the service-wide concurrent frame cache this
+	// run participates in (see AttachShared).
+	shared *SharedPool
+}
+
+// AttachShared joins the pool to a service-wide SharedPool: every miss
+// consults it (counting Stats.SharedHits) and publishes the page it read,
+// and every local pin is mirrored as a shared pin so frames in use by this
+// run are never evicted from the shared cache. The simulated charges are
+// unchanged — the run's source is still read on every local miss, so its
+// Report is bit-identical to a run without the shared pool. Call Detach
+// when the run ends to release the mirrored pins; nil detaches immediately.
+func (p *Pool) AttachShared(sp *SharedPool) {
+	if sp == nil {
+		p.Detach()
+		return
+	}
+	p.shared = sp
+}
+
+// Detach releases every mirrored pin this pool still holds in the shared
+// pool and disconnects from it. Safe to call with no shared pool attached,
+// and idempotent — Engine.Run defers it so error paths (cancellation
+// included) cannot leak shared pins that would pin frames forever.
+func (p *Pool) Detach() {
+	if p.shared == nil {
+		return
+	}
+	for addr, f := range p.frames {
+		if f.pinned > 0 {
+			p.shared.Unpin(addr, f.pinned)
+		}
+	}
+	p.shared = nil
 }
 
 // SetOnEvict installs the eviction observer; nil removes it. The callback
@@ -188,6 +230,9 @@ func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
 		}
 		if pin {
 			f.pinned++
+			if p.shared != nil {
+				p.shared.Pin(addr, f.page)
+			}
 		}
 		return f.page, nil
 	}
@@ -201,6 +246,16 @@ func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
 	if len(p.frames) >= p.capacity {
 		if victim = p.victim(); victim == nil {
 			return nil, ErrBufferFull
+		}
+	}
+	if p.shared != nil {
+		// A shared-resident page is a hit in the service-wide cache: another
+		// run already materialized it. The session read below still happens —
+		// the simulated charge keeps this run's Report a pure function of its
+		// own access sequence — so the lookup only records the reuse (and
+		// bumps the frame's shared recency).
+		if _, ok := p.shared.Lookup(addr); ok {
+			p.stats.SharedHits++
 		}
 	}
 	pg, err := p.d.Read(addr)
@@ -219,6 +274,13 @@ func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
 		f.pinned++
 	}
 	p.frames[addr] = f
+	if p.shared != nil {
+		if pin {
+			p.shared.Pin(addr, pg)
+		} else {
+			p.shared.Publish(addr, pg)
+		}
+	}
 	return pg, nil
 }
 
@@ -233,12 +295,18 @@ func (p *Pool) Unpin(addr disk.PageAddr) error {
 		return fmt.Errorf("buffer: unpin of unpinned page %v", addr)
 	}
 	f.pinned--
+	if p.shared != nil {
+		p.shared.Unpin(addr, 1)
+	}
 	return nil
 }
 
 // UnpinAll drops every pin. Used between join phases.
 func (p *Pool) UnpinAll() {
-	for _, f := range p.frames {
+	for addr, f := range p.frames {
+		if f.pinned > 0 && p.shared != nil {
+			p.shared.Unpin(addr, f.pinned)
+		}
 		f.pinned = 0
 	}
 }
@@ -312,11 +380,19 @@ func (p *Pool) Prefetch(addr disk.PageAddr) (bool, error) {
 	// Same charge order as get: the miss is counted once the read is
 	// committed to, so a failed read leaves the same counters either path.
 	p.stats.Misses++
+	if p.shared != nil {
+		if _, ok := p.shared.Lookup(addr); ok {
+			p.stats.SharedHits++
+		}
+	}
 	pg, err := p.d.Read(addr)
 	if err != nil {
 		return false, err
 	}
 	p.stats.Prefetched++
+	if p.shared != nil {
+		p.shared.Publish(addr, pg)
+	}
 	if p.onLoad != nil {
 		p.onLoad(pg)
 	}

@@ -1,0 +1,196 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"pmjoin/internal/disk"
+)
+
+func TestNewSharedValidation(t *testing.T) {
+	if _, err := NewShared(3, 4); err == nil {
+		t.Fatal("capacity below shard count must error")
+	}
+	sp, err := NewShared(100, 5) // rounds shards up to 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.Capacity(); got != 100 {
+		t.Fatalf("capacity = %d, want 100 (budget must spread without loss)", got)
+	}
+	if len(sp.shards) != 8 {
+		t.Fatalf("shards = %d, want next power of two 8", len(sp.shards))
+	}
+}
+
+func TestSharedLookupPublish(t *testing.T) {
+	sp, _ := NewShared(64, 4)
+	addr := disk.PageAddr{File: 1, Page: 7}
+	if _, ok := sp.Lookup(addr); ok {
+		t.Fatal("lookup before publish hit")
+	}
+	pg := &disk.Page{Addr: addr}
+	sp.Publish(addr, pg)
+	got, ok := sp.Lookup(addr)
+	if !ok || got != pg {
+		t.Fatalf("lookup after publish: %v %v", got, ok)
+	}
+	st := sp.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Published != 1 || st.Resident != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Republish is a no-op, not a duplicate admission.
+	sp.Publish(addr, pg)
+	if st := sp.Stats(); st.Published != 1 || st.Resident != 1 {
+		t.Fatalf("republished: %+v", st)
+	}
+}
+
+// TestSharedPinnedNeverEvicted fills one lock shard past its budget with
+// pinned frames and asserts none are dropped: admissions go over capacity
+// instead, and eviction resumes once pins release.
+func TestSharedPinnedNeverEvicted(t *testing.T) {
+	sp, _ := NewShared(4, 1) // one shard, 4 frames
+	addrs := make([]disk.PageAddr, 6)
+	for i := range addrs {
+		addrs[i] = disk.PageAddr{File: 1, Page: i}
+		sp.Pin(addrs[i], &disk.Page{Addr: addrs[i]})
+	}
+	st := sp.Stats()
+	if st.Resident != 6 || st.Pinned != 6 {
+		t.Fatalf("pinned residency: %+v", st)
+	}
+	if st.OverCapacity != 2 || st.Evictions != 0 {
+		t.Fatalf("over-capacity accounting: %+v", st)
+	}
+	for _, a := range addrs {
+		if _, ok := sp.Lookup(a); !ok {
+			t.Fatalf("pinned frame %v evicted", a)
+		}
+	}
+	// Release every pin: the next admission evicts normally again.
+	for _, a := range addrs {
+		sp.Unpin(a, 1)
+	}
+	extra := disk.PageAddr{File: 1, Page: 99}
+	sp.Publish(extra, &disk.Page{Addr: extra})
+	st = sp.Stats()
+	if st.Evictions != 1 || st.Pinned != 0 {
+		t.Fatalf("post-release eviction: %+v", st)
+	}
+}
+
+func TestSharedLRUWithinShard(t *testing.T) {
+	sp, _ := NewShared(2, 1)
+	a0 := disk.PageAddr{File: 1, Page: 0}
+	a1 := disk.PageAddr{File: 1, Page: 1}
+	a2 := disk.PageAddr{File: 1, Page: 2}
+	sp.Publish(a0, &disk.Page{Addr: a0})
+	sp.Publish(a1, &disk.Page{Addr: a1})
+	sp.Lookup(a0) // a1 becomes LRU
+	sp.Publish(a2, &disk.Page{Addr: a2})
+	if _, ok := sp.Lookup(a1); ok {
+		t.Fatal("LRU frame survived")
+	}
+	if _, ok := sp.Lookup(a0); !ok {
+		t.Fatal("recently used frame evicted")
+	}
+}
+
+func TestSharedUnpinNonResident(t *testing.T) {
+	sp, _ := NewShared(16, 2)
+	// Must not panic or corrupt state.
+	sp.Unpin(disk.PageAddr{File: 9, Page: 9}, 3)
+	if st := sp.Stats(); st.Resident != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSharedConcurrent hammers one pool from many goroutines under -race:
+// mixed pin/publish/lookup/unpin traffic over a small capacity, then checks
+// the ledger drains to zero pins and residency within capacity plus the
+// over-capacity overflow.
+func TestSharedConcurrent(t *testing.T) {
+	sp, _ := NewShared(32, 4)
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				addr := disk.PageAddr{File: disk.FileID(g % 3), Page: i % 64}
+				switch i % 4 {
+				case 0:
+					sp.Pin(addr, &disk.Page{Addr: addr})
+					sp.Unpin(addr, 1)
+				case 1:
+					sp.Publish(addr, &disk.Page{Addr: addr})
+				case 2:
+					sp.Lookup(addr)
+				case 3:
+					sp.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := sp.Stats()
+	if st.Pinned != 0 {
+		t.Fatalf("pins leaked: %+v", st)
+	}
+	if st.Resident > 32+st.OverCapacity {
+		t.Fatalf("residency exceeds budget: %+v", st)
+	}
+}
+
+// TestPoolSharedMirroring drives a regular per-run Pool with a shared pool
+// attached and checks (a) the run's private Stats and the disk charges are
+// identical to a run without the shared pool except for the SharedHits
+// counter, and (b) Detach releases every mirrored pin.
+func TestPoolSharedMirroring(t *testing.T) {
+	run := func(sp *SharedPool) (Stats, disk.Stats) {
+		d, f := newDiskWithFile(t, 8)
+		p, _ := NewPool(d, 4, LRU)
+		if sp != nil {
+			p.AttachShared(sp)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := p.GetPinned(disk.PageAddr{File: f, Page: i % 6}); err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 1 {
+				p.UnpinAll()
+			}
+		}
+		p.UnpinAll()
+		if sp != nil {
+			p.Detach()
+		}
+		return p.Stats(), d.Stats()
+	}
+
+	solo, soloDisk := run(nil)
+	sp, _ := NewShared(64, 4)
+	warm, warmDisk := run(sp) // second run on a fresh disk, warm shared pool
+
+	// The private accounting must match bit for bit apart from SharedHits.
+	warmCmp := warm
+	warmCmp.SharedHits = solo.SharedHits
+	if warmCmp != solo {
+		t.Fatalf("private stats diverged:\nsolo %+v\nwith shared %+v", solo, warm)
+	}
+	if soloDisk.Reads != warmDisk.Reads || soloDisk.Seeks != warmDisk.Seeks {
+		t.Fatalf("disk charges diverged: solo %+v shared %+v", soloDisk, warmDisk)
+	}
+	if st := sp.Stats(); st.Pinned != 0 {
+		t.Fatalf("detach leaked pins: %+v", st)
+	}
+
+	// A third run over the now-warm shared pool must observe cross-run reuse.
+	third, _ := run(sp)
+	if third.SharedHits == 0 {
+		t.Fatal("warm shared pool produced no shared hits")
+	}
+}

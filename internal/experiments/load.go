@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"pmjoin"
+	"pmjoin/internal/join"
+	"pmjoin/internal/joinsvc"
+)
+
+// LoadSpec declares the client mix for the pmjoind load experiment: N
+// concurrent clients each walk a deterministic open/query/cancel/explain
+// schedule against the real HTTP handler stack (joinsvc over a pmjoin.Server
+// with the shared frame cache and admission control enabled).
+type LoadSpec struct {
+	// Clients is the concurrent client count (default 8).
+	Clients int
+	// QueriesPerClient is the number of join requests each client issues
+	// (default 10).
+	QueriesPerClient int
+	// CancelEvery cancels every n-th join mid-flight (default 5; 0 never).
+	CancelEvery int
+	// ExplainEvery inserts a plan-cache request before every n-th join
+	// (default 4; 0 never).
+	ExplainEvery int
+	// ShardEvery runs every n-th join sharded (default 3; 0 never).
+	ShardEvery int
+	// Serve overrides the server tuning; zero fields take the ServeOptions
+	// defaults.
+	Serve pmjoin.ServeOptions
+}
+
+func (s *LoadSpec) defaults() {
+	if s.Clients == 0 {
+		s.Clients = 8
+	}
+	if s.QueriesPerClient == 0 {
+		s.QueriesPerClient = 10
+	}
+	if s.CancelEvery == 0 {
+		s.CancelEvery = 5
+	}
+	if s.ExplainEvery == 0 {
+		s.ExplainEvery = 4
+	}
+	if s.ShardEvery == 0 {
+		s.ShardEvery = 3
+	}
+}
+
+// LoadPoint is the outcome of one load run. Completed + Cancelled +
+// Rejected + Failed = Requests; the harness itself fails (returns an error)
+// when Failed or Mismatched is nonzero, so a green run certifies zero
+// lost/deadlocked requests and bit-identical reports under concurrency.
+type LoadPoint struct {
+	Clients  int
+	Requests int
+	// Completed joins returned 200 and matched their solo baseline.
+	Completed int
+	// Mismatched joins returned 200 but diverged from the solo baseline.
+	Mismatched int
+	// Cancelled joins were aborted by their client's context.
+	Cancelled int
+	// Rejected joins hit admission control (HTTP 429).
+	Rejected int
+	// Failed is everything else — must be zero.
+	Failed int
+	// Explains that returned 200.
+	Explains int
+	// P50/P90/P99 are completed-join latency percentiles.
+	P50, P90, P99 time.Duration
+	// Wall is the whole concurrent phase.
+	Wall time.Duration
+	// Stats is the server's own ledger after the run.
+	Stats pmjoin.ServeStats
+}
+
+// loadQuery is one deterministic join spec; the harness derives the set from
+// (client, sequence) so a solo baseline exists for every request issued
+// under load.
+type loadQuery struct {
+	left, right string
+	opt         joinsvc.JoinOptions
+}
+
+// baselineKey collapses a query to its map identity.
+func (q loadQuery) key() string {
+	return fmt.Sprintf("%s|%s|%g|%d|%d|%v", q.left, q.right, q.opt.Epsilon,
+		q.opt.BufferPages, q.opt.Shards, q.opt.Method)
+}
+
+// baseline captures the deterministic fields of a solo run.
+type baseline struct {
+	Results     int64
+	PageReads   int64
+	Seeks       int64
+	Comparisons int64
+	Clusters    int
+	Truncated   bool
+	Pairs       int
+}
+
+func toBaseline(r joinsvc.JoinResponse) baseline {
+	return baseline{
+		Results: r.Results, PageReads: r.PageReads, Seeks: r.Seeks,
+		Comparisons: r.Comparisons, Clusters: r.Clusters,
+		Truncated: r.Truncated, Pairs: len(r.Pairs),
+	}
+}
+
+// LoadBench drives the pmjoind handler stack with spec's concurrent mix and
+// verifies the service invariants: no request is lost or deadlocked, every
+// admission rejection is accounted, and every completed join's report is
+// bit-identical to a solo run of the same request. It returns an error —
+// failing the benchrunner run — when either invariant breaks.
+func LoadBench(cfg *Config, spec LoadSpec) (*LoadPoint, error) {
+	cfg.defaults()
+	spec.defaults()
+
+	sys := pmjoin.NewSystem(pmjoin.DiskModel{PageBytes: 512})
+	srv, err := pmjoin.NewServer(sys, spec.Serve)
+	if err != nil {
+		return nil, err
+	}
+	svc := joinsvc.New(srv)
+	h := svc.Handler()
+
+	do := func(ctx context.Context, path string, body any) (*httptest.ResponseRecorder, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+		if ctx != nil {
+			req = req.WithContext(ctx)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w, nil
+	}
+
+	// Phase 1: open the shared base datasets plus one private dataset per
+	// client — the "open" leg of the mix, run up front so every query the
+	// concurrent phase can issue has a solo baseline.
+	opens := []joinsvc.OpenRequest{
+		{Name: "base-a", Kind: pmjoin.KindVector, N: cfg.n(4000), Seed: cfg.Seed},
+		{Name: "base-b", Kind: pmjoin.KindVector, N: cfg.n(3000), Seed: cfg.Seed + 1},
+	}
+	for c := 0; c < spec.Clients; c++ {
+		opens = append(opens, joinsvc.OpenRequest{
+			Name: fmt.Sprintf("client-%d", c), Kind: pmjoin.KindVector,
+			N: cfg.n(1500), Seed: cfg.Seed + 100 + int64(c),
+		})
+	}
+	for _, o := range opens {
+		w, err := do(nil, "/open", o)
+		if err != nil {
+			return nil, err
+		}
+		if w.Code != http.StatusOK {
+			return nil, fmt.Errorf("experiments: open %s: %d %s", o.Name, w.Code, w.Body.String())
+		}
+	}
+
+	// The deterministic query schedule: client c's i-th join.
+	queryFor := func(c, i int) loadQuery {
+		q := loadQuery{
+			left:  fmt.Sprintf("client-%d", c),
+			right: "base-b",
+			opt: joinsvc.JoinOptions{
+				Method:      pmjoin.SC,
+				Epsilon:     0.02 + 0.01*float64(i%3),
+				BufferPages: cfg.buf(64),
+			},
+		}
+		if i%2 == 1 {
+			q.left = "base-a"
+		}
+		if spec.ShardEvery > 0 && i%spec.ShardEvery == spec.ShardEvery-1 {
+			q.opt.Shards = 3
+			q.opt.ShardWorkers = 2
+		}
+		return q
+	}
+
+	// Phase 2: solo baselines, one sequential run per distinct query.
+	baselines := make(map[string]baseline)
+	for c := 0; c < spec.Clients; c++ {
+		for i := 0; i < spec.QueriesPerClient; i++ {
+			q := queryFor(c, i)
+			if _, ok := baselines[q.key()]; ok {
+				continue
+			}
+			w, err := do(nil, "/join", joinsvc.JoinRequest{Left: q.left, Right: q.right, Options: q.opt})
+			if err != nil {
+				return nil, err
+			}
+			if w.Code != http.StatusOK {
+				return nil, fmt.Errorf("experiments: baseline %s: %d %s", q.key(), w.Code, w.Body.String())
+			}
+			var resp joinsvc.JoinResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				return nil, err
+			}
+			baselines[q.key()] = toBaseline(resp)
+		}
+	}
+
+	// Phase 3: the concurrent mix. Each client is one task on a WorkerPool
+	// sized to the client count, so all clients genuinely overlap.
+	type clientTally struct {
+		completed, mismatched, cancelled, rejected, failed, explains int
+		latencies                                                    []time.Duration
+		err                                                          error
+	}
+	tallies := make([]clientTally, spec.Clients)
+	pool := join.NewWorkerPool(spec.Clients)
+	start := time.Now()
+	for c := 0; c < spec.Clients; c++ {
+		c := c
+		pool.Run(func() {
+			t := &tallies[c]
+			for i := 0; i < spec.QueriesPerClient; i++ {
+				q := queryFor(c, i)
+				if spec.ExplainEvery > 0 && i%spec.ExplainEvery == spec.ExplainEvery-1 {
+					w, err := do(nil, "/explain", joinsvc.ExplainRequest{Left: q.left, Right: q.right, Options: q.opt})
+					if err != nil {
+						t.err = err
+						return
+					}
+					if w.Code == http.StatusOK {
+						t.explains++
+					} else if w.Code != http.StatusTooManyRequests {
+						t.failed++
+					}
+				}
+
+				ctx := context.Background()
+				cancelled := false
+				var timer *time.Timer
+				var cancel context.CancelFunc
+				if spec.CancelEvery > 0 && i%spec.CancelEvery == spec.CancelEvery-1 {
+					cancelled = true
+					ctx, cancel = context.WithCancel(ctx)
+					// Fire from the runtime timer (no bare goroutine);
+					// 200µs lands mid-join for these dataset sizes, but
+					// any landing is correct — the assertion is only
+					// that the request terminates cleanly either way.
+					timer = time.AfterFunc(200*time.Microsecond, cancel)
+				}
+
+				began := time.Now()
+				w, err := do(ctx, "/join", joinsvc.JoinRequest{Left: q.left, Right: q.right, Options: q.opt})
+				if timer != nil {
+					timer.Stop()
+					cancel()
+				}
+				if err != nil {
+					t.err = err
+					return
+				}
+				took := time.Since(began)
+
+				switch {
+				case w.Code == http.StatusOK:
+					var resp joinsvc.JoinResponse
+					if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+						t.err = err
+						return
+					}
+					if toBaseline(resp) != baselines[q.key()] {
+						t.mismatched++
+					} else {
+						t.completed++
+						t.latencies = append(t.latencies, took)
+					}
+				case w.Code == http.StatusTooManyRequests:
+					t.rejected++
+				case cancelled:
+					// A cancel that landed: any error status is a clean
+					// termination, not a failure.
+					t.cancelled++
+				default:
+					t.failed++
+				}
+			}
+		})
+	}
+	pool.Close()
+	wall := time.Since(start)
+
+	point := &LoadPoint{Clients: spec.Clients, Requests: spec.Clients * spec.QueriesPerClient, Wall: wall}
+	var all []time.Duration
+	for c := range tallies {
+		t := &tallies[c]
+		if t.err != nil {
+			return nil, fmt.Errorf("experiments: load client %d: %w", c, t.err)
+		}
+		point.Completed += t.completed
+		point.Mismatched += t.mismatched
+		point.Cancelled += t.cancelled
+		point.Rejected += t.rejected
+		point.Failed += t.failed
+		point.Explains += t.explains
+		all = append(all, t.latencies...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	point.P50 = percentile(all, 0.50)
+	point.P90 = percentile(all, 0.90)
+	point.P99 = percentile(all, 0.99)
+	point.Stats = srv.Stats()
+
+	cfg.printf("\npmjoind load: %d clients x %d joins (cancel 1/%d, explain 1/%d, shard 1/%d)\n",
+		spec.Clients, spec.QueriesPerClient, spec.CancelEvery, spec.ExplainEvery, spec.ShardEvery)
+	cfg.printf("%10s %10s %10s %10s %10s %10s\n",
+		"completed", "cancelled", "rejected", "failed", "mismatch", "explains")
+	cfg.printf("%10d %10d %10d %10d %10d %10d\n",
+		point.Completed, point.Cancelled, point.Rejected, point.Failed,
+		point.Mismatched, point.Explains)
+	cfg.printf("latency p50 %v  p90 %v  p99 %v  (wall %v)\n",
+		point.P50.Round(time.Microsecond), point.P90.Round(time.Microsecond),
+		point.P99.Round(time.Microsecond), wall.Round(time.Millisecond))
+	st := point.Stats
+	cfg.printf("server: admitted %d rejected %d queueHW %d framesHW %d planHits %d/%d sharedHits %d folded %d\n",
+		st.Admitted, st.Rejected, st.QueueHighWater, st.FramesHighWater,
+		st.PlanHits, st.PlanHits+st.PlanMisses, st.Shared.Hits, st.FoldedRuns)
+
+	if point.Failed > 0 {
+		return point, fmt.Errorf("experiments: load run lost %d requests", point.Failed)
+	}
+	if point.Mismatched > 0 {
+		return point, fmt.Errorf("experiments: %d concurrent reports diverged from solo baselines", point.Mismatched)
+	}
+	// Cross-check the harness tally against the server's own ledger: every
+	// 429 a client saw must appear as a queue-full rejection or a queue
+	// deadline expiry on the server, and vice versa.
+	if got, want := st.Rejected+st.DeadlineExpired, int64(point.Rejected); got != want {
+		return point, fmt.Errorf("experiments: server rejected %d but clients saw %d", got, want)
+	}
+	return point, nil
+}
+
+// percentile reads q from sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

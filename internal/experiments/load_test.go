@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// TestLoadBenchSmoke runs the pmjoind load mix at a small scale. LoadBench
+// itself asserts the service invariants — zero lost requests, every
+// concurrent report bit-identical to its solo baseline, rejections balanced
+// against the server ledger — and returns an error when any is violated, so
+// a green run here is the CI-side proof of the serving-mode contract.
+func TestLoadBenchSmoke(t *testing.T) {
+	cfg := &Config{Scale: 0.05, Seed: 7}
+	point, err := LoadBench(cfg, LoadSpec{Clients: 4, QueriesPerClient: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point.Completed == 0 {
+		t.Fatal("load run completed no joins")
+	}
+	if got := point.Completed + point.Cancelled + point.Rejected + point.Failed; got != point.Requests {
+		t.Fatalf("request accounting: %d of %d accounted", got, point.Requests)
+	}
+	if point.Stats.FoldedRuns == 0 {
+		t.Fatal("no metrics folded into the service ledger")
+	}
+	if point.P50 <= 0 || point.P99 < point.P50 {
+		t.Fatalf("latency percentiles: p50=%v p99=%v", point.P50, point.P99)
+	}
+}

@@ -55,6 +55,12 @@ type Engine struct {
 	// one stage per cluster (demand vs overlapped I/O, modeled CPU), yielding
 	// the modeled pipeline wall clock reported through ExecStats/Metrics.
 	Timeline *disk.Timeline
+	// Shared, when non-nil, is an externally owned concurrent frame cache
+	// (the join service's hot state) the run's private pool participates in:
+	// misses consult and publish to it, pins are mirrored into its pinned-
+	// frame ledger. The Report is bit-identical with or without it — the
+	// run's session is charged the same either way (see buffer.SharedPool).
+	Shared *buffer.SharedPool
 }
 
 func (e *Engine) validate(r, s *Dataset) error {
@@ -90,6 +96,12 @@ func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
 	}
 	if e.Kernels {
 		pool.SetOnLoad(func(pg *disk.Page) { PrepareFlat(pg.Payload) })
+	}
+	if e.Shared != nil {
+		pool.AttachShared(e.Shared)
+		// Detach on every exit path (cancellation included) so this run's
+		// mirrored pins cannot outlive it and pin shared frames forever.
+		defer pool.Detach()
 	}
 	x := &Exec{IO: io, Pool: pool, Rep: rep, eng: e}
 	// Even on an error path (cancellation included), wait for in-flight

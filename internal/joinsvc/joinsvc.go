@@ -1,0 +1,434 @@
+// Package joinsvc exposes a pmjoin.Server over HTTP/JSON: the handler layer
+// of the pmjoind daemon, kept importable so tests and the load harness can
+// drive the exact production endpoints in process (net/http/httptest) without
+// a socket.
+//
+// Endpoints:
+//
+//	POST /open        create a synthetic dataset (internal/dataset generators)
+//	POST /join        run a join; 429 + Retry-After under admission overload
+//	POST /explain     plan a join through the server's plan cache
+//	GET  /metrics     text exposition of service counters + folded metrics
+//	GET  /debug/joins JSON dump of in-flight and recent requests
+//	GET  /healthz     liveness
+//
+// The handlers spawn no goroutines and keep no per-request state beyond the
+// Server's own registry; concurrency is whatever net/http provides, bounded
+// downstream by the Server's admission controller.
+package joinsvc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"pmjoin"
+	"pmjoin/internal/dataset"
+	"pmjoin/internal/geom"
+	"pmjoin/internal/metrics"
+)
+
+// Service routes HTTP requests to a pmjoin.Server and owns the name→dataset
+// registry.
+type Service struct {
+	srv *pmjoin.Server
+
+	mu       sync.Mutex
+	datasets map[string]*pmjoin.Dataset
+}
+
+// New wraps srv. Datasets added to the underlying System before or after can
+// be registered with AddDataset; /open creates synthetic ones.
+func New(srv *pmjoin.Server) *Service {
+	return &Service{srv: srv, datasets: make(map[string]*pmjoin.Dataset)}
+}
+
+// Server returns the wrapped pmjoin.Server.
+func (s *Service) Server() *pmjoin.Server { return s.srv }
+
+// AddDataset registers an existing dataset under name. It errors if the name
+// is taken or the dataset belongs to a different System.
+func (s *Service) AddDataset(name string, d *pmjoin.Dataset) error {
+	if d == nil {
+		return fmt.Errorf("joinsvc: nil dataset %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; ok {
+		return fmt.Errorf("joinsvc: dataset %q already exists", name)
+	}
+	s.datasets[name] = d
+	return nil
+}
+
+// Dataset returns the registered dataset, or nil.
+func (s *Service) Dataset(name string) *pmjoin.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.datasets[name]
+}
+
+// DatasetNames returns the registered names in sorted order.
+func (s *Service) DatasetNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Handler returns the service's HTTP routes on a fresh mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/open", s.handleOpen)
+	mux.HandleFunc("/join", s.handleJoin)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/joins", s.handleDebugJoins)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// OpenRequest asks the service to generate and index a synthetic dataset.
+type OpenRequest struct {
+	Name string      `json:"name"`
+	Kind pmjoin.Kind `json:"kind"` // "vector", "series" or "string"
+	// N is the object count: vectors, series samples, or string length.
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+	// Dim selects the vector generator: 2 draws road-network-like points,
+	// higher dimensions draw Landsat-like feature vectors. Vector only.
+	Dim int `json:"dim,omitempty"`
+	// Window and Stride shape the subsequence index (series and string).
+	Window int `json:"window,omitempty"`
+	Stride int `json:"stride,omitempty"`
+	// PageBytes overrides the system page size for this dataset.
+	PageBytes int `json:"pageBytes,omitempty"`
+}
+
+// OpenResponse describes the created dataset.
+type OpenResponse struct {
+	Name    string      `json:"name"`
+	Kind    pmjoin.Kind `json:"kind"`
+	Pages   int         `json:"pages"`
+	Objects int         `json:"objects"`
+	Epoch   int64       `json:"epoch"`
+}
+
+func (s *Service) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req OpenRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.N <= 0 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("joinsvc: open needs a name and n > 0"))
+		return
+	}
+	sys := s.srv.System()
+	var d *pmjoin.Dataset
+	var err error
+	switch req.Kind {
+	case pmjoin.KindVector:
+		dim := req.Dim
+		if dim == 0 {
+			dim = 2
+		}
+		var vecs []geom.Vector
+		if dim <= 2 {
+			vecs = dataset.RoadIntersections(req.N, req.Seed)
+		} else {
+			vecs = dataset.Landsat(req.N, dim, req.Seed)
+		}
+		flat := make([][]float64, len(vecs))
+		for i, v := range vecs {
+			flat[i] = v
+		}
+		d, err = sys.AddVectors(req.Name, flat, pmjoin.VectorOptions{PageBytes: req.PageBytes})
+	case pmjoin.KindSeries:
+		window := req.Window
+		if window == 0 {
+			window = 32
+		}
+		d, err = sys.AddSeries(req.Name, dataset.RandomWalk(req.N, req.Seed), pmjoin.SeriesOptions{
+			Window: window, Stride: req.Stride, PageBytes: req.PageBytes,
+		})
+	case pmjoin.KindString:
+		window := req.Window
+		if window == 0 {
+			window = 64
+		}
+		d, err = sys.AddString(req.Name, dataset.DNA(req.N, req.Seed), pmjoin.StringOptions{
+			Window: window, Stride: req.Stride, PageBytes: req.PageBytes,
+		})
+	default:
+		err = fmt.Errorf("joinsvc: unknown kind %v", req.Kind)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.AddDataset(req.Name, d); err != nil {
+		// The dataset is already materialized on the simulated disk; a name
+		// collision only loses the handle.
+		s.fail(w, http.StatusConflict, err)
+		return
+	}
+	s.reply(w, OpenResponse{
+		Name: req.Name, Kind: d.Kind(), Pages: d.Pages(), Objects: d.Objects(), Epoch: d.Epoch(),
+	})
+}
+
+// JoinOptions is the wire form of pmjoin.Options (the service subset).
+type JoinOptions struct {
+	Method       pmjoin.Method `json:"method"`
+	Epsilon      float64       `json:"epsilon"`
+	BufferPages  int           `json:"bufferPages"`
+	Parallelism  int           `json:"parallelism,omitempty"`
+	Seed         int64         `json:"seed,omitempty"`
+	CollectPairs bool          `json:"collectPairs,omitempty"`
+	MaxPairs     int           `json:"maxPairs,omitempty"`
+	FilterDepth  int           `json:"filterDepth,omitempty"`
+	Shards       int           `json:"shards,omitempty"`
+	ShardWorkers int           `json:"shardWorkers,omitempty"`
+	// PrefetchOff disables the pipelined executor (on by default).
+	PrefetchOff bool `json:"prefetchOff,omitempty"`
+	Trace       bool `json:"trace,omitempty"`
+}
+
+func (o JoinOptions) options() pmjoin.Options {
+	opt := pmjoin.Options{
+		Method:       o.Method,
+		Epsilon:      o.Epsilon,
+		BufferPages:  o.BufferPages,
+		Parallelism:  o.Parallelism,
+		Seed:         o.Seed,
+		CollectPairs: o.CollectPairs,
+		MaxPairs:     o.MaxPairs,
+		FilterDepth:  o.FilterDepth,
+		Trace:        o.Trace,
+		Sharding:     pmjoin.ShardingOptions{Shards: o.Shards, Workers: o.ShardWorkers},
+	}
+	if o.PrefetchOff {
+		opt.Pipeline.Prefetch = pmjoin.PrefetchOff
+	}
+	return opt
+}
+
+// JoinRequest names two registered datasets and the join options.
+type JoinRequest struct {
+	Left    string      `json:"left"`
+	Right   string      `json:"right"`
+	Options JoinOptions `json:"options"`
+}
+
+// JoinResponse is the deterministic result summary plus execution notes.
+type JoinResponse struct {
+	Results           int64   `json:"results"`
+	TotalSeconds      float64 `json:"totalSeconds"`
+	IOSeconds         float64 `json:"ioSeconds"`
+	CPUJoinSeconds    float64 `json:"cpuJoinSeconds"`
+	PreprocessSeconds float64 `json:"preprocessSeconds"`
+	PageReads         int64   `json:"pageReads"`
+	Seeks             int64   `json:"seeks"`
+	Comparisons       int64   `json:"comparisons"`
+	Clusters          int     `json:"clusters"`
+	Method            string  `json:"method"`
+	MarkedEntries     int     `json:"markedEntries,omitempty"`
+	MatrixDensity     float64 `json:"matrixDensity,omitempty"`
+
+	Pairs     [][2]int `json:"pairs,omitempty"`
+	Truncated bool     `json:"truncated,omitempty"`
+
+	// Execution profile (outside the determinism contract).
+	Workers      int  `json:"workers"`
+	Shards       int  `json:"shards,omitempty"`
+	ShardWorkers int  `json:"shardWorkers,omitempty"`
+	Cancelled    bool `json:"cancelled,omitempty"`
+	// SharedHits counts this run's buffer misses that found the page already
+	// materialized in the server-wide shared frame cache.
+	SharedHits int64 `json:"sharedHits"`
+}
+
+func (s *Service) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	a, b, ok := s.pair(w, req.Left, req.Right)
+	if !ok {
+		return
+	}
+	// The request context carries client cancellation: a dropped connection
+	// cancels the join at its next cluster boundary.
+	res, err := s.srv.Join(r.Context(), a, b, req.Options.options())
+	if err != nil {
+		s.failJoin(w, err)
+		return
+	}
+	resp := JoinResponse{
+		Results:           res.Report.Results,
+		TotalSeconds:      res.TotalSeconds(),
+		IOSeconds:         res.Report.IOSeconds,
+		CPUJoinSeconds:    res.Report.CPUJoinSeconds,
+		PreprocessSeconds: res.Report.PreprocessSeconds,
+		PageReads:         res.Report.PageReads,
+		Seeks:             res.Report.Seeks,
+		Comparisons:       res.Report.Comparisons,
+		Clusters:          res.Report.Clusters,
+		Method:            res.Report.Method,
+		MarkedEntries:     res.MarkedEntries,
+		MatrixDensity:     res.MatrixDensity,
+		Pairs:             res.Pairs,
+		Truncated:         res.Truncated,
+		Workers:           res.Exec.Workers,
+		Shards:            res.Exec.Shards,
+		ShardWorkers:      res.Exec.ShardWorkers,
+		Cancelled:         res.Exec.Cancelled,
+	}
+	if res.Metrics != nil {
+		resp.SharedHits = res.Metrics.Buffer.SharedHits
+	}
+	s.reply(w, resp)
+}
+
+// ExplainRequest mirrors JoinRequest for the plan endpoint.
+type ExplainRequest struct {
+	Left    string      `json:"left"`
+	Right   string      `json:"right"`
+	Options JoinOptions `json:"options"`
+}
+
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req ExplainRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	a, b, ok := s.pair(w, req.Left, req.Right)
+	if !ok {
+		return
+	}
+	plan, err := s.srv.ExplainCached(r.Context(), a, b, req.Options.options())
+	if err != nil {
+		s.failJoin(w, err)
+		return
+	}
+	s.reply(w, plan)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.srv.Stats()
+	m := s.srv.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	p := func(name string, v any) { fmt.Fprintf(w, "pmjoind_%s %v\n", name, v) }
+	p("joins_admitted_total", st.Admitted)
+	p("joins_rejected_total", st.Rejected)
+	p("joins_deadline_expired_total", st.DeadlineExpired)
+	p("joins_completed_total", st.Completed)
+	p("joins_failed_total", st.Failed)
+	p("admission_frames_in_use", st.InUseFrames)
+	p("admission_frames_high_water", st.FramesHighWater)
+	p("admission_queued", st.Queued)
+	p("admission_queue_high_water", st.QueueHighWater)
+	p("plan_cache_hits_total", st.PlanHits)
+	p("plan_cache_misses_total", st.PlanMisses)
+	p("shared_pool_hits_total", st.Shared.Hits)
+	p("shared_pool_misses_total", st.Shared.Misses)
+	p("shared_pool_published_total", st.Shared.Published)
+	p("shared_pool_evictions_total", st.Shared.Evictions)
+	p("shared_pool_over_capacity_total", st.Shared.OverCapacity)
+	p("shared_pool_resident", st.Shared.Resident)
+	p("shared_pool_pinned", st.Shared.Pinned)
+	p("folded_runs_total", m.FoldedRuns)
+	p("folded_disk_reads_total", m.Disk.Reads)
+	p("folded_disk_seeks_total", m.Disk.Seeks)
+	p("folded_buffer_hits_total", m.Buffer.Hits)
+	p("folded_buffer_misses_total", m.Buffer.Misses)
+	p("folded_buffer_shared_hits_total", m.Buffer.SharedHits)
+	p("folded_wall_seconds_total", m.Wall.Seconds())
+	for ph, ps := range m.Phases {
+		fmt.Fprintf(w, "pmjoind_folded_phase_wall_seconds{phase=%q} %v\n",
+			metrics.Phase(ph).String(), ps.Wall.Seconds())
+	}
+}
+
+// DebugJoins is the /debug/joins payload.
+type DebugJoins struct {
+	Active []pmjoin.JoinStatus `json:"active"`
+	Recent []pmjoin.JoinStatus `json:"recent"`
+}
+
+func (s *Service) handleDebugJoins(w http.ResponseWriter, r *http.Request) {
+	active, recent := s.srv.Joins()
+	if active == nil {
+		active = []pmjoin.JoinStatus{}
+	}
+	if recent == nil {
+		recent = []pmjoin.JoinStatus{}
+	}
+	s.reply(w, DebugJoins{Active: active, Recent: recent})
+}
+
+// pair resolves two dataset names, writing a 404 on a miss.
+func (s *Service) pair(w http.ResponseWriter, left, right string) (a, b *pmjoin.Dataset, ok bool) {
+	a, b = s.Dataset(left), s.Dataset(right)
+	if a == nil || b == nil {
+		missing := left
+		if a != nil {
+			missing = right
+		}
+		s.fail(w, http.StatusNotFound, fmt.Errorf("joinsvc: unknown dataset %q", missing))
+		return nil, nil, false
+	}
+	return a, b, true
+}
+
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("joinsvc: %s requires POST", r.URL.Path))
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("joinsvc: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// failJoin maps a join/explain error to its status: admission overload is
+// backpressure (429, retryable), everything else from the library is a
+// request problem (400).
+func (s *Service) failJoin(w http.ResponseWriter, err error) {
+	if errors.Is(err, pmjoin.ErrOverloaded) {
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, err)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, err)
+}
+
+func (s *Service) fail(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	// Encoding a flat string map cannot fail; the error return is noise.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Service) reply(w http.ResponseWriter, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(payload); err != nil {
+		// Headers are gone; nothing to salvage but the connection error is
+		// the client's, not ours.
+		return
+	}
+}

@@ -207,6 +207,10 @@ type Metrics struct {
 	// private session and pool; AddShard folds the shard's totals into this
 	// snapshot and keeps the originals here.
 	Shards []*Metrics
+	// FoldedRuns counts the run snapshots accumulated into this one via Fold
+	// (0 for a plain per-run snapshot). Per-cluster, trace, and per-shard
+	// detail is dropped by Fold — this counter makes the drop visible.
+	FoldedRuns int64
 }
 
 // AddShard folds one shard's snapshot into m, in shard-index order: the
@@ -228,6 +232,43 @@ func (m *Metrics) AddShard(s *Metrics) {
 	if s.QueueHighWater > m.QueueHighWater {
 		m.QueueHighWater = s.QueueHighWater
 	}
+}
+
+// Fold accumulates another run's snapshot into m, for service-level
+// aggregation across requests (the join service folds every finished
+// request's snapshot into one cumulative snapshot exposed on /metrics).
+// Per-phase wall/disk/buffer deltas and the totals are both summed, so the
+// phases-sum-to-totals invariant is preserved by construction: if it held
+// for m and for s, it holds for the fold. Wall clocks sum too — the fold is
+// cumulative work, not a concurrent window. Bounded by design: per-cluster
+// stats, traces, and per-shard snapshots stay on the per-run snapshots and
+// are NOT accumulated (a service folding millions of requests must not grow
+// without bound); their drop is visible as FoldedRuns versus the per-run
+// detail. A nil m or s no-ops.
+func (m *Metrics) Fold(s *Metrics) {
+	if m == nil || s == nil {
+		return
+	}
+	for p := range m.Phases {
+		m.Phases[p].Wall += s.Phases[p].Wall
+		m.Phases[p].Disk = m.Phases[p].Disk.Add(s.Phases[p].Disk)
+		m.Phases[p].Buffer = m.Phases[p].Buffer.Add(s.Phases[p].Buffer)
+	}
+	m.Disk = m.Disk.Add(s.Disk)
+	m.Buffer = m.Buffer.Add(s.Buffer)
+	if s.QueueHighWater > m.QueueHighWater {
+		m.QueueHighWater = s.QueueHighWater
+	}
+	m.Timeline.WallSeconds += s.Timeline.WallSeconds
+	m.Timeline.SerialSeconds += s.Timeline.SerialSeconds
+	m.Timeline.DemandIOSeconds += s.Timeline.DemandIOSeconds
+	m.Timeline.OverlapIOSeconds += s.Timeline.OverlapIOSeconds
+	m.Timeline.CPUSeconds += s.Timeline.CPUSeconds
+	m.Timeline.OverlapReads += s.Timeline.OverlapReads
+	m.Timeline.Stages += s.Timeline.Stages
+	m.EventsDropped += s.EventsDropped
+	m.Wall += s.Wall
+	m.FoldedRuns++
 }
 
 // Config configures a Collector.

@@ -251,3 +251,68 @@ func TestPhaseAndEventStrings(t *testing.T) {
 		}
 	}
 }
+
+// Fold must preserve the phases-sum-to-totals invariant, accumulate counters,
+// and keep the unbounded per-run detail (clusters, traces, shards) out of the
+// cumulative snapshot.
+func TestFoldPreservesInvariant(t *testing.T) {
+	snap := func(lo, hi int) *Metrics {
+		_, f, io, pool := newRun(t, 8, 4)
+		c := New(Config{Trace: true})
+		c.Attach(io, pool)
+		c.PhaseStart(PhaseJoin)
+		c.ClusterStart(0)
+		for i := lo; i < hi; i++ {
+			if _, err := pool.Get(disk.PageAddr{File: f, Page: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.ClusterEnd()
+		c.PhaseEnd()
+		c.RecordQueueHighWater(hi)
+		return c.Finish()
+	}
+
+	a, b := snap(0, 3), snap(0, 6)
+	var folded Metrics
+	folded.Fold(a)
+	folded.Fold(b)
+
+	var sumDisk disk.Stats
+	var sumBuf buffer.Stats
+	for _, ps := range folded.Phases {
+		sumDisk = sumDisk.Add(ps.Disk)
+		sumBuf = sumBuf.Add(ps.Buffer)
+	}
+	if sumDisk != folded.Disk || sumBuf != folded.Buffer {
+		t.Fatalf("fold broke phases-sum-to-totals: phases %+v/%+v totals %+v/%+v",
+			sumDisk, sumBuf, folded.Disk, folded.Buffer)
+	}
+	if want := a.Disk.Add(b.Disk); folded.Disk != want {
+		t.Fatalf("folded disk %+v, want %+v", folded.Disk, want)
+	}
+	if want := a.Buffer.Add(b.Buffer); folded.Buffer != want {
+		t.Fatalf("folded buffer %+v, want %+v", folded.Buffer, want)
+	}
+	if folded.FoldedRuns != 2 {
+		t.Fatalf("FoldedRuns = %d, want 2", folded.FoldedRuns)
+	}
+	if folded.QueueHighWater != 6 {
+		t.Fatalf("QueueHighWater = %d, want max 6", folded.QueueHighWater)
+	}
+	if len(folded.Clusters) != 0 || len(folded.Events) != 0 || len(folded.Shards) != 0 {
+		t.Fatalf("fold accumulated unbounded detail: %d clusters, %d events, %d shards",
+			len(folded.Clusters), len(folded.Events), len(folded.Shards))
+	}
+	// Folding must not disturb the source snapshots.
+	if len(a.Events) == 0 || a.FoldedRuns != 0 {
+		t.Fatalf("source snapshot mutated: %+v", a)
+	}
+	// nil source / nil receiver are no-ops, not panics.
+	folded.Fold(nil)
+	if folded.FoldedRuns != 2 {
+		t.Fatal("nil fold counted")
+	}
+	var nilm *Metrics
+	nilm.Fold(a)
+}

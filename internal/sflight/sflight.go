@@ -1,0 +1,59 @@
+// Package sflight implements single-flight call deduplication: concurrent
+// callers asking for the same key share one execution of the population
+// function instead of each running it redundantly.
+//
+// The join service uses it for the two caches that sit in front of expensive
+// deterministic work — the prediction-matrix cache and the Explain-plan
+// cache. Because the protected computations are deterministic (a matrix or
+// plan is a pure function of its key), which caller's execution wins is
+// unobservable; single-flight only removes the redundant work the old
+// first-writer-wins scheme paid under concurrent cold starts.
+package sflight
+
+import "sync"
+
+// call is one in-flight execution.
+type call[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group deduplicates concurrent calls by key. The zero value is ready to
+// use. A Group is safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// Do executes fn under key: if another call with the same key is already in
+// flight, Do waits for it and returns its results instead of invoking fn.
+// The boolean reports whether the result was shared from another caller's
+// execution. Results are not cached beyond the flight — callers layer their
+// own cache in front (check cache, miss, Do, store).
+//
+// fn runs without the group's lock held, so it may call Do with a different
+// key; calling Do with the same key from inside fn deadlocks.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (V, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call[V]{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -1,0 +1,93 @@
+package sflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group[string, int]
+	calls := 0
+	v, err, shared := g.Do("k", func() (int, error) { calls++; return 42, nil })
+	if v != 42 || err != nil || shared {
+		t.Fatalf("Do = (%d, %v, %v), want (42, nil, false)", v, err, shared)
+	}
+	// A finished flight does not linger: the next call runs fn again.
+	v, err, shared = g.Do("k", func() (int, error) { calls++; return 7, nil })
+	if v != 7 || err != nil || shared {
+		t.Fatalf("second Do = (%d, %v, %v), want (7, nil, false)", v, err, shared)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2", calls)
+	}
+}
+
+func TestDoError(t *testing.T) {
+	var g Group[int, string]
+	boom := errors.New("boom")
+	v, err, _ := g.Do(1, func() (string, error) { return "", boom })
+	if v != "" || !errors.Is(err, boom) {
+		t.Fatalf("Do = (%q, %v), want (\"\", boom)", v, err)
+	}
+}
+
+// TestDoConcurrent asserts that N concurrent callers of one key observe a
+// single execution: exactly one caller reports shared=false, and everyone
+// sees the same value.
+func TestDoConcurrent(t *testing.T) {
+	var g Group[string, int64]
+	var execs, unshared atomic.Int64
+	release := make(chan struct{})
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]int64, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("hot", func() (int64, error) {
+				<-release // hold the flight open until all callers joined it
+				return execs.Add(1), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if !shared {
+				unshared.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Give the callers a moment to pile onto the flight, then release it.
+	// Late arrivals that miss this flight start their own; execs counts how
+	// many distinct executions happened and must stay well below callers.
+	close(release)
+	wg.Wait()
+
+	if got := unshared.Load(); got != execs.Load() {
+		t.Fatalf("unshared callers = %d, executions = %d; want equal", got, execs.Load())
+	}
+	if execs.Load() == 0 {
+		t.Fatal("no executions")
+	}
+	for i, v := range results {
+		if v < 1 || v > execs.Load() {
+			t.Fatalf("caller %d saw value %d outside [1, %d]", i, v, execs.Load())
+		}
+	}
+}
+
+func TestDoDistinctKeysDoNotBlock(t *testing.T) {
+	var g Group[int, int]
+	// fn for key 1 calls Do for key 2: distinct keys must not deadlock.
+	v, err, _ := g.Do(1, func() (int, error) {
+		inner, err, _ := g.Do(2, func() (int, error) { return 2, nil })
+		return inner + 1, err
+	})
+	if v != 3 || err != nil {
+		t.Fatalf("nested Do = (%d, %v), want (3, nil)", v, err)
+	}
+}

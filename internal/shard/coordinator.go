@@ -51,6 +51,17 @@ func (c *Coordinator) Run(ctx context.Context, tasks []Task) ([]*Result, error) 
 				if i >= len(tasks) {
 					return
 				}
+				// Check cancellation between tasks: once ctx is done, a
+				// worker must not start the next shard — without this check
+				// every remaining shard still ran to completion after a
+				// cancel. The error lands in the task's own slot, so the
+				// first-error-by-index scan below stays deterministic, and
+				// the claim loop keeps draining so every unstarted task is
+				// marked promptly rather than executed.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				results[i], errs[i] = c.Runner.RunShard(ctx, tasks[i])
 			}
 		}()
@@ -66,20 +77,26 @@ func (c *Coordinator) Run(ctx context.Context, tasks []Task) ([]*Result, error) 
 
 // MergeReports folds per-shard reports into one, in shard-index order.
 // Additive costs and counters sum; MarkedEntries and Method describe the
-// whole join identically in every shard, so they are taken from the first.
+// whole join identically in every shard, so they are taken from shard 0.
 // The clustering preprocess cost was charged to shard 0 only (see
 // LocalRunner.PreprocessSeconds), so the summed PreprocessSeconds counts
 // clustering once plus each shard's own schedule-construction cost.
+//
+// The base is explicitly shard 0, never "the first non-nil result": seeding
+// from a later shard would silently drop shard 0's one-time preprocess
+// charge (PreprocessSeconds would undercount) while still looking like a
+// complete report. A merge without shard 0 has no well-defined base, so
+// MergeReports returns nil — callers only merge after Coordinator.Run
+// succeeded, at which point every slot is filled.
 func MergeReports(results []*Result) *join.Report {
-	var out *join.Report
-	for _, r := range results {
+	if len(results) == 0 || results[0] == nil || results[0].Report == nil {
+		return nil
+	}
+	cp := *results[0].Report
+	out := &cp
+	for _, r := range results[1:] {
 		if r == nil || r.Report == nil {
-			continue
-		}
-		if out == nil {
-			cp := *r.Report
-			out = &cp
-			continue
+			return nil
 		}
 		out.IOSeconds += r.Report.IOSeconds
 		out.CPUJoinSeconds += r.Report.CPUJoinSeconds

@@ -61,6 +61,10 @@ type LocalRunner struct {
 	// one pool across concurrent shards cannot deadlock.
 	Workers *join.WorkerPool
 	Kernels bool
+	// Shared, when non-nil, is the service-wide concurrent frame cache every
+	// shard's engine participates in (see join.Engine.Shared); per-shard
+	// Reports stay solo-run pure either way.
+	Shared *buffer.SharedPool
 	// Pipeline knobs, inherited by every shard's engine.
 	Prefetch      bool
 	PrefetchDepth int
@@ -106,6 +110,7 @@ func (r *LocalRunner) RunShard(ctx context.Context, t Task) (*Result, error) {
 		Ctx:           ctx,
 		Metrics:       mc,
 		Kernels:       r.Kernels,
+		Shared:        r.Shared,
 		Prefetch:      r.Prefetch,
 		PrefetchDepth: r.PrefetchDepth,
 		Timeline:      tl,

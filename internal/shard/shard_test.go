@@ -2,11 +2,14 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"sort"
+	"sync/atomic"
 	"testing"
 
+	"pmjoin/internal/join"
 	"pmjoin/internal/sched"
 )
 
@@ -244,5 +247,136 @@ func TestMergePairsCapsAndFlags(t *testing.T) {
 	_, trunc = MergePairs(results, 10)
 	if !trunc {
 		t.Fatal("local truncation not propagated")
+	}
+}
+
+// gateRunner blocks every RunShard until released, reporting which shards
+// started; used to pin the coordinator's mid-run cancellation behavior.
+type gateRunner struct {
+	started chan int
+	release chan struct{}
+	runs    int64
+}
+
+func (g *gateRunner) RunShard(ctx context.Context, t Task) (*Result, error) {
+	atomic.AddInt64(&g.runs, 1)
+	g.started <- t.Shard
+	<-g.release
+	return &Result{Shard: t.Shard}, nil
+}
+
+// TestCoordinatorCancelMidRun is the regression test for the claim-loop
+// cancellation check: cancelling while early shards are in flight must stop
+// every not-yet-started shard (workers drain the remaining tasks into error
+// slots instead of executing them) and Run must return the cancellation as
+// the first error in shard-index order.
+func TestCoordinatorCancelMidRun(t *testing.T) {
+	const nTasks, workers = 8, 2
+	tasks := make([]Task, nTasks)
+	for i := range tasks {
+		tasks[i] = Task{Shard: i}
+	}
+	g := &gateRunner{started: make(chan int, nTasks), release: make(chan struct{})}
+	c := &Coordinator{Runner: g, Workers: workers}
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		results []*Result
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := c.Run(ctx, tasks)
+		done <- outcome{r, err}
+	}()
+	// Wait until both workers hold a task, cancel, then release them.
+	<-g.started
+	<-g.started
+	cancel()
+	close(g.release)
+	out := <-done
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", out.err)
+	}
+	// The two in-flight shards ran; nothing else may have started.
+	if n := atomic.LoadInt64(&g.runs); n != workers {
+		t.Fatalf("RunShard executed %d times, want %d (cancel must stop unstarted shards)", n, workers)
+	}
+	// First error by index: shards 0 and 1 were claimed first (tasks are
+	// claimed in order), so the first cancelled slot is shard 2 and Run's
+	// error names it.
+	if got := out.err.Error(); got != "shard 2: context canceled" {
+		t.Fatalf("err = %q, want the first cancelled slot by index", got)
+	}
+	if out.results[0] == nil || out.results[1] == nil {
+		t.Fatalf("in-flight shards lost: %+v", out.results[:2])
+	}
+	for i := workers; i < nTasks; i++ {
+		if out.results[i] != nil {
+			t.Fatalf("shard %d has a result after cancel", i)
+		}
+	}
+}
+
+// TestCoordinatorCancelPromptDrain pins that a cancelled coordinator does not
+// execute the tail of a long task list: with one worker and a cancel after
+// the first task, Run returns after exactly one execution no matter how many
+// tasks remain.
+func TestCoordinatorCancelPromptDrain(t *testing.T) {
+	const nTasks = 100
+	tasks := make([]Task, nTasks)
+	for i := range tasks {
+		tasks[i] = Task{Shard: i}
+	}
+	g := &gateRunner{started: make(chan int, nTasks), release: make(chan struct{})}
+	c := &Coordinator{Runner: g, Workers: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, tasks)
+		errCh <- err
+	}()
+	<-g.started
+	cancel()
+	close(g.release)
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&g.runs); n != 1 {
+		t.Fatalf("RunShard executed %d times after cancel, want 1", n)
+	}
+}
+
+// TestMergeReportsRequiresShardZero pins MergeReports' explicit base: the
+// preprocess cost is charged to shard 0 only, so a merge whose shard 0 is
+// missing has no well-defined base and must return nil rather than silently
+// seeding from a later shard (which would drop the one-time preprocess
+// charge).
+func TestMergeReportsRequiresShardZero(t *testing.T) {
+	mk := func(pre, io float64) *Result {
+		return &Result{Report: &join.Report{PreprocessSeconds: pre, IOSeconds: io}}
+	}
+	full := []*Result{mk(5, 1), mk(0.5, 2), mk(0.5, 3)}
+	rep := MergeReports(full)
+	if rep == nil {
+		t.Fatal("full merge returned nil")
+	}
+	if rep.PreprocessSeconds != 6 || rep.IOSeconds != 6 {
+		t.Fatalf("merge sums wrong: %+v", rep)
+	}
+	// Source reports must not be mutated by the merge.
+	if full[0].Report.IOSeconds != 1 {
+		t.Fatalf("merge mutated shard 0's report: %+v", full[0].Report)
+	}
+	for _, results := range [][]*Result{
+		nil,
+		{},
+		{nil, mk(0.5, 2)},                  // shard 0 slot empty
+		{{Shard: 0}, mk(0.5, 2)},           // shard 0 present but no report
+		{mk(5, 1), nil, mk(0.5, 3)},        // later slot empty
+		{mk(5, 1), {Shard: 1}, mk(0.5, 3)}, // later report missing
+	} {
+		if got := MergeReports(results); got != nil {
+			t.Fatalf("MergeReports(%v) = %+v, want nil", results, got)
+		}
 	}
 }

@@ -114,6 +114,17 @@ func (s *System) Join(a, b *Dataset, opt Options) (*Result, error) {
 // simulated I/O to a private disk session, so its Report is identical to what
 // a solo run would produce.
 func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*Result, error) {
+	return s.joinContext(ctx, a, b, opt, nil)
+}
+
+// joinContext is the full join implementation. shared, when non-nil, is an
+// externally owned concurrent frame cache (the serving layer's): it is
+// attached to the run's buffer pool — and to every shard's pool when sharded —
+// so concurrent runs reuse each other's materialized frames. It is strictly
+// observational: every local pool miss still charges the run's private disk
+// session, so Report and Pairs are bit-identical with or without it (see
+// buffer.SharedPool).
+func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, shared *buffer.SharedPool) (*Result, error) {
 	if err := s.checkJoinable(a, b); err != nil {
 		return nil, err
 	}
@@ -152,6 +163,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		Ctx:        ctx,
 		Metrics:    mc,
 		Kernels:    kernels,
+		Shared:     shared,
 	}
 	if opt.CollectPairs {
 		eng.OnPair = func(i, j int) {
@@ -222,7 +234,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 		}
 		if opt.Sharding.Shards > 0 {
 			rep, err = timedJoin(func() (*join.Report, error) {
-				r2, snaps, err2 := s.joinSharded(ctx, a, b, m, clusters, joiner, order, pre, opt, res, wp, mc)
+				r2, snaps, err2 := s.joinSharded(ctx, a, b, m, clusters, joiner, order, pre, opt, res, wp, mc, shared)
 				shardSnaps = snaps
 				return r2, err2
 			})
@@ -309,6 +321,7 @@ func (s *System) JoinContext(ctx context.Context, a, b *Dataset, opt Options) (*
 func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matrix,
 	clusters []*cluster.Cluster, joiner join.ObjectJoiner, order join.ClusterOrder,
 	pre float64, opt Options, res *Result, wp *join.WorkerPool, mc *metrics.Collector,
+	shared *buffer.SharedPool,
 ) (*join.Report, []*metrics.Metrics, error) {
 	pageSets := shard.PageSets(clusters, a.ds.File, b.ds.File)
 	plan, err := shard.Cut(pageSets, shard.Entries(clusters), opt.Sharding.Shards, s.shardCost())
@@ -321,6 +334,7 @@ func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matr
 		Policy:            buffer.Policy(opt.Policy),
 		Workers:           wp,
 		Kernels:           opt.Kernels == KernelsOn,
+		Shared:            shared,
 		Prefetch:          opt.Pipeline.Prefetch == PrefetchOn,
 		PrefetchDepth:     opt.Pipeline.PrefetchDepth,
 		R:                 &a.ds,
@@ -342,6 +356,12 @@ func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matr
 		return nil, nil, err
 	}
 	rep := shard.MergeReports(results)
+	if rep == nil {
+		// Unreachable after a successful coordinator run (every slot filled,
+		// shard 0 present); guarded anyway so a future transport bug surfaces
+		// as an error instead of a nil-Report dereference below.
+		return nil, nil, fmt.Errorf("pmjoin: sharded merge yielded no report")
+	}
 	if opt.CollectPairs {
 		res.Pairs, res.Truncated = shard.MergePairs(results, opt.MaxPairs)
 	}
@@ -442,10 +462,11 @@ func (s *System) predictor(a *Dataset) predmat.Predictor {
 func (s *System) matrixEpsilon(a *Dataset, eps float64) float64 { return eps }
 
 // buildMatrix returns the prediction matrix for (a, b, opt), from the cache
-// when available. Concurrent callers may build the same matrix redundantly;
-// the first to store wins and later builders adopt its entry, so every
-// caller observes one canonical matrix per key. The build itself is
-// deterministic, parallel or not, so which copy wins is unobservable.
+// when available. Concurrent cold-start callers are collapsed by single
+// flight: exactly one builds (charging its own wall clock and metrics phase),
+// the rest block and adopt its entry, so every caller observes one canonical
+// matrix per key and no build runs twice. The build itself is deterministic,
+// parallel or not, so which caller built is unobservable in the Result.
 func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.WorkerPool, mc *metrics.Collector) (*predmat.Matrix, error) {
 	depth := opt.FilterDepth
 	switch {
@@ -458,40 +479,50 @@ func (s *System) buildMatrix(a, b *Dataset, opt Options, res *Result, wp *join.W
 	s.mu.RLock()
 	e, ok := s.matrixCache[key]
 	s.mu.RUnlock()
-	if ok {
-		res.MarkedEntries = e.m.Marked()
-		res.MatrixDensity = e.m.Density()
-		res.MatrixSeconds = e.seconds
-		return e.m, nil
+	if !ok {
+		var err error
+		e, err, _ = s.matrixFlight.Do(key, func() (*matrixEntry, error) {
+			// Re-check inside the flight: a flight that completed between our
+			// miss and joining this one has already stored the entry.
+			s.mu.RLock()
+			w, hit := s.matrixCache[key]
+			s.mu.RUnlock()
+			if hit {
+				return w, nil
+			}
+			start := time.Now()
+			var stats predmat.BuildStats
+			// Kernels only changes how the build computes each bound, never
+			// its outcome, so the cache key does not include it.
+			bopts := predmat.BuildOptions{FilterDepth: depth, Stats: &stats, Kernels: opt.Kernels == KernelsOn}
+			if wp != nil {
+				bopts.Runner = wp
+			}
+			mc.PhaseStart(metrics.PhaseMatrix)
+			m, err := predmat.Build(a.ds.Root, b.ds.Root, a.ds.Pages, b.ds.Pages,
+				s.matrixEpsilon(a, opt.Epsilon), s.predictor(a), bopts)
+			mc.PhaseEnd()
+			if err != nil {
+				return nil, err
+			}
+			res.Exec.MatrixWall = time.Since(start)
+			ne := &matrixEntry{
+				m:       m,
+				seconds: float64(stats.SweepEvents+stats.PairTests) * join.MatrixEntryCost,
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.matrixCache[key] = ne
+			return ne, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	start := time.Now()
-	var stats predmat.BuildStats
-	// Kernels only changes how the build computes each bound, never its
-	// outcome, so the cache key does not include it.
-	bopts := predmat.BuildOptions{FilterDepth: depth, Stats: &stats, Kernels: opt.Kernels == KernelsOn}
-	if wp != nil {
-		bopts.Runner = wp
-	}
-	mc.PhaseStart(metrics.PhaseMatrix)
-	m, err := predmat.Build(a.ds.Root, b.ds.Root, a.ds.Pages, b.ds.Pages,
-		s.matrixEpsilon(a, opt.Epsilon), s.predictor(a), bopts)
-	mc.PhaseEnd()
-	if err != nil {
-		return nil, err
-	}
-	res.Exec.MatrixWall = time.Since(start)
-	seconds := float64(stats.SweepEvents+stats.PairTests) * join.MatrixEntryCost
-	s.mu.Lock()
-	if w, ok := s.matrixCache[key]; ok {
-		m, seconds = w.m, w.seconds
-	} else {
-		s.matrixCache[key] = &matrixEntry{m: m, seconds: seconds}
-	}
-	s.mu.Unlock()
-	res.MarkedEntries = m.Marked()
-	res.MatrixDensity = m.Density()
-	res.MatrixSeconds = seconds
-	return m, nil
+	res.MarkedEntries = e.m.Marked()
+	res.MatrixDensity = e.m.Density()
+	res.MatrixSeconds = e.seconds
+	return e.m, nil
 }
 
 // egoAdapter builds the EGO grid adapter for the data kind.

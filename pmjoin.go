@@ -38,6 +38,7 @@ import (
 	"pmjoin/internal/predmat"
 	"pmjoin/internal/rstar"
 	"pmjoin/internal/seqdist"
+	"pmjoin/internal/sflight"
 )
 
 // Kind identifies the data kind of a dataset.
@@ -85,14 +86,22 @@ func DefaultDiskModel() DiskModel {
 type System struct {
 	d     *disk.Disk
 	model DiskModel
-	// mu guards matrixCache (the only mutable state a read-only call
-	// touches).
+	// mu guards matrixCache and epoch (the only mutable state a read-only
+	// call touches).
 	mu sync.RWMutex
 	// matrixCache memoizes prediction matrices: they depend only on the
 	// dataset pair, epsilon, and filter depth, so repeated joins (e.g.
 	// buffer-size sweeps) reuse them. Construction is index-only and
-	// charges no simulated I/O either way.
-	matrixCache map[matrixKey]*matrixEntry
+	// charges no simulated I/O either way. Concurrent cold-start builders
+	// are deduplicated by matrixFlight: one builds, the rest wait and adopt.
+	matrixCache  map[matrixKey]*matrixEntry
+	matrixFlight sflight.Group[matrixKey, *matrixEntry]
+	// epoch is the dataset-mutation generation: each Add* bumps it and
+	// stamps the new dataset. Datasets are immutable once added, so a
+	// dataset's epoch is stable; caches keyed on (epoch, file, ...) — the
+	// serving layer's plan cache — stay valid for the dataset's lifetime and
+	// gain an invalidation seam for future mutable backends.
+	epoch int64
 }
 
 type matrixKey struct {
@@ -155,6 +164,7 @@ type Dataset struct {
 	alphabet *seqdist.Alphabet
 
 	objects int
+	epoch   int64
 }
 
 // Name returns the dataset name.
@@ -172,6 +182,21 @@ func (d *Dataset) Objects() int { return d.objects }
 // Window returns the subsequence length for sequence datasets (0 for
 // vector data).
 func (d *Dataset) Window() int { return d.window }
+
+// Epoch returns the dataset's creation generation on its System: a value
+// strictly increasing across Add* calls, stable for the dataset's lifetime.
+// It exists so external caches (the serving layer's plan cache) can key
+// cached derivations on (epoch, file, ...) and survive file-ID reuse if a
+// future backend ever recycles IDs.
+func (d *Dataset) Epoch() int64 { return d.epoch }
+
+// bumpEpoch advances the dataset generation; called once per Add*.
+func (s *System) bumpEpoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.epoch++
+	return s.epoch
+}
 
 // VectorOptions configures AddVectors.
 type VectorOptions struct {
@@ -270,6 +295,7 @@ func (s *System) AddVectors(name string, vecs [][]float64, opts VectorOptions) (
 		dim:     dim,
 		norm:    norm,
 		objects: len(vecs),
+		epoch:   s.bumpEpoch(),
 	}, nil
 }
 
@@ -323,6 +349,7 @@ func (s *System) AddSeries(name string, series []float64, opts SeriesOptions) (*
 		scale:    ix.Scale(),
 		features: ix.Config().Features,
 		objects:  ix.NumWindows(),
+		epoch:    s.bumpEpoch(),
 	}, nil
 }
 
@@ -382,6 +409,7 @@ func (s *System) AddString(name string, seq []byte, opts StringOptions) (*Datase
 		stride:   ix.Config().Stride,
 		alphabet: alpha,
 		objects:  ix.NumWindows(),
+		epoch:    s.bumpEpoch(),
 	}, nil
 }
 

@@ -19,6 +19,11 @@ fi
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go build ./cmd/pmjoind (serving daemon)"
+# Build the daemon explicitly so a broken main package (which ./... already
+# covers) fails with its own banner in the verify log.
+go build -o /dev/null ./cmd/pmjoind
+
 echo "==> go vet ./..."
 go vet ./...
 
@@ -39,5 +44,14 @@ echo "==> go test -race ${SHORT_FLAG} ./..."
 # Race instrumentation slows the experiment replications several-fold;
 # give the heaviest package headroom beyond the 10m default.
 go test -race -timeout=20m ${SHORT_FLAG} ./...
+
+echo "==> pmjoind load smoke (benchrunner -exp load)"
+# Drives the real joinsvc handler stack with 8 concurrent clients in an
+# open/query/cancel/explain mix. LoadBench exits nonzero if any request is
+# lost or any concurrent report diverges from its solo baseline, so this is
+# the serving-mode acceptance gate, not just a benchmark.
+# The latency sidecar (BENCH_load.json) goes to a scratch dir here; CI
+# passes -csv artifacts instead and uploads it.
+go run ./cmd/benchrunner -exp load -scale 0.1 -csv "$(mktemp -d)"
 
 echo "verify: OK"

@@ -1,0 +1,409 @@
+package pmjoin
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, so ServeOptions) (*Server, *Dataset, *Dataset) {
+	t.Helper()
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(400, 2, 1), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sys.AddVectors("b", randomVecs(300, 2, 2), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := NewServer(sys, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv, da, db
+}
+
+func TestServeOptionsDefaults(t *testing.T) {
+	o := ServeOptions{}.withDefaults()
+	if o.SharedFrames != 4096 || o.AdmitFrames != 4*4096 || o.QueueDepth != 64 ||
+		o.QueueTimeout != 5*time.Second || o.PlanCacheEntries != 128 || o.RecentJoins != 64 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	// Negative SharedFrames disables the cache but still needs a budget.
+	o = ServeOptions{SharedFrames: -1}.withDefaults()
+	if o.AdmitFrames != 4*4096 {
+		t.Fatalf("disabled-cache budget = %d", o.AdmitFrames)
+	}
+	sv, _, _ := newTestServer(t, ServeOptions{SharedFrames: -1})
+	if sv.shared != nil {
+		t.Fatal("negative SharedFrames must disable the shared pool")
+	}
+}
+
+// TestServerConcurrentBitIdentical is the serving-layer determinism gate: many
+// concurrent Server.Join calls — all sharing one concurrent frame cache, some
+// sharded — must each return a Result bit-identical (deterministic fields) to
+// a solo System.Join with the same Options. Run under -race in CI.
+func TestServerConcurrentBitIdentical(t *testing.T) {
+	sv, da, db := newTestServer(t, ServeOptions{SharedFrames: 256, PoolShards: 4})
+	sys := sv.System()
+
+	jobs := []Options{
+		{Method: SC, Epsilon: 0.05, BufferPages: 16, CollectPairs: true},
+		{Method: SC, Epsilon: 0.05, BufferPages: 16, CollectPairs: true}, // duplicate: same frames reused
+		{Method: CC, Epsilon: 0.07, BufferPages: 16, Parallelism: 2},
+		{Method: PMNLJ, Epsilon: 0.05, BufferPages: 8},
+		{Method: SC, Epsilon: 0.07, BufferPages: 12, Sharding: ShardingOptions{Shards: 3, Workers: 2}},
+		{Method: NLJ, Epsilon: 0.05, BufferPages: 8},
+		{Method: SC, Epsilon: 0.05, BufferPages: 24, Pipeline: PipelineOptions{Prefetch: PrefetchOff}},
+		{Method: CC, Epsilon: 0.05, BufferPages: 16, CollectPairs: true, Seed: 7},
+	}
+	baselines := make([]*Result, len(jobs))
+	for i, opt := range jobs {
+		var err error
+		if baselines[i], err = sys.Join(da, db, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const rounds = 2 // second round hits the warm shared cache
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		results := make([]*Result, len(jobs))
+		errs := make([]error, len(jobs))
+		for i, opt := range jobs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				results[i], errs[i] = sv.Join(context.Background(), da, db, opt)
+			}()
+		}
+		wg.Wait()
+		for i := range jobs {
+			if errs[i] != nil {
+				t.Fatalf("round %d job %d: %v", round, i, errs[i])
+			}
+			got, want := deterministicFields(results[i]), deterministicFields(baselines[i])
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("round %d job %d (%v) served result differs from solo:\n solo:   %+v\n served: %+v",
+					round, i, jobs[i].Method, want, got)
+			}
+		}
+	}
+
+	st := sv.Stats()
+	if st.Admitted != int64(rounds*len(jobs)) || st.Completed != int64(rounds*len(jobs)) {
+		t.Fatalf("admission accounting: %+v", st)
+	}
+	if st.Rejected != 0 || st.DeadlineExpired != 0 || st.Failed != 0 {
+		t.Fatalf("unexpected rejections: %+v", st)
+	}
+	if st.FoldedRuns != st.Completed {
+		t.Fatalf("folded %d runs, completed %d", st.FoldedRuns, st.Completed)
+	}
+	if st.Shared.Published == 0 {
+		t.Fatalf("shared cache saw no traffic: %+v", st.Shared)
+	}
+	if st.InUseFrames != 0 || st.Queued != 0 {
+		t.Fatalf("admission state not drained: %+v", st)
+	}
+	// The folded service metrics keep the phases-sum-to-totals invariant.
+	m := sv.Metrics()
+	sum := m.Phases[0].Disk
+	for _, ps := range m.Phases[1:] {
+		sum = sum.Add(ps.Disk)
+	}
+	if sum != m.Disk {
+		t.Fatalf("folded metrics broke invariant: phases %+v total %+v", sum, m.Disk)
+	}
+}
+
+func TestAdmitterQueueFullAndDeadline(t *testing.T) {
+	ad := &admitter{budget: 10, queueCap: 1, timeout: 20 * time.Millisecond}
+	ctx := context.Background()
+	if err := ad.acquire(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue and times out at the deadline.
+	errCh := make(chan error, 1)
+	go func() { errCh <- ad.acquire(ctx, 5) }()
+	// Wait until it is queued, then a second arrival overflows the queue.
+	for {
+		_, _, _, _, _, queued, _ := ad.snapshot()
+		if queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := ad.acquire(ctx, 5); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full acquire err = %v, want ErrOverloaded", err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("deadline acquire err = %v, want ErrOverloaded", err)
+	}
+	admitted, rejected, expired, inUse, _, queued, _ := ad.snapshot()
+	if admitted != 1 || rejected != 1 || expired != 1 || inUse != 10 || queued != 0 {
+		t.Fatalf("counters: admitted=%d rejected=%d expired=%d inUse=%d queued=%d",
+			admitted, rejected, expired, inUse, queued)
+	}
+
+	// Release unblocks a fresh waiter immediately.
+	ad.release(10)
+	if err := ad.acquire(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	ad.release(10)
+}
+
+func TestAdmitterFIFOAndOversize(t *testing.T) {
+	ad := &admitter{budget: 10, queueCap: 8, timeout: time.Second}
+	ctx := context.Background()
+	// An oversized request clamps to the whole budget instead of deadlocking
+	// behind an unreachable threshold, and its release clamps to match.
+	if err := ad.acquire(ctx, 1000); err != nil {
+		t.Fatal(err)
+	}
+	ad.release(1000)
+	if _, _, _, inUse, _, _, _ := ad.snapshot(); inUse != 0 {
+		t.Fatalf("inUse = %d after oversized release", inUse)
+	}
+
+	// Strict FIFO: a small waiter never jumps a blocked head waiter even when
+	// the budget has room for it.
+	if err := ad.acquire(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	done1 := make(chan error, 1)
+	go func() { done1 <- ad.acquire(ctx, 8) }() // 4+8 > 10: queues at head
+	for {
+		_, _, _, _, _, queued, _ := ad.snapshot()
+		if queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- ad.acquire(ctx, 2) }() // 4+2 <= 10 but behind the head
+	for {
+		_, _, _, _, _, queued, _ := ad.snapshot()
+		if queued == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done2:
+		t.Fatal("small waiter jumped the blocked head of the queue")
+	case <-time.After(30 * time.Millisecond):
+	}
+	ad.release(4) // head fits now; both drain in order
+	if err := <-done1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+	ad.release(8)
+	ad.release(2)
+	if _, _, _, inUse, _, _, _ := ad.snapshot(); inUse != 0 {
+		t.Fatalf("inUse = %d after full release", inUse)
+	}
+}
+
+func TestAdmitterCancelWhileQueued(t *testing.T) {
+	ad := &admitter{budget: 4, queueCap: 4, timeout: time.Minute}
+	if err := ad.acquire(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- ad.acquire(ctx, 4) }()
+	for {
+		_, _, _, _, _, queued, _ := ad.snapshot()
+		if queued == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The abandoned waiter must not absorb a later grant.
+	ad.release(4)
+	if err := ad.acquire(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerRejectionAccounting drives the server into overload and checks
+// rejected requests surface ErrOverloaded, never run, and are accounted.
+func TestServerRejectionAccounting(t *testing.T) {
+	// Budget of one request; no queue to speak of.
+	sv, da, db := newTestServer(t, ServeOptions{
+		SharedFrames: 64, AdmitFrames: 16, QueueDepth: 1, QueueTimeout: 30 * time.Millisecond,
+	})
+	opt := Options{Method: SC, Epsilon: 0.05, BufferPages: 16}
+
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = sv.Join(context.Background(), da, db, opt)
+		}()
+	}
+	wg.Wait()
+
+	var ok, overloaded int
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			overloaded++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded")
+	}
+	st := sv.Stats()
+	if st.Completed != int64(ok) || st.Failed != int64(overloaded) {
+		t.Fatalf("ok=%d overloaded=%d but stats %+v", ok, overloaded, st)
+	}
+	if st.Rejected+st.DeadlineExpired != int64(overloaded) {
+		t.Fatalf("rejection split: %+v vs %d overloaded", st, overloaded)
+	}
+	_, recent := sv.Joins()
+	var rejected int
+	for _, j := range recent {
+		if j.State == StateRejected {
+			rejected++
+			if j.Err == "" {
+				t.Fatalf("rejected status lost its error: %+v", j)
+			}
+		}
+	}
+	if rejected != overloaded {
+		t.Fatalf("recent ring shows %d rejections, want %d", rejected, overloaded)
+	}
+}
+
+func TestServerJoinsRegistry(t *testing.T) {
+	sv, da, db := newTestServer(t, ServeOptions{RecentJoins: 2})
+	opt := Options{Method: SC, Epsilon: 0.05, BufferPages: 16}
+	for i := 0; i < 4; i++ {
+		if _, err := sv.Join(context.Background(), da, db, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	active, recent := sv.Joins()
+	if len(active) != 0 {
+		t.Fatalf("active after completion: %+v", active)
+	}
+	if len(recent) != 2 {
+		t.Fatalf("recent ring size = %d, want 2", len(recent))
+	}
+	if recent[0].ID != 3 || recent[1].ID != 4 {
+		t.Fatalf("ring kept wrong entries: %+v", recent)
+	}
+	for _, j := range recent {
+		if j.State != StateDone || j.Results == 0 || j.Left != "a" || j.Right != "b" || j.Method != "SC" {
+			t.Fatalf("status: %+v", j)
+		}
+	}
+}
+
+func TestServerExplainCached(t *testing.T) {
+	sv, da, db := newTestServer(t, ServeOptions{PlanCacheEntries: 2})
+	opt := Options{Method: SC, Epsilon: 0.05, BufferPages: 16}
+
+	// Concurrent cold start: one build, everyone adopts the same plan.
+	const callers = 8
+	var wg sync.WaitGroup
+	plans := make([]*Plan, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := sv.ExplainCached(context.Background(), da, db, opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = p
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent callers got different plan instances")
+		}
+	}
+
+	// A warm repeat is a hit on the same instance.
+	p2, err := sv.ExplainCached(context.Background(), da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 != plans[0] {
+		t.Fatal("warm lookup returned a different plan")
+	}
+	st := sv.Stats()
+	if st.PlanHits == 0 {
+		t.Fatalf("no plan hits recorded: %+v", st)
+	}
+
+	// The plan matches an uncached Explain bit for bit.
+	direct, err := sv.System().Explain(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p2, direct) {
+		t.Fatalf("cached plan differs from direct Explain:\n cached: %+v\n direct: %+v", p2, direct)
+	}
+
+	// Eviction keeps the cache bounded; distinct options are distinct keys.
+	for _, eps := range []float64{0.06, 0.07, 0.08} {
+		o := opt
+		o.Epsilon = eps
+		if _, err := sv.ExplainCached(context.Background(), da, db, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sv.planMu.Lock()
+	n, ord := len(sv.plans), len(sv.planOrder)
+	sv.planMu.Unlock()
+	if n > 2 || ord != n {
+		t.Fatalf("plan cache grew past bound: %d entries, %d order", n, ord)
+	}
+}
+
+func TestServerValidatesBeforeAdmission(t *testing.T) {
+	sv, da, db := newTestServer(t, ServeOptions{})
+	if _, err := sv.Join(context.Background(), da, db, Options{Method: SC, Epsilon: 0.05, BufferPages: 1}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+	st := sv.Stats()
+	if st.Admitted != 0 || st.Failed != 0 {
+		t.Fatalf("invalid request touched admission: %+v", st)
+	}
+	other := NewSystem(DefaultDiskModel())
+	dx, err := other.AddVectors("x", randomVecs(50, 2, 9), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Join(context.Background(), da, dx, Options{Method: SC, Epsilon: 0.05, BufferPages: 16}); err == nil {
+		t.Fatal("foreign dataset accepted")
+	}
+	_ = db
+}

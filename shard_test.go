@@ -3,6 +3,7 @@ package pmjoin
 import (
 	"reflect"
 	"runtime"
+	"sort"
 	"testing"
 
 	"pmjoin/internal/dataset"
@@ -238,4 +239,107 @@ func TestShardMetricsMerge(t *testing.T) {
 	if reads != res.Report.PageReads {
 		t.Errorf("shard disk reads %d != report reads %d", reads, res.Report.PageReads)
 	}
+}
+
+// TestPairsCapBoundaryShardedVsUnsharded pins the MaxPairs cap semantics at
+// its boundary, sharded against unsharded: with the cap exactly at the total
+// pair count both modes collect the same pair set and report Truncated=false;
+// one below, both truncate to exactly the cap with Truncated=true; one above,
+// neither truncates. Pair ORDER differs between the modes by design — each
+// shard greedily re-schedules its own cluster subset, so the sharded emission
+// order is the shard-index concatenation of per-shard schedules, not the
+// global schedule — but within each mode a capped run returns an exact prefix
+// of that mode's full emission order.
+func TestPairsCapBoundaryShardedVsUnsharded(t *testing.T) {
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(400, 2, 41), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := sys.AddVectors("b", randomVecs(300, 2, 42), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Options{Method: SC, Epsilon: 0.06, BufferPages: 12, CollectPairs: true}
+	sharded := func(o Options) Options {
+		o.Sharding = ShardingOptions{Shards: 3, Workers: 2}
+		return o
+	}
+
+	// Learn the total pair count with an effectively unbounded cap.
+	probe := base
+	probe.MaxPairs = 1 << 30
+	full, err := sys.Join(da, db, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(full.Pairs)
+	if full.Truncated || total < 3 {
+		t.Fatalf("probe: %d pairs, truncated=%v", total, full.Truncated)
+	}
+	fullShard, err := sys.Join(da, db, sharded(probe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullShard.Truncated || len(fullShard.Pairs) != total {
+		t.Fatalf("sharded probe: %d pairs, truncated=%v, want %d",
+			len(fullShard.Pairs), fullShard.Truncated, total)
+	}
+	if !reflect.DeepEqual(sortedPairs(full.Pairs), sortedPairs(fullShard.Pairs)) {
+		t.Fatal("sharded and unsharded full runs found different pair sets")
+	}
+
+	for _, tc := range []struct {
+		name      string
+		cap       int
+		wantLen   int
+		wantTrunc bool
+	}{
+		{"exactly-at-cap", total, total, false},
+		{"one-under-cap", total - 1, total - 1, true},
+		{"one-over-cap", total + 1, total, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := base
+			opt.MaxPairs = tc.cap
+			flat, err := sys.Join(da, db, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shrd, err := sys.Join(da, db, sharded(opt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range []*Result{flat, shrd} {
+				if len(r.Pairs) != tc.wantLen || r.Truncated != tc.wantTrunc {
+					t.Fatalf("pairs=%d truncated=%v, want %d/%v",
+						len(r.Pairs), r.Truncated, tc.wantLen, tc.wantTrunc)
+				}
+			}
+			if !reflect.DeepEqual(flat.Pairs, full.Pairs[:tc.wantLen]) {
+				t.Fatalf("unsharded capped pairs are not a prefix of its full emission order at cap %d", tc.cap)
+			}
+			if !reflect.DeepEqual(shrd.Pairs, fullShard.Pairs[:tc.wantLen]) {
+				t.Fatalf("sharded capped pairs are not a prefix of its full emission order at cap %d", tc.cap)
+			}
+			if tc.wantLen == total {
+				if !reflect.DeepEqual(sortedPairs(flat.Pairs), sortedPairs(shrd.Pairs)) {
+					t.Fatalf("full collection pair sets diverge at cap %d", tc.cap)
+				}
+			}
+		})
+	}
+}
+
+// sortedPairs returns a copy of pairs in lexicographic order, for set
+// comparison across emission orders.
+func sortedPairs(pairs [][2]int) [][2]int {
+	out := append([][2]int(nil), pairs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
