@@ -1,0 +1,276 @@
+package pmjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"pmjoin/internal/dataset"
+)
+
+// TestBatchKernelsDeterminism is the batch half of the determinism contract:
+// a clustered join with KernelBatch on produces a Result (Report, Pairs,
+// matrix stats) and a Plan bit-for-bit identical to the run with KernelBatch
+// off, across parallelism {1, GOMAXPROCS}, sharding {off, 3 shards} and
+// prefetch {on, off}. Each mode runs on a fresh System over identical
+// generated data. The vector workload uses dim 8 so the whole-cluster SIMD
+// path (dim >= 8) is what's being compared, not the scalar fallback; the
+// series and self-join workloads pin the fallback seams.
+func TestBatchKernelsDeterminism(t *testing.T) {
+	type workload struct {
+		name    string
+		methods []Method
+		full    bool // run the full sharding x prefetch cross
+		build   func(t *testing.T) (*System, *Dataset, *Dataset)
+		opt     Options
+	}
+	loads := []workload{
+		{
+			// Non-self L2 at dim 8: the batchable path proper.
+			name:    "vector-L2-dim8",
+			methods: []Method{SC, CC, RandomSC},
+			full:    true,
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 512})
+				da, err := sys.AddVectors("a", randomVecs(300, 8, 1), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddVectors("b", randomVecs(200, 8, 2), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Epsilon: 0.55, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			// L1 at dim 3: the batch path's non-L2 threshold selection and the
+			// scalar (dim < 8) block kernels.
+			name:    "vector-L1",
+			methods: []Method{SC},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(250, 3, 3), VectorOptions{NormP: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddVectors("b", randomVecs(200, 3, 4), VectorOptions{NormP: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Epsilon: 0.15, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			// Self join: not batchable (id-based skips), so the knob must be a
+			// silent no-op end to end.
+			name:    "vector-self",
+			methods: []Method{SC},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(300, 2, 5), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, da
+			},
+			opt: Options{Epsilon: 0.05, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			// Non-self series join: the SeriesJoiner batch seam.
+			name:    "series",
+			methods: []Method{SC, CC},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 1024})
+				da, err := sys.AddSeries("wa", dataset.RandomWalk(2000, 20), SeriesOptions{Window: 32, Stride: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddSeries("wb", dataset.RandomWalk(1500, 21), SeriesOptions{Window: 32, Stride: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Epsilon: 8.0, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			// Strings have no float kernel: silently per-pair under the knob.
+			name:    "string",
+			methods: []Method{SC},
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 512})
+				sa := dataset.DNA(2000, 10)
+				sb := dataset.DNA(1500, 11)
+				dataset.PlantHomologies(sb, sa, 5, 80, 0.02, 12)
+				da, err := sys.AddString("a", sa, StringOptions{Window: 64, Stride: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddString("b", sb, StringOptions{Window: 64, Stride: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Epsilon: 4, BufferPages: 16, CollectPairs: true},
+		},
+	}
+
+	type config struct {
+		par      int
+		shards   int
+		prefetch PrefetchMode
+	}
+	small := []config{
+		{par: 1, prefetch: PrefetchDefault},
+		{par: 0, prefetch: PrefetchDefault},
+	}
+	fullCross := []config{
+		{par: 1, shards: 0, prefetch: PrefetchOn},
+		{par: 1, shards: 0, prefetch: PrefetchOff},
+		{par: 1, shards: 3, prefetch: PrefetchOn},
+		{par: 0, shards: 0, prefetch: PrefetchOn},
+		{par: 0, shards: 0, prefetch: PrefetchOff},
+		{par: 0, shards: 3, prefetch: PrefetchOn},
+		{par: 0, shards: 3, prefetch: PrefetchOff},
+	}
+
+	for _, w := range loads {
+		w := w
+		t.Run(w.name, func(t *testing.T) {
+			for _, m := range w.methods {
+				m := m
+				t.Run(m.String(), func(t *testing.T) {
+					run := func(mode KernelBatchMode, c config) (*Result, *Plan) {
+						sys, a, b := w.build(t)
+						opt := w.opt
+						opt.Method = m
+						opt.KernelBatch = mode
+						opt.Parallelism = c.par
+						opt.Sharding = ShardingOptions{Shards: c.shards}
+						opt.Pipeline.Prefetch = c.prefetch
+						res, err := sys.Join(a, b, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						plan, err := sys.Explain(a, b, opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res, plan
+					}
+					configs := small
+					if w.full {
+						configs = fullCross
+					}
+					for _, c := range configs {
+						off, offPlan := run(KernelBatchOff, c)
+						on, onPlan := run(KernelBatchOn, c)
+						if got, want := deterministicFields(on), deterministicFields(off); !reflect.DeepEqual(got, want) {
+							t.Errorf("par %d shards %d prefetch %v: batch-on result differs:\n off: %+v\n on:  %+v",
+								c.par, c.shards, c.prefetch, want, got)
+						}
+						if !reflect.DeepEqual(onPlan, offPlan) {
+							t.Errorf("par %d shards %d prefetch %v: batch-on plan differs:\n off: %+v\n on:  %+v",
+								c.par, c.shards, c.prefetch, offPlan, onPlan)
+						}
+						if c.par == 1 && c.shards == 0 && off.Count() == 0 {
+							t.Error("workload has no results; the comparison is vacuous")
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestBatchDispatchRan guards the determinism comparison against vacuity from
+// the other side: with metrics on, a batchable clustered run must report that
+// the block path actually evaluated clusters — and the per-pair run must not.
+func TestBatchDispatchRan(t *testing.T) {
+	build := func() (*System, *Dataset, *Dataset) {
+		sys := NewSystem(DiskModel{PageBytes: 512})
+		da, err := sys.AddVectors("a", randomVecs(300, 8, 1), VectorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := sys.AddVectors("b", randomVecs(200, 8, 2), VectorOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, da, db
+	}
+	run := func(mode KernelBatchMode) *Result {
+		sys, a, b := build()
+		res, err := sys.Join(a, b, Options{
+			Method: SC, Epsilon: 0.55, BufferPages: 16,
+			KernelBatch: mode, Metrics: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on := run(KernelBatchOn)
+	if on.Exec.BatchClusters == 0 || on.Exec.BatchCells == 0 || on.Exec.BatchRows == 0 {
+		t.Errorf("batch-on run reported no batch dispatch: %+v", on.Exec)
+	}
+	if on.Exec.BatchClusters > on.Report.Clusters {
+		t.Errorf("batched %d of %d clusters", on.Exec.BatchClusters, on.Report.Clusters)
+	}
+	off := run(KernelBatchOff)
+	if off.Exec.BatchClusters != 0 || off.Exec.BatchCells != 0 {
+		t.Errorf("batch-off run reported batch dispatch: %+v", off.Exec)
+	}
+}
+
+// TestKernelBatchModeDefault pins the normalization: the zero value resolves
+// to KernelBatchOn, and an explicit off stays off.
+func TestKernelBatchModeDefault(t *testing.T) {
+	opt := Options{Method: NLJ, Epsilon: 1, BufferPages: 4}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.KernelBatch != KernelBatchOn {
+		t.Errorf("default kernel batch = %v, want on", opt.KernelBatch)
+	}
+	opt = Options{Method: NLJ, Epsilon: 1, BufferPages: 4, KernelBatch: KernelBatchOff}
+	if err := opt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if opt.KernelBatch != KernelBatchOff {
+		t.Errorf("explicit off became %v", opt.KernelBatch)
+	}
+	bad := Options{Method: NLJ, Epsilon: 1, BufferPages: 4, KernelBatch: KernelBatchMode(99)}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted kernel batch mode 99")
+	}
+}
+
+// TestKernelBatchModeText pins the text round-trip alongside the other enums.
+func TestKernelBatchModeText(t *testing.T) {
+	for _, k := range []KernelBatchMode{KernelBatchDefault, KernelBatchOn, KernelBatchOff} {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back KernelBatchMode
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatal(err)
+		}
+		if back != k {
+			t.Errorf("round trip %v -> %q -> %v", k, text, back)
+		}
+	}
+	if _, err := ParseKernelBatchMode("sometimes"); err == nil {
+		t.Error("ParseKernelBatchMode accepted garbage")
+	}
+	if k, err := ParseKernelBatchMode("ON"); err != nil || k != KernelBatchOn {
+		t.Errorf("ParseKernelBatchMode(ON) = %v, %v", k, err)
+	}
+	if _, err := KernelBatchMode(42).MarshalText(); err == nil {
+		t.Error("MarshalText accepted out-of-range mode")
+	}
+}

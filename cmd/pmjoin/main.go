@@ -24,15 +24,17 @@ import (
 
 func main() {
 	var (
-		kind     = pmjoin.KindVector
-		m        = pmjoin.SC
-		policy   = pmjoin.LRU
-		prefetch = pmjoin.PrefetchDefault
+		kind        = pmjoin.KindVector
+		m           = pmjoin.SC
+		policy      = pmjoin.LRU
+		prefetch    = pmjoin.PrefetchDefault
+		kernelBatch = pmjoin.KernelBatchDefault
 	)
 	flag.TextVar(&kind, "kind", kind, "data kind: vector, series, string")
 	flag.TextVar(&m, "method", m, "join method: NLJ, pm-NLJ, random-SC, SC, CC, EGO, BFRJ, PBSM")
 	flag.TextVar(&policy, "policy", policy, "buffer replacement policy: LRU, FIFO")
 	flag.TextVar(&prefetch, "prefetch", prefetch, "pipelined cluster prefetch: on, off, default (on; identical results either way)")
+	flag.TextVar(&kernelBatch, "kernel-batch", kernelBatch, "whole-cluster block kernel dispatch: on, off, default (on; identical results either way)")
 	var (
 		data      = flag.String("data", "", "vector generator: roads (default for dim 2) or landsat (default otherwise)")
 		n         = flag.Int("n", 10000, "size of the first dataset (vectors / samples / bases)")
@@ -96,6 +98,7 @@ func main() {
 		Metrics:       *metrics,
 		Trace:         *trace > 0,
 		TraceCapacity: *trace,
+		KernelBatch:   kernelBatch,
 		Pipeline:      pmjoin.PipelineOptions{Prefetch: prefetch, PrefetchDepth: *depth},
 		Sharding:      pmjoin.ShardingOptions{Shards: *shards, Workers: *shardWork},
 	}

@@ -202,6 +202,41 @@ func (k *KernelMode) UnmarshalText(text []byte) error { return kernelSpec.unmars
 // KernelsDefault).
 func ParseKernelMode(s string) (KernelMode, error) { return kernelSpec.parse(s) }
 
+// KernelBatchMode selects whether clustered joins dispatch each batchable
+// cluster's marked page pairs as one whole-cluster block evaluation (one flat
+// row-major block per cluster side, SIMD streamed across page boundaries)
+// instead of a kernel call per page pair. Batching never changes Report,
+// Pairs or Plan — the block path replays the per-pair fetch sequence and
+// folds counters per cell in the per-pair order — so the knob only exists as
+// an escape hatch and for differential testing. Only non-self vector/series
+// joins with kernels on are batchable; everything else keeps the per-pair
+// path silently.
+type KernelBatchMode int
+
+const (
+	// KernelBatchDefault resolves to KernelBatchOn in Validate.
+	KernelBatchDefault KernelBatchMode = iota
+	// KernelBatchOn evaluates batchable clusters as block tasks (default).
+	KernelBatchOn
+	// KernelBatchOff keeps the per-page-pair kernel dispatch.
+	KernelBatchOff
+)
+
+var kernelBatchSpec = newEnum[KernelBatchMode]("KernelBatchMode", "kernel batch mode",
+	[]string{"default", "on", "off"}, true)
+
+func (k KernelBatchMode) String() string { return kernelBatchSpec.string(k) }
+
+// MarshalText implements encoding.TextMarshaler.
+func (k KernelBatchMode) MarshalText() ([]byte, error) { return kernelBatchSpec.marshal(k) }
+
+// UnmarshalText implements encoding.TextUnmarshaler; see ParseKernelBatchMode.
+func (k *KernelBatchMode) UnmarshalText(text []byte) error { return kernelBatchSpec.unmarshal(k, text) }
+
+// ParseKernelBatchMode parses a kernel batch mode name (case-insensitive; ""
+// parses to KernelBatchDefault).
+func ParseKernelBatchMode(s string) (KernelBatchMode, error) { return kernelBatchSpec.parse(s) }
+
 // PrefetchMode selects whether clustered joins pipeline the next cluster's
 // page reads behind the current cluster's CPU phase (double buffering through
 // the staged-frame prefetch path). Prefetch never changes Report, Pairs or

@@ -59,7 +59,7 @@ func KernelsBench(cfg *Config) ([]KernelsRecord, error) {
 		{"L3", geom.Norm{P: 3}},
 	}
 	cfg.printf("Kernel micro-benchmarks (page %d points, ~1%% selectivity)\n", kernelPageN)
-	cfg.printf("%-20s %12s %12s %9s %10s\n", "workload", "ref ns/op", "kernel ns/op", "speedup", "matches")
+	cfg.printf("%-24s %12s %12s %9s %10s\n", "workload", "ref ns/op", "kernel ns/op", "speedup", "matches")
 	for _, n := range norms {
 		for _, dim := range []int{2, 16, 64, 256} {
 			rec, err := benchPagePair(cfg, n.label, n.norm, dim)
@@ -67,7 +67,20 @@ func KernelsBench(cfg *Config) ([]KernelsRecord, error) {
 				return nil, err
 			}
 			records = append(records, rec)
-			cfg.printf("%-20s %12.2f %12.2f %8.1fx %10d\n",
+			cfg.printf("%-24s %12.2f %12.2f %8.1fx %10d\n",
+				rec.Name, rec.RefNs, rec.KernelNs, rec.Speedup, rec.Checksum)
+		}
+	}
+
+	cfg.printf("Cluster-batch dispatch (%d pages x %d rows per side)\n", blockPages, blockPageRows)
+	for _, dim := range []int{4, 16, 64} {
+		for _, density := range []float64{0.4, 1.0} {
+			rec, err := benchBlockPairs(cfg, dim, density)
+			if err != nil {
+				return nil, err
+			}
+			records = append(records, rec)
+			cfg.printf("%-24s %12.2f %12.2f %8.1fx %10d\n",
 				rec.Name, rec.RefNs, rec.KernelNs, rec.Speedup, rec.Checksum)
 		}
 	}
@@ -77,7 +90,7 @@ func KernelsBench(cfg *Config) ([]KernelsRecord, error) {
 		return nil, err
 	}
 	records = append(records, rec)
-	cfg.printf("%-20s %12.2f %12.2f %8.1fx %10d\n",
+	cfg.printf("%-24s %12.2f %12.2f %8.1fx %10d\n",
 		rec.Name, rec.RefNs, rec.KernelNs, rec.Speedup, rec.Checksum)
 	cfg.printf("\n")
 	return records, nil
@@ -149,6 +162,150 @@ func benchPagePair(cfg *Config, label string, n geom.Norm, dim int) (KernelsReco
 		Speedup:  refNs / kernNs,
 		Checksum: refMatches,
 	}, nil
+}
+
+// Cluster-batch workload shape: a cluster-heavy join touches many small
+// pages per side, so the batch path's win is streaming probe rows across
+// page boundaries instead of re-entering PagePairWithin per marked cell.
+const (
+	blockPages    = 8
+	blockPageRows = 64
+)
+
+// benchBlockPairs times one cluster's marked cells evaluated the per-pair
+// way — a PagePairWithin call per (probe row, S page) within each cell, the
+// loop the clustered executor ran before batch dispatch — against a single
+// BlockPairsWithin over the concatenated blocks. density is the fraction of
+// the blockPages x blockPages cell grid that is marked; cells are drawn in
+// column-major order to match SC cluster entries. Beyond the matched-pair
+// checksum, the full hit streams (cell, i, j in emission order) are compared
+// element-wise, the same report-equality bar the executor's determinism
+// contract sets.
+func benchBlockPairs(cfg *Config, dim int, density float64) (KernelsRecord, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(dim)*31 + int64(density*1000)))
+
+	vecsR := make([][]geom.Vector, blockPages)
+	vecsS := make([][]geom.Vector, blockPages)
+	flatR := make([]*kernel.FlatPage, blockPages)
+	flatS := make([]*kernel.FlatPage, blockPages)
+	var br, bs kernel.ClusterBlock
+	for p := 0; p < blockPages; p++ {
+		vecsR[p] = randomRows(rng, blockPageRows, dim)
+		vecsS[p] = randomRows(rng, blockPageRows, dim)
+		flatR[p] = flattenRows(dim, vecsR[p])
+		flatS[p] = flattenRows(dim, vecsS[p])
+		br.AddPage(flatR[p])
+		bs.AddPage(flatS[p])
+	}
+
+	var cells []kernel.Cell
+	for s := 0; s < blockPages; s++ {
+		for r := 0; r < blockPages; r++ {
+			if rng.Float64() < density {
+				cells = append(cells, kernel.Cell{R: r, S: s})
+			}
+		}
+	}
+
+	// Calibrate ε to ~1% selectivity over the first marked cell, as a join
+	// page pair would see.
+	dists := make([]float64, 0, blockPageRows*blockPageRows)
+	for _, a := range vecsR[cells[0].R] {
+		for _, b := range vecsS[cells[0].S] {
+			dists = append(dists, geom.L2.Dist(a, b))
+		}
+	}
+	sort.Float64s(dists)
+	th := kernel.NewThresholdSq(dists[len(dists)/100])
+
+	scratch := make([]int, 0, blockPageRows)
+	var refMatches int64
+	ref := func() {
+		var m int64
+		for _, c := range cells {
+			fs := flatS[c.S]
+			for _, a := range vecsR[c.R] {
+				scratch = kernel.PagePairWithin(&th, a, fs, scratch[:0])
+				m += int64(len(scratch))
+			}
+		}
+		refMatches = m
+	}
+
+	hits := make([]kernel.BlockHit, 0, 4096)
+	var kernMatches int64
+	kern := func() {
+		hits = kernel.BlockPairsWithin(&th, &br, &bs, cells, hits[:0])
+		kernMatches = int64(len(hits))
+	}
+
+	var ops int64
+	for range cells {
+		ops += int64(blockPageRows) * int64(blockPageRows)
+	}
+	refTotal, kernTotal := measurePairNs(ref, kern, 200*time.Millisecond)
+	refNs := refTotal / float64(ops)
+	kernNs := kernTotal / float64(ops)
+	if refMatches != kernMatches {
+		return KernelsRecord{}, fmt.Errorf("kernels blockpair/dim%d/d%d: reference found %d matches, block kernel %d",
+			dim, int(density*100), refMatches, kernMatches)
+	}
+
+	// Report equality: the block hit stream must reproduce the per-pair
+	// stream pair for pair, in order.
+	pos := 0
+	for ci, c := range cells {
+		fs := flatS[c.S]
+		for i, a := range vecsR[c.R] {
+			scratch = kernel.PagePairWithin(&th, a, fs, scratch[:0])
+			for _, j := range scratch {
+				if pos >= len(hits) {
+					return KernelsRecord{}, fmt.Errorf("kernels blockpair/dim%d: block stream ended at hit %d, per-pair stream continues", dim, pos)
+				}
+				h := hits[pos]
+				if int(h.Cell) != ci || int(h.I) != i || int(h.J) != j {
+					return KernelsRecord{}, fmt.Errorf("kernels blockpair/dim%d: hit %d is (cell %d, i %d, j %d) batched vs (cell %d, i %d, j %d) per-pair",
+						dim, pos, h.Cell, h.I, h.J, ci, i, j)
+				}
+				pos++
+			}
+		}
+	}
+	if pos != len(hits) {
+		return KernelsRecord{}, fmt.Errorf("kernels blockpair/dim%d: block stream has %d hits, per-pair stream %d", dim, len(hits), pos)
+	}
+
+	return KernelsRecord{
+		Name:     fmt.Sprintf("blockpair/L2/dim%d/d%d", dim, int(density*100)),
+		Dim:      dim,
+		Ops:      ops,
+		RefNs:    refNs,
+		KernelNs: kernNs,
+		Speedup:  refNs / kernNs,
+		Checksum: refMatches,
+	}, nil
+}
+
+// randomRows draws n uniform points in [0,1)^dim.
+func randomRows(rng *rand.Rand, n, dim int) []geom.Vector {
+	rows := make([]geom.Vector, n)
+	for i := range rows {
+		v := make(geom.Vector, dim)
+		for d := range v {
+			v[d] = rng.Float64()
+		}
+		rows[i] = v
+	}
+	return rows
+}
+
+// flattenRows builds the row-major FlatPage a retained vector page carries.
+func flattenRows(dim int, rows []geom.Vector) *kernel.FlatPage {
+	f := kernel.NewFlatPage(dim, len(rows))
+	for _, r := range rows {
+		f.AppendRow(r)
+	}
+	return f
 }
 
 // randomPage draws kernelPageN uniform points in [0,1)^dim.
@@ -248,6 +405,28 @@ func (m *naiveMatrix) Mark(r, c int) {
 	rows[rpos] = r
 	m.byCol[c] = rows
 	m.marked++
+}
+
+// measurePairNs times two implementations of the same work in alternating
+// repetitions so host-load drift lands on both sides equally, returning the
+// average nanoseconds of one call of each. Back-to-back measureNs runs can
+// skew a close comparison by several percent when the machine's load shifts
+// between the two windows; interleaving cancels that.
+func measurePairNs(a, b func(), minTotal time.Duration) (aNs, bNs float64) {
+	a() // warm-up
+	b()
+	var aTotal, bTotal time.Duration
+	reps := 0
+	for aTotal+bTotal < 2*minTotal || reps < 2 {
+		start := time.Now()
+		a()
+		aTotal += time.Since(start)
+		start = time.Now()
+		b()
+		bTotal += time.Since(start)
+		reps++
+	}
+	return float64(aTotal.Nanoseconds()) / float64(reps), float64(bTotal.Nanoseconds()) / float64(reps)
 }
 
 // measureNs reports the average wall-clock nanoseconds of one f() call,

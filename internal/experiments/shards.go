@@ -29,9 +29,9 @@ type ShardsPoint struct {
 	// concurrently, so the sharded wall is the slowest shard's modeled
 	// pipeline clock; the baseline is the 1-shard run's. ModeledSpeedup is
 	// their ratio — what sharding buys after paying the cut penalty.
-	ModeledWallBase   float64
-	ModeledWall       float64
-	ModeledSpeedup    float64
+	ModeledWallBase float64
+	ModeledWall     float64
+	ModeledSpeedup  float64
 
 	// Host wall clock of the join phase, 1-shard baseline vs sharded, best
 	// of the reps. Machine-dependent; the modeled columns are the signal.

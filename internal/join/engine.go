@@ -9,6 +9,7 @@ import (
 	"pmjoin/internal/buffer"
 	"pmjoin/internal/cluster"
 	"pmjoin/internal/disk"
+	"pmjoin/internal/kernel"
 	"pmjoin/internal/metrics"
 	"pmjoin/internal/predmat"
 	"pmjoin/internal/sched"
@@ -41,6 +42,14 @@ type Engine struct {
 	// instead of building it lazily inside worker tasks. Purely a CPU-side
 	// wall-clock concern: the Report is bit-identical either way.
 	Kernels bool
+	// KernelBatch routes each batchable cluster's marked page pairs through
+	// one whole-cluster block evaluation (Exec.JoinCluster) instead of a
+	// JoinPair per entry. Only BatchJoiner configurations that report a
+	// batch kernel participate (non-self vector/series kernel joins);
+	// everything else silently keeps the per-pair path. The Report — every
+	// counter bit, pair order included — is identical either way at any
+	// parallelism (see TestBatchKernelsDeterminism).
+	KernelBatch bool
 	// Prefetch enables the double-buffered cluster pipeline: while workers
 	// compare cluster k's page pairs, the coordinator stages cluster k+1's
 	// prefetch-plan pages (Pool.Prefetch), promoting them to pinned at the
@@ -346,6 +355,19 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 			order = sched.IdentityOrder(len(clusters))
 		}
 
+		// Resolve batched dispatch once per run: the joiner must opt in with
+		// a batch kernel, and the engine flag must be on. Everything else
+		// (self joins, string joins, kernels off) falls back per pair.
+		var bj BatchJoiner
+		var bth kernel.Threshold
+		if e.KernelBatch {
+			if cand, ok := j.(BatchJoiner); ok {
+				if th, batchable := cand.BatchKernel(); batchable {
+					bj, bth = cand, th
+				}
+			}
+		}
+
 		// The prefetch pipeline needs the per-step plan (the pages each
 		// cluster needs that its predecessor does not pin). Only LRU
 		// preserves the off-mode victim order under staged frames — staged
@@ -379,9 +401,15 @@ func (e *Engine) Clustered(r, s *Dataset, m *predmat.Matrix, clusters []*cluster
 				}
 			}
 			e.Metrics.ClusterPinned(len(addrs))
-			for _, en := range c.Entries {
-				if err := x.JoinPair(r, s, en.R, en.C, j); err != nil {
+			if bj != nil {
+				if err := x.JoinCluster(r, s, c, bj, bth); err != nil {
 					return err
+				}
+			} else {
+				for _, en := range c.Entries {
+					if err := x.JoinPair(r, s, en.R, en.C, j); err != nil {
+						return err
+					}
 				}
 			}
 			// Double buffering: the comparison tasks are queued (workers are

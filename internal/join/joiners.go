@@ -20,6 +20,22 @@ type ObjectJoiner interface {
 	JoinPages(a, b any, emit func(idA, idB int)) (comparisons int64, cpuSeconds float64)
 }
 
+// BatchJoiner is an ObjectJoiner whose per-pair kernel path can be hoisted
+// to whole-cluster block evaluation (Exec.JoinCluster). The contract mirrors
+// the Kernels flag: batch evaluation of a cluster's marked page pairs yields
+// results, comparison counts and modeled CPU cost bit-identical to a
+// JoinPages loop over the same pairs in the same order.
+type BatchJoiner interface {
+	ObjectJoiner
+	// BatchKernel reports whether this joiner configuration is batchable
+	// and, if so, the threshold the block kernel evaluates. Joiners whose
+	// per-pair path carries id-dependent logic (self joins) or no float
+	// kernel at all return false.
+	BatchKernel() (kernel.Threshold, bool)
+	// BatchPage extracts a page payload's flat block and object IDs.
+	BatchPage(payload any) (*kernel.FlatPage, []int)
+}
+
 // Base modeled CPU costs. Calibrated against the paper's platform (a 400 MHz
 // Pentium II): a 2-d Euclidean comparison near 20 ns reproduces Figure 10's
 // 44.69 s CPU-join for the ~2.1e9 comparisons of the LBeach×MCounty NLJ.
@@ -180,6 +196,28 @@ func (j VectorJoiner) JoinPages(a, b any, emit func(int, int)) (int64, float64) 
 	return comps, float64(comps) * perPair
 }
 
+// BatchKernel implements BatchJoiner: non-self kernel joins are batchable,
+// with the same threshold selection as the JoinPages kernels path. Self
+// joins keep the per-point loop (the id-based skip needs both pages' IDs).
+func (j VectorJoiner) BatchKernel() (kernel.Threshold, bool) {
+	if !j.Kernels || j.Self {
+		return kernel.Threshold{}, false
+	}
+	if j.Norm == geom.L2 {
+		return kernel.NewThresholdSq(j.Eps), true
+	}
+	return kernel.NewThreshold(j.Norm, j.Eps), true
+}
+
+// BatchPage implements BatchJoiner.
+func (j VectorJoiner) BatchPage(payload any) (*kernel.FlatPage, []int) {
+	p, ok := payload.(*VectorPage)
+	if !ok {
+		panic(fmt.Sprintf("join: VectorJoiner got %T", payload))
+	}
+	return p.Flat(), p.IDs
+}
+
 // SeriesPage is the payload of a time-series data page: a run of consecutive
 // subsequence windows of one or more series.
 type SeriesPage struct {
@@ -309,6 +347,25 @@ func (j SeriesJoiner) JoinPages(a, b any, emit func(int, int)) (int64, float64) 
 	}
 	perPair := compareBaseCost + comparePerDimCost*float64(w)
 	return comps, float64(comps) * perPair
+}
+
+// BatchKernel implements BatchJoiner: non-self kernel joins are batchable
+// under the squared-L2 threshold. Self joins (id and overlap skips) keep the
+// per-point loop.
+func (j SeriesJoiner) BatchKernel() (kernel.Threshold, bool) {
+	if !j.Kernels || j.Self {
+		return kernel.Threshold{}, false
+	}
+	return kernel.NewThresholdSq(j.Eps), true
+}
+
+// BatchPage implements BatchJoiner.
+func (j SeriesJoiner) BatchPage(payload any) (*kernel.FlatPage, []int) {
+	p, ok := payload.(*SeriesPage)
+	if !ok {
+		panic(fmt.Sprintf("join: SeriesJoiner got %T", payload))
+	}
+	return p.Flat(), p.IDs
 }
 
 // StringPage is the payload of a string data page: a run of consecutive

@@ -1,0 +1,252 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pmjoin/internal/geom"
+)
+
+// buildBlock flattens pages into a ClusterBlock and returns both.
+func buildBlock(pages []*FlatPage) *ClusterBlock {
+	b := &ClusterBlock{}
+	b.Reset()
+	for _, p := range pages {
+		b.AddPage(p)
+	}
+	return b
+}
+
+// refBlockHits is the per-pair reference for BlockPairsWithin: a loop of
+// PagePairWithin calls over the original pages, in cell order, probe rows
+// ascending. It also returns the comparison count of the loop.
+func refBlockHits(t *Threshold, pagesR, pagesS []*FlatPage, cells []Cell) ([]BlockHit, int64) {
+	var hits []BlockHit
+	var comps int64
+	var scratch []int
+	for ci, c := range cells {
+		pr, ps := pagesR[c.R], pagesS[c.S]
+		comps += int64(pr.N) * int64(ps.N)
+		for i := 0; i < pr.N; i++ {
+			scratch = PagePairWithin(t, pr.Row(i), ps, scratch[:0])
+			for _, j := range scratch {
+				hits = append(hits, BlockHit{Cell: int32(ci), I: int32(i), J: int32(j)})
+			}
+		}
+	}
+	return hits, comps
+}
+
+func randFlatPage(rng *rand.Rand, dim, n int, spread float64) *FlatPage {
+	p := NewFlatPage(dim, n)
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for d := range row {
+			row[d] = rng.NormFloat64() * spread
+		}
+		p.AppendRow(row)
+	}
+	return p
+}
+
+// TestBlockPairsWithinMatchesPagePair is the batch kernel's exactness
+// contract: for random clusters, BlockPairsWithin must emit exactly the hit
+// sequence (order included) of a per-pair PagePairWithin loop, under every
+// norm, with the vector path on and off, and the formula comparison count
+// must match the loop's.
+func TestBlockPairsWithinMatchesPagePair(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	norms := []geom.Norm{geom.L1, geom.L2, geom.LInf, {P: 3}, {P: 4}}
+	saved := useSIMD
+	defer func() { useSIMD = saved }()
+	for _, dim := range []int{2, 8, 12, 16, 19} {
+		for trial := 0; trial < 4; trial++ {
+			pagesR := make([]*FlatPage, 4)
+			pagesS := make([]*FlatPage, 4)
+			for i := range pagesR {
+				n := rng.Intn(9)
+				if trial == 1 && i == 2 {
+					n = 0 // empty page in the middle of a run
+				}
+				pagesR[i] = randFlatPage(rng, dim, n, 1)
+			}
+			for i := range pagesS {
+				pagesS[i] = randFlatPage(rng, dim, rng.Intn(9), 1)
+			}
+			br, bs := buildBlock(pagesR), buildBlock(pagesS)
+			// Column-major cells (the SC layout: runs of adjacent R pages per
+			// S page), plus a few scattered repeats.
+			var cells []Cell
+			for s := 0; s < 4; s++ {
+				for r := 0; r < 4; r++ {
+					if rng.Intn(3) > 0 {
+						cells = append(cells, Cell{R: r, S: s})
+					}
+				}
+			}
+			cells = append(cells, Cell{R: 3, S: 0}, Cell{R: 0, S: 2}, Cell{R: 1, S: 2})
+			for _, n := range norms {
+				for _, eps := range []float64{0.5 * math.Sqrt(float64(dim)), 0, math.Inf(1), -1} {
+					th := NewThreshold(n, eps)
+					useSIMD = false
+					want, wantComps := refBlockHits(&th, pagesR, pagesS, cells)
+					var gotComps int64
+					for _, c := range cells {
+						gotComps += int64(br.PageRows(c.R)) * int64(bs.PageRows(c.S))
+					}
+					if gotComps != wantComps {
+						t.Fatalf("dim %d %v: block comps %d, loop comps %d", dim, n, gotComps, wantComps)
+					}
+					for _, mode := range []bool{false, hasSIMD} {
+						useSIMD = mode
+						got := BlockPairsWithin(&th, br, bs, cells, nil)
+						if len(got) != len(want) {
+							t.Fatalf("dim %d %v eps %g simd %v: %d hits, want %d",
+								dim, n, eps, mode, len(got), len(want))
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("dim %d %v eps %g simd %v: hit %d = %v, want %v",
+									dim, n, eps, mode, i, got[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterBlockLayout checks offsets, reuse, and empty-page handling.
+func TestClusterBlockLayout(t *testing.T) {
+	b := &ClusterBlock{}
+	b.Reset()
+	if b.Pages() != 0 || b.Rows() != 0 || b.Dim() != 0 {
+		t.Fatalf("fresh block: pages %d rows %d dim %d", b.Pages(), b.Rows(), b.Dim())
+	}
+	empty := NewFlatPage(0, 0)
+	p0 := NewFlatPage(3, 2)
+	p0.AppendRow([]float64{1, 2, 3})
+	p0.AppendRow([]float64{4, 5, 6})
+	p1 := NewFlatPage(3, 1)
+	p1.AppendRow([]float64{7, 8, 9})
+	if got := b.AddPage(empty); got != 0 {
+		t.Fatalf("first page index %d", got)
+	}
+	if got := b.AddPage(p0); got != 1 {
+		t.Fatalf("second page index %d", got)
+	}
+	b.AddPage(empty)
+	b.AddPage(p1)
+	if b.Pages() != 4 || b.Rows() != 3 || b.Dim() != 3 {
+		t.Fatalf("block: pages %d rows %d dim %d", b.Pages(), b.Rows(), b.Dim())
+	}
+	for i, want := range []int{0, 2, 0, 1} {
+		if got := b.PageRows(i); got != want {
+			t.Fatalf("page %d rows %d, want %d", i, got, want)
+		}
+	}
+	if row := b.Row(2); row[0] != 7 || row[2] != 9 {
+		t.Fatalf("row 2 = %v", row)
+	}
+	b.Reset()
+	if b.Pages() != 0 || b.Dim() != 0 {
+		t.Fatalf("after reset: pages %d dim %d", b.Pages(), b.Dim())
+	}
+}
+
+// TestSums4AsmMatchesSingle compares the 4-probe row-sum kernels against four
+// single-probe calls within the re-association tolerance the banded
+// classification budgets for.
+func TestSums4AsmMatchesSingle(t *testing.T) {
+	if !hasSIMD {
+		t.Skip("no AVX2+FMA")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{4, 8, 12, 16, 28, 64} {
+		for _, rows := range []int{1, 2, 3, 7, 33} {
+			probes := make([]float64, 4*dim)
+			for i := range probes {
+				probes[i] = rng.NormFloat64()
+			}
+			data := make([]float64, rows*dim)
+			for i := range data {
+				data[i] = rng.NormFloat64()
+			}
+			got := make([]float64, 4*rows)
+			want := make([]float64, rows)
+			for _, l1 := range []bool{false, true} {
+				if l1 {
+					l1Sums4Asm(probes, data, got, dim)
+				} else {
+					l2Sums4Asm(probes, data, got, dim)
+				}
+				for q := 0; q < 4; q++ {
+					probe := probes[q*dim : (q+1)*dim]
+					if l1 {
+						l1SumsAsm(probe, data, want, dim)
+					} else {
+						l2SumsAsm(probe, data, want, dim)
+					}
+					for k := 0; k < rows; k++ {
+						g, w := got[4*k+q], want[k]
+						tol := reassocBand(dim) * math.Max(math.Abs(w), 1e-300)
+						if math.Abs(g-w) > tol {
+							t.Fatalf("dim %d rows %d l1 %v probe %d row %d: 4-probe %g, single %g",
+								dim, rows, l1, q, k, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// clusterBench builds a cluster-heavy workload: R and S sides of several
+// small pages each, cells covering the full column-major grid.
+func clusterBench(dim, pages, rowsPerPage int) (br, bs *ClusterBlock, pagesR, pagesS []*FlatPage, cells []Cell) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < pages; i++ {
+		pagesR = append(pagesR, randFlatPage(rng, dim, rowsPerPage, 1))
+		pagesS = append(pagesS, randFlatPage(rng, dim, rowsPerPage, 1))
+	}
+	br, bs = buildBlock(pagesR), buildBlock(pagesS)
+	for s := 0; s < pages; s++ {
+		for r := 0; r < pages; r++ {
+			cells = append(cells, Cell{R: r, S: s})
+		}
+	}
+	return
+}
+
+func benchmarkBlockVsLoop(b *testing.B, dim int, batch bool) {
+	br, bs, pagesR, pagesS, cells := clusterBench(dim, 8, 64)
+	th := NewThreshold(geom.L2, 0.3*math.Sqrt(float64(dim)))
+	var hits []BlockHit
+	var scratch []int
+	b.SetBytes(int64(len(cells)) * 64 * 64 * int64(dim) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			hits = BlockPairsWithin(&th, br, bs, cells, hits[:0])
+		} else {
+			hits = hits[:0]
+			for ci, c := range cells {
+				pr, ps := pagesR[c.R], pagesS[c.S]
+				for k := 0; k < pr.N; k++ {
+					scratch = PagePairWithin(&th, pr.Row(k), ps, scratch[:0])
+					for _, j := range scratch {
+						hits = append(hits, BlockHit{Cell: int32(ci), I: int32(k), J: int32(j)})
+					}
+				}
+			}
+		}
+	}
+	_ = hits
+}
+
+func BenchmarkBlockPairsDim16(b *testing.B)   { benchmarkBlockVsLoop(b, 16, true) }
+func BenchmarkPagePairLoopDim16(b *testing.B) { benchmarkBlockVsLoop(b, 16, false) }
+func BenchmarkBlockPairsDim64(b *testing.B)   { benchmarkBlockVsLoop(b, 64, true) }
+func BenchmarkPagePairLoopDim64(b *testing.B) { benchmarkBlockVsLoop(b, 64, false) }

@@ -101,6 +101,99 @@ func fuzzCheckPair(t *testing.T, norms []geom.Norm, a, b geom.Vector, eps float6
 	}
 }
 
+// FuzzBlockVsPagePair fuzzes the cluster-batched kernel against per-pair
+// PagePairWithin loops: random pages (NaN/Inf coordinates arrive through the
+// fuzzed floats), L1/L2/L∞/L3 thresholds including exact-boundary and
+// one-ulp-off candidates, and marked-cell lists with runs, repeats, and empty
+// pages. BlockPairsWithin must emit the identical hit sequence and the
+// formula comparison count must equal the loop's, with the vector path on
+// and off.
+func FuzzBlockVsPagePair(f *testing.F) {
+	f.Add(0.0, 0.0, 3.0, 4.0, 5.0, uint8(1), uint8(0))
+	f.Add(0.5, -0.5, 0.25, -0.25, 0.75, uint8(2), uint8(3))
+	f.Add(1e150, -1e150, 1e-300, 0.0, 1e150, uint8(3), uint8(7))
+	f.Add(0.1, 0.2, 0.3, 0.4, -1.0, uint8(0), uint8(5))
+	f.Add(math.Inf(1), 0.0, math.NaN(), 1.0, 2.0, uint8(2), uint8(1))
+
+	norms := []geom.Norm{geom.L1, geom.L2, geom.LInf, {P: 3}}
+	dims := []int{2, 8, 16, 19}
+
+	f.Fuzz(func(t *testing.T, v0, v1, v2, v3, eps float64, dimSel, shape uint8) {
+		dim := dims[int(dimSel)%len(dims)]
+		vals := [4]float64{v0, v1, v2, v3}
+		mkPage := func(n, salt int) *FlatPage {
+			p := NewFlatPage(dim, n)
+			row := make([]float64, dim)
+			for i := 0; i < n; i++ {
+				for d := range row {
+					row[d] = vals[(i+d+salt)%4] / float64(1+(d+salt)%3)
+				}
+				p.AppendRow(row)
+			}
+			return p
+		}
+		pagesR := []*FlatPage{
+			mkPage(3, 0),
+			mkPage(int(shape)%5, 1), // possibly empty
+			mkPage(5, 2),
+		}
+		pagesS := []*FlatPage{
+			mkPage(4, 3),
+			mkPage(int(shape>>2)%4, 4), // possibly empty
+			mkPage(6, 5),
+		}
+		br := &ClusterBlock{}
+		br.Reset()
+		bs := &ClusterBlock{}
+		bs.Reset()
+		for _, p := range pagesR {
+			br.AddPage(p)
+		}
+		for _, p := range pagesS {
+			bs.AddPage(p)
+		}
+		// Column-major runs plus scattered repeats; shape varies the list.
+		cells := []Cell{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 2}, {2, 2}}
+		if shape&1 != 0 {
+			cells = append(cells, Cell{0, 0}, Cell{2, 1})
+		}
+		saved := useSIMD
+		defer func() { useSIMD = saved }()
+		for _, n := range norms {
+			cands := []float64{eps}
+			if pagesR[0].N > 0 && pagesS[0].N > 0 {
+				if d := n.Dist(pagesR[0].Row(0), pagesS[0].Row(0)); !math.IsNaN(d) {
+					cands = append(cands, d, math.Nextafter(d, 0), math.Nextafter(d, math.Inf(1)))
+				}
+			}
+			for _, e := range cands {
+				th := NewThreshold(n, e)
+				useSIMD = false
+				want, wantComps := refBlockHits(&th, pagesR, pagesS, cells)
+				var comps int64
+				for _, c := range cells {
+					comps += int64(br.PageRows(c.R)) * int64(bs.PageRows(c.S))
+				}
+				if comps != wantComps {
+					t.Fatalf("%v eps %.17g: block comps %d, loop comps %d", n, e, comps, wantComps)
+				}
+				for _, mode := range []bool{false, hasSIMD} {
+					useSIMD = mode
+					got := BlockPairsWithin(&th, br, bs, cells, nil)
+					if len(got) != len(want) {
+						t.Fatalf("%v eps %.17g simd %v: %d hits, want %d", n, e, mode, len(got), len(want))
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%v eps %.17g simd %v: hit %d = %v, want %v", n, e, mode, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzBoundVsMinDist fuzzes the MBR bound against the reference scaled
 // MinDist comparison, including empty rectangles and boundary thresholds.
 func FuzzBoundVsMinDist(f *testing.F) {

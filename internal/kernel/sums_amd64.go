@@ -15,6 +15,21 @@ func l2SumsAsm(probe []float64, data []float64, sums []float64, dim int)
 //go:noescape
 func l1SumsAsm(probe []float64, data []float64, sums []float64, dim int)
 
+// l2Sums4Asm is l2SumsAsm for four contiguous probe rows at once (probes has
+// len 4*dim): each data-chunk load is shared across four accumulator sets and
+// the horizontal reduction is a single 4-way transpose. The four sums of data
+// row k land interleaved at sums[4k .. 4k+3] (sums has len 4*rows). dim must
+// be a multiple of 4; the block kernel falls back to the single-probe routine
+// otherwise.
+//
+//go:noescape
+func l2Sums4Asm(probes []float64, data []float64, sums []float64, dim int)
+
+// l1Sums4Asm is l2Sums4Asm for the L1 statistic.
+//
+//go:noescape
+func l1Sums4Asm(probes []float64, data []float64, sums []float64, dim int)
+
 //go:noescape
 func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 

@@ -5,6 +5,13 @@
 //	l2SumsAsm: sums[k] = Σ_j (probe[j] - data[k*dim+j])²
 //	l1SumsAsm: sums[k] = Σ_j |probe[j] - data[k*dim+j]|
 //
+// The 4-probe variants (l2Sums4Asm / l1Sums4Asm) behind the cluster-batched
+// block kernel evaluate four contiguous probe rows per pass, sharing each
+// data-chunk load across four accumulator sets and amortizing the horizontal
+// reduction (one 4-way transpose reduce per data row instead of four scalar
+// reduces); they require dim to be a multiple of 4 and store the four sums
+// of data row k interleaved at sums[4k .. 4k+3].
+//
 // The vector lanes re-associate the addition (and the FMA skips the
 // intermediate rounding of the multiply), so these sums are NOT bit-equal to
 // the sequential reference; the Go caller compares them against banded
@@ -165,6 +172,231 @@ l1store:
 	JNZ    l1row
 
 l1done:
+	VZEROUPPER
+	RET
+
+// func l2Sums4Asm(probes []float64, data []float64, sums []float64, dim int)
+//
+// probes holds four contiguous rows (len 4*dim); sums holds 4 interleaved
+// sums per data row (len 4*rows). dim must be a multiple of 4. Accumulators:
+// Y0-Y3 even chunks, Y4-Y7 odd chunks (one pair per probe); Y8/Y9 the shared
+// data chunks; Y10/Y11 rotating difference temps.
+TEXT ·l2Sums4Asm(SB), NOSPLIT, $0-80
+	MOVQ probes_base+0(FP), SI
+	MOVQ data_base+24(FP), DI
+	MOVQ sums_base+48(FP), R10
+	MOVQ sums_len+56(FP), R8
+	SHRQ $2, R8              // rows = len(sums)/4
+	MOVQ dim+72(FP), R9
+	TESTQ R8, R8
+	JZ   l2x4done
+	MOVQ R9, AX
+	SHLQ $3, AX              // row stride in bytes
+	LEAQ (SI)(AX*1), R12     // probe row 1
+	LEAQ (R12)(AX*1), R13    // probe row 2
+	LEAQ (R13)(AX*1), R14    // probe row 3
+
+l2x4row:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	MOVQ   R9, CX
+	XORQ   BX, BX            // byte offset into the probe rows
+
+l2x4loop8:
+	CMPQ CX, $8
+	JLT  l2x4loop4
+	VMOVUPD (DI), Y8
+	VMOVUPD 32(DI), Y9
+	VMOVUPD (SI)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VFMADD231PD Y10, Y10, Y0
+	VMOVUPD (R12)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VFMADD231PD Y11, Y11, Y1
+	VMOVUPD (R13)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VFMADD231PD Y10, Y10, Y2
+	VMOVUPD (R14)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VFMADD231PD Y11, Y11, Y3
+	VMOVUPD 32(SI)(BX*1), Y10
+	VSUBPD  Y9, Y10, Y10
+	VFMADD231PD Y10, Y10, Y4
+	VMOVUPD 32(R12)(BX*1), Y11
+	VSUBPD  Y9, Y11, Y11
+	VFMADD231PD Y11, Y11, Y5
+	VMOVUPD 32(R13)(BX*1), Y10
+	VSUBPD  Y9, Y10, Y10
+	VFMADD231PD Y10, Y10, Y6
+	VMOVUPD 32(R14)(BX*1), Y11
+	VSUBPD  Y9, Y11, Y11
+	VFMADD231PD Y11, Y11, Y7
+	ADDQ $64, DI
+	ADDQ $64, BX
+	SUBQ $8, CX
+	JMP  l2x4loop8
+
+l2x4loop4:
+	CMPQ CX, $4
+	JLT  l2x4reduce
+	VMOVUPD (DI), Y8
+	VMOVUPD (SI)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VFMADD231PD Y10, Y10, Y0
+	VMOVUPD (R12)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VFMADD231PD Y11, Y11, Y1
+	VMOVUPD (R13)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VFMADD231PD Y10, Y10, Y2
+	VMOVUPD (R14)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VFMADD231PD Y11, Y11, Y3
+	ADDQ $32, DI
+	ADDQ $32, BX
+	SUBQ $4, CX
+
+l2x4reduce:
+	// Fold odd-chunk accumulators into the even ones, then transpose-reduce
+	// the four lane sums into one vector [s0 s1 s2 s3].
+	VADDPD Y4, Y0, Y0
+	VADDPD Y5, Y1, Y1
+	VADDPD Y6, Y2, Y2
+	VADDPD Y7, Y3, Y3
+	VHADDPD Y1, Y0, Y8       // [a0+a1, b0+b1, a2+a3, b2+b3]
+	VHADDPD Y3, Y2, Y9       // [c0+c1, d0+d1, c2+c3, d2+d3]
+	VPERM2F128 $0x20, Y9, Y8, Y10
+	VPERM2F128 $0x31, Y9, Y8, Y11
+	VADDPD Y11, Y10, Y10
+	VMOVUPD Y10, (R10)
+	ADDQ $32, R10
+	DECQ R8
+	JNZ  l2x4row
+
+l2x4done:
+	VZEROUPPER
+	RET
+
+// func l1Sums4Asm(probes []float64, data []float64, sums []float64, dim int)
+//
+// The L1 statistic of l2Sums4Asm: same layout and dim%4 requirement, with
+// the absolute value masked via absmask in Y12.
+TEXT ·l1Sums4Asm(SB), NOSPLIT, $0-80
+	MOVQ probes_base+0(FP), SI
+	MOVQ data_base+24(FP), DI
+	MOVQ sums_base+48(FP), R10
+	MOVQ sums_len+56(FP), R8
+	SHRQ $2, R8
+	MOVQ dim+72(FP), R9
+	VMOVUPD absmask<>(SB), Y12
+	TESTQ R8, R8
+	JZ   l1x4done
+	MOVQ R9, AX
+	SHLQ $3, AX
+	LEAQ (SI)(AX*1), R12
+	LEAQ (R12)(AX*1), R13
+	LEAQ (R13)(AX*1), R14
+
+l1x4row:
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	MOVQ   R9, CX
+	XORQ   BX, BX
+
+l1x4loop8:
+	CMPQ CX, $8
+	JLT  l1x4loop4
+	VMOVUPD (DI), Y8
+	VMOVUPD 32(DI), Y9
+	VMOVUPD (SI)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VANDPD  Y12, Y10, Y10
+	VADDPD  Y10, Y0, Y0
+	VMOVUPD (R12)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VANDPD  Y12, Y11, Y11
+	VADDPD  Y11, Y1, Y1
+	VMOVUPD (R13)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VANDPD  Y12, Y10, Y10
+	VADDPD  Y10, Y2, Y2
+	VMOVUPD (R14)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VANDPD  Y12, Y11, Y11
+	VADDPD  Y11, Y3, Y3
+	VMOVUPD 32(SI)(BX*1), Y10
+	VSUBPD  Y9, Y10, Y10
+	VANDPD  Y12, Y10, Y10
+	VADDPD  Y10, Y4, Y4
+	VMOVUPD 32(R12)(BX*1), Y11
+	VSUBPD  Y9, Y11, Y11
+	VANDPD  Y12, Y11, Y11
+	VADDPD  Y11, Y5, Y5
+	VMOVUPD 32(R13)(BX*1), Y10
+	VSUBPD  Y9, Y10, Y10
+	VANDPD  Y12, Y10, Y10
+	VADDPD  Y10, Y6, Y6
+	VMOVUPD 32(R14)(BX*1), Y11
+	VSUBPD  Y9, Y11, Y11
+	VANDPD  Y12, Y11, Y11
+	VADDPD  Y11, Y7, Y7
+	ADDQ $64, DI
+	ADDQ $64, BX
+	SUBQ $8, CX
+	JMP  l1x4loop8
+
+l1x4loop4:
+	CMPQ CX, $4
+	JLT  l1x4reduce
+	VMOVUPD (DI), Y8
+	VMOVUPD (SI)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VANDPD  Y12, Y10, Y10
+	VADDPD  Y10, Y0, Y0
+	VMOVUPD (R12)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VANDPD  Y12, Y11, Y11
+	VADDPD  Y11, Y1, Y1
+	VMOVUPD (R13)(BX*1), Y10
+	VSUBPD  Y8, Y10, Y10
+	VANDPD  Y12, Y10, Y10
+	VADDPD  Y10, Y2, Y2
+	VMOVUPD (R14)(BX*1), Y11
+	VSUBPD  Y8, Y11, Y11
+	VANDPD  Y12, Y11, Y11
+	VADDPD  Y11, Y3, Y3
+	ADDQ $32, DI
+	ADDQ $32, BX
+	SUBQ $4, CX
+
+l1x4reduce:
+	VADDPD Y4, Y0, Y0
+	VADDPD Y5, Y1, Y1
+	VADDPD Y6, Y2, Y2
+	VADDPD Y7, Y3, Y3
+	VHADDPD Y1, Y0, Y8
+	VHADDPD Y3, Y2, Y9
+	VPERM2F128 $0x20, Y9, Y8, Y10
+	VPERM2F128 $0x31, Y9, Y8, Y11
+	VADDPD Y11, Y10, Y10
+	VMOVUPD Y10, (R10)
+	ADDQ $32, R10
+	DECQ R8
+	JNZ  l1x4row
+
+l1x4done:
 	VZEROUPPER
 	RET
 

@@ -53,6 +53,7 @@ func Analyzers() []*Analyzer {
 		rawGoAnalyzer(),
 		walltimeAnalyzer(),
 		slowdistAnalyzer(),
+		pairdispatchAnalyzer(),
 		maporderAnalyzer(),
 		lockbalanceAnalyzer(),
 		atomicmixAnalyzer(),

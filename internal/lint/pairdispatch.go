@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// kernelPkgPath is the package declaring the batched distance kernels
+// pairdispatch polices.
+const kernelPkgPath = "pmjoin/internal/kernel"
+
+// pairdispatchAnalyzer restricts per-pair kernel dispatch inside
+// internal/join to ObjectJoiner.JoinPages methods. Everywhere else in the
+// package — the executors in particular — the whole-cluster batch entry
+// (Exec.JoinCluster feeding kernel.BlockPairsWithin) is the only sanctioned
+// dispatch site: a hand-rolled PagePairWithin loop over a cluster's cells
+// forfeits the one-block SIMD streaming and, worse, invites a second
+// counter-folding order that would silently fork the determinism contract.
+// JoinPages methods are exempt because they ARE the per-pair fallback the
+// batch path must stay bit-identical to.
+func pairdispatchAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "pairdispatch",
+		Doc:  "per-pair kernel call in internal/join outside a JoinPages method; dispatch clusters through the batch entry instead",
+		Run:  runPairdispatch,
+	}
+}
+
+func runPairdispatch(p *Package) []Diagnostic {
+	if p.Path != joinPkgPath {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Function literals inside a JoinPages body (emit callbacks and
+			// the like) inherit its sanction; the method is the per-pair seam,
+			// however it arranges its internals.
+			sanctioned := fn.Name.Name == "JoinPages"
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isPkgFunc(p.calleeOf(call), kernelPkgPath, "PagePairWithin") {
+					return true
+				}
+				if !sanctioned {
+					diags = append(diags, p.diag(call, "pairdispatch",
+						"kernel.PagePairWithin outside a JoinPages method; cluster-level code must dispatch through the batch entry (Exec.JoinCluster / kernel.BlockPairsWithin) so counters fold in the contract order"))
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -50,6 +50,15 @@ type ExecStats struct {
 	ModeledSerialSeconds float64
 	// OverlapIOSeconds is the modeled I/O time charged as overlapped.
 	OverlapIOSeconds float64
+	// Batch dispatch profile of the clustered executor (all zero with
+	// KernelBatchOff, for non-batchable joiners, for unclustered methods, or
+	// when Options.Metrics is off — the counters ride the metrics snapshot):
+	// the number of clusters evaluated as block tasks, their marked cells and
+	// concatenated block rows, and the wall time spent building the blocks.
+	BatchClusters  int
+	BatchCells     int
+	BatchRows      int
+	BatchBuildWall time.Duration
 	// Shards and ShardWorkers report sharded execution (0 when unsharded):
 	// the planned shard count and the concurrent shard workers. When sharded,
 	// ModeledWallSeconds is the slowest shard's modeled clock (shards run
@@ -156,14 +165,15 @@ func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, sh
 	}
 	kernels := opt.Kernels == KernelsOn
 	eng := &join.Engine{
-		Disk:       s.d,
-		BufferSize: opt.BufferPages,
-		Policy:     buffer.Policy(opt.Policy),
-		Workers:    wp,
-		Ctx:        ctx,
-		Metrics:    mc,
-		Kernels:    kernels,
-		Shared:     shared,
+		Disk:        s.d,
+		BufferSize:  opt.BufferPages,
+		Policy:      buffer.Policy(opt.Policy),
+		Workers:     wp,
+		Ctx:         ctx,
+		Metrics:     mc,
+		Kernels:     kernels,
+		KernelBatch: opt.KernelBatch == KernelBatchOn,
+		Shared:      shared,
 	}
 	if opt.CollectPairs {
 		eng.OnPair = func(i, j int) {
@@ -305,6 +315,16 @@ func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, sh
 	for _, sn := range shardSnaps {
 		res.Metrics.AddShard(sn)
 	}
+	if res.Metrics != nil {
+		for _, cs := range res.Metrics.Clusters {
+			if cs.BatchCells > 0 {
+				res.Exec.BatchClusters++
+				res.Exec.BatchCells += cs.BatchCells
+				res.Exec.BatchRows += cs.BatchRows
+				res.Exec.BatchBuildWall += cs.BatchBuild
+			}
+		}
+	}
 	return res, nil
 }
 
@@ -334,6 +354,7 @@ func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matr
 		Policy:            buffer.Policy(opt.Policy),
 		Workers:           wp,
 		Kernels:           opt.Kernels == KernelsOn,
+		KernelBatch:       opt.KernelBatch == KernelBatchOn,
 		Shared:            shared,
 		Prefetch:          opt.Pipeline.Prefetch == PrefetchOn,
 		PrefetchDepth:     opt.Pipeline.PrefetchDepth,

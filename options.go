@@ -95,6 +95,11 @@ type Options struct {
 	// never depend on this knob; KernelsOff exists as an escape hatch and
 	// for differential tests.
 	Kernels KernelMode
+	// KernelBatch selects whole-cluster block dispatch for batchable
+	// clustered joins (default on). Like Kernels, the batch path is
+	// bit-exact: Report, Pairs and Plan never depend on this knob;
+	// KernelBatchOff exists as an escape hatch and for differential tests.
+	KernelBatch KernelBatchMode
 	// Sharding selects sharded clustered execution (default: unsharded).
 	Sharding ShardingOptions
 	// Pipeline groups the prefetch pipeline knobs; see PipelineOptions.
@@ -114,7 +119,8 @@ type Options struct {
 // Validate checks the options and normalizes defaulted fields in place:
 // MaxPairs 0 becomes 100000, Parallelism 0 becomes GOMAXPROCS,
 // ClusterRowFraction 0 becomes 0.5, HistogramBins 0 becomes 100, Kernels
-// KernelsDefault becomes KernelsOn, Pipeline.Prefetch PrefetchDefault
+// KernelsDefault becomes KernelsOn, KernelBatch KernelBatchDefault becomes
+// KernelBatchOn, Pipeline.Prefetch PrefetchDefault
 // becomes PrefetchOn, and Sharding.Workers 0 becomes min(Shards, GOMAXPROCS)
 // when sharding. The deprecated flat Prefetch/PrefetchDepth aliases are
 // reconciled with the Pipeline group: either spelling may set a knob, both
@@ -170,6 +176,12 @@ func (o *Options) Validate() error {
 	}
 	if o.Kernels == KernelsDefault {
 		o.Kernels = KernelsOn
+	}
+	if !kernelBatchSpec.valid(o.KernelBatch) {
+		return fmt.Errorf("pmjoin: unknown kernel batch mode %v", o.KernelBatch)
+	}
+	if o.KernelBatch == KernelBatchDefault {
+		o.KernelBatch = KernelBatchOn
 	}
 
 	// Pipeline group vs. the deprecated flat aliases: a knob may be set
