@@ -1,0 +1,182 @@
+package pmjoin
+
+import (
+	"reflect"
+	"testing"
+
+	"pmjoin/internal/dataset"
+)
+
+// TestBackendParity is the storage half of the determinism contract: with a
+// file store attached, a join run with Options.Storage = StorageFile — real
+// encoded page files, mmap/pread reads, background prefetch fetches — must
+// produce a Report, Pairs and Plan bit-identical to the simulator run, for
+// every combination of prefetch mode and shard count. Only the measured
+// ExecStats fields (MeasuredIOWall, MeasuredReads) may differ: they are
+// wall-clock observations of the physical reads and are excluded from the
+// comparison by construction (the test compares Report/Pairs/Plan, never
+// ExecStats). Run under -race this also exercises the concurrent background
+// reader pool against the coordinator.
+func TestBackendParity(t *testing.T) {
+	type workload struct {
+		name  string
+		build func(t *testing.T) (*System, *Dataset, *Dataset)
+		opt   Options
+	}
+	loads := []workload{
+		{
+			// Tight buffer so the schedule has many clusters and the prefetch
+			// pipeline stages real reads.
+			name: "vector",
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 256})
+				da, err := sys.AddVectors("a", randomVecs(400, 2, 51), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				db, err := sys.AddVectors("b", randomVecs(300, 2, 52), VectorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, da, db
+			},
+			opt: Options{Method: SC, Epsilon: 0.05, BufferPages: 12, CollectPairs: true},
+		},
+		{
+			// Self join over series pages: exercises the SeriesPage codec and
+			// the shared-file dedup through the store.
+			name: "series-self",
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 1024})
+				ds, err := sys.AddSeries("walk", dataset.RandomWalk(2000, 53), SeriesOptions{Window: 32, Stride: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, ds, ds
+			},
+			opt: Options{Method: CC, Epsilon: 8.0, BufferPages: 16, CollectPairs: true},
+		},
+		{
+			// String pages through the store (frequency vectors + window bytes).
+			name: "string-self",
+			build: func(t *testing.T) (*System, *Dataset, *Dataset) {
+				sys := NewSystem(DiskModel{PageBytes: 512})
+				ds, err := sys.AddString("dna", dataset.DNA(3000, 54), StringOptions{Window: 24, Stride: 6})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys, ds, ds
+			},
+			opt: Options{Method: SC, Epsilon: 2, BufferPages: 12, CollectPairs: true},
+		},
+	}
+
+	for _, wl := range loads {
+		t.Run(wl.name, func(t *testing.T) {
+			sys, da, db := wl.build(t)
+			if err := sys.UseFileStore(t.TempDir()); err != nil {
+				t.Fatal(err)
+			}
+			defer sys.CloseStore()
+
+			for _, shards := range []int{0, 3} {
+				var ref *Result
+				var refName string
+				for _, prefetch := range []PrefetchMode{PrefetchOn, PrefetchOff} {
+					for _, storage := range []StorageMode{StorageSim, StorageFile} {
+						o := wl.opt
+						o.Pipeline.Prefetch = prefetch
+						o.Storage = storage
+						if shards > 0 {
+							o.Sharding = ShardingOptions{Shards: shards}
+						}
+						name := storage.String() + "/" + prefetch.String()
+						res, err := sys.Join(da, db, o)
+						if err != nil {
+							t.Fatalf("shards=%d %s: %v", shards, name, err)
+						}
+						if storage == StorageFile {
+							if res.Exec.MeasuredReads == 0 || res.Exec.MeasuredIOWall <= 0 {
+								t.Errorf("shards=%d %s: no measured physical reads (reads=%d wall=%g)",
+									shards, name, res.Exec.MeasuredReads, res.Exec.MeasuredIOWall)
+							}
+						} else if res.Exec.MeasuredReads != 0 || res.Exec.MeasuredIOWall != 0 {
+							t.Errorf("shards=%d %s: simulator reported measured reads (reads=%d wall=%g)",
+								shards, name, res.Exec.MeasuredReads, res.Exec.MeasuredIOWall)
+						}
+						if ref == nil {
+							ref, refName = res, name
+							continue
+						}
+						if !reflect.DeepEqual(res.Report, ref.Report) {
+							t.Errorf("shards=%d: Report differs between %s and %s:\n%+v\n%+v",
+								shards, refName, name, ref.Report, res.Report)
+						}
+						if !reflect.DeepEqual(res.Pairs, ref.Pairs) || res.Truncated != ref.Truncated {
+							t.Errorf("shards=%d: Pairs differ between %s and %s", shards, refName, name)
+						}
+					}
+				}
+			}
+
+			// Plan parity: Explain is storage-blind by construction.
+			po := wl.opt
+			po.Storage = StorageSim
+			p1, err := sys.Explain(da, db, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			po.Storage = StorageFile
+			p2, err := sys.Explain(da, db, po)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(p1, p2) {
+				t.Errorf("Plan differs between storage modes:\n%+v\n%+v", p1, p2)
+			}
+		})
+	}
+}
+
+// TestFileStoreLifecycle pins the attachment errors: StorageFile without a
+// store fails with a clear message, double attachment fails, and a dataset
+// added AFTER attachment is served from the store via the write mirror.
+func TestFileStoreLifecycle(t *testing.T) {
+	sys := NewSystem(DiskModel{PageBytes: 256})
+	da, err := sys.AddVectors("a", randomVecs(120, 2, 55), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Method: SC, Epsilon: 0.05, BufferPages: 8, Storage: StorageFile}
+	if _, err := sys.Join(da, da, opt); err == nil {
+		t.Fatal("StorageFile without an attached store did not fail")
+	}
+	if err := sys.UseFileStore(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.UseFileStore(t.TempDir()); err == nil {
+		t.Fatal("double UseFileStore did not fail")
+	}
+	// Mirrored post-attachment dataset: pages reach the store as they are
+	// appended, so a file-backed join over it measures real reads.
+	db, err := sys.AddVectors("b", randomVecs(100, 2, 56), VectorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Join(da, db, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec.MeasuredReads == 0 {
+		t.Error("mirrored dataset produced no measured reads")
+	}
+	if err := sys.CloseStore(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Join(da, db, opt); err == nil {
+		t.Fatal("StorageFile after CloseStore did not fail")
+	}
+	if err := sys.CloseStore(); err != nil {
+		t.Fatal("second CloseStore must be a no-op")
+	}
+}

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations, parallel, kernels, pipeline, shards, load")
+	exp := flag.String("exp", "all", "experiment to run: all, fig10, fig11, fig12, fig13a, fig13b, fig13c, fig14, table2, ablations, parallel, kernels, pipeline, shards, storage, load")
 	scale := flag.Float64("scale", 0.25, "dataset/buffer scale factor (1.0 = paper size)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
@@ -161,6 +161,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("-- pipeline done in %v --\n\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "storage" {
+		start := time.Now()
+		fmt.Printf("== storage (scale %g, seed %d) ==\n", *scale, *seed)
+		records, err := experiments.StorageBench(cfg)
+		if err == nil {
+			err = writeStorageJSON(*csvDir, records)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "storage: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- storage done in %v --\n\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *exp == "shards" {

@@ -7,8 +7,13 @@
 //	pmjoin -kind vector -n 10000 -dim 60 -data landsat -method EGO -calibrate 0.01 -buffer 200
 //	pmjoin -kind string -n 500000 -window 500 -stride 32 -eps 5 -method SC -buffer 100
 //	pmjoin -kind series -n 100000 -window 32 -stride 4 -eps 2.5 -method CC -buffer 64
+//	pmjoin -kind vector -n 20000 -dim 2 -save roads.pmj -eps 0.02 -buffer 50
+//	pmjoin -load roads.pmj -eps 0.02 -buffer 50 -storage file -storedir /tmp/pmstore
 //
-// Omitting -n2 makes the join a self join.
+// Omitting -n2 makes the join a self join. -save writes the first dataset's
+// raw data to a container file and -load reads one back (the kind is
+// inferred); -storage file serves page payloads from real encoded files and
+// reports measured read latencies, with results identical to the simulator.
 //
 // All methods: NLJ, pm-NLJ (PMNLJ), random-SC, SC, CC, EGO, BFRJ.
 package main
@@ -20,6 +25,7 @@ import (
 
 	"pmjoin"
 	"pmjoin/internal/dataset"
+	"pmjoin/internal/store"
 )
 
 func main() {
@@ -29,12 +35,14 @@ func main() {
 		policy      = pmjoin.LRU
 		prefetch    = pmjoin.PrefetchDefault
 		kernelBatch = pmjoin.KernelBatchDefault
+		storage     = pmjoin.StorageDefault
 	)
 	flag.TextVar(&kind, "kind", kind, "data kind: vector, series, string")
 	flag.TextVar(&m, "method", m, "join method: NLJ, pm-NLJ, random-SC, SC, CC, EGO, BFRJ, PBSM")
 	flag.TextVar(&policy, "policy", policy, "buffer replacement policy: LRU, FIFO")
 	flag.TextVar(&prefetch, "prefetch", prefetch, "pipelined cluster prefetch: on, off, default (on; identical results either way)")
 	flag.TextVar(&kernelBatch, "kernel-batch", kernelBatch, "whole-cluster block kernel dispatch: on, off, default (on; identical results either way)")
+	flag.TextVar(&storage, "storage", storage, "physical page source: sim, file (identical results; file serves real encoded files and measures read latencies)")
 	var (
 		data      = flag.String("data", "", "vector generator: roads (default for dim 2) or landsat (default otherwise)")
 		n         = flag.Int("n", 10000, "size of the first dataset (vectors / samples / bases)")
@@ -54,22 +62,77 @@ func main() {
 		shardWork = flag.Int("shard-workers", 0, "parallel shard workers (0: min(shards, GOMAXPROCS))")
 		metrics   = flag.Bool("metrics", false, "print the phase-scoped metrics snapshot")
 		trace     = flag.Int("trace", 0, "record and print up to this many trace events (implies -metrics)")
+		loadPath  = flag.String("load", "", "load the first dataset from a container file written by -save (kind inferred; overrides -kind/-n)")
+		savePath  = flag.String("save", "", "save the first dataset's raw data to this container file (the join still runs)")
+		storeDir  = flag.String("storedir", "", "directory for the file-backed page store with -storage file (default: a temp dir, removed on exit)")
 	)
 	flag.Parse()
 
+	// Raw data of the first dataset: loaded from a container file or
+	// generated, optionally saved back out, then indexed.
+	var rawA any
+	var err error
+	if *loadPath != "" {
+		rawA, err = store.LoadData(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		switch rawA.(type) {
+		case store.RawVectors:
+			kind = pmjoin.KindVector
+		case store.RawSeries:
+			kind = pmjoin.KindSeries
+		case store.RawString:
+			kind = pmjoin.KindString
+		}
+	}
+
 	sys := pmjoin.NewSystem(pmjoin.DiskModel{PageBytes: *pageBytes})
 	var da, db *pmjoin.Dataset
-	var err error
 	switch kind {
 	case pmjoin.KindVector:
-		da, db, err = buildVectors(sys, *data, *n, *n2, *dim, *seed)
+		var raw store.RawVectors
+		if rawA != nil {
+			raw = rawA.(store.RawVectors)
+		}
+		da, db, rawA, err = buildVectors(sys, *data, raw, *n, *n2, *dim, *seed)
 	case pmjoin.KindSeries:
-		da, db, err = buildSeries(sys, *n, *n2, *window, *stride, *seed)
+		var raw store.RawSeries
+		if rawA != nil {
+			raw = rawA.(store.RawSeries)
+		}
+		da, db, rawA, err = buildSeries(sys, raw, *n, *n2, *window, *stride, *seed)
 	case pmjoin.KindString:
-		da, db, err = buildStrings(sys, *n, *n2, *window, *stride, *seed)
+		var raw store.RawString
+		if rawA != nil {
+			raw = rawA.(store.RawString)
+		}
+		da, db, rawA, err = buildStrings(sys, raw, *n, *n2, *window, *stride, *seed)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *savePath != "" {
+		if err := store.SaveData(*savePath, rawA); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %s to %s\n", da.Name(), *savePath)
+	}
+
+	if storage == pmjoin.StorageFile {
+		dir := *storeDir
+		if dir == "" {
+			dir, err = os.MkdirTemp("", "pmjoin-store-*")
+			if err != nil {
+				fatal(err)
+			}
+			defer os.RemoveAll(dir)
+		}
+		if err := sys.UseFileStore(dir); err != nil {
+			fatal(err)
+		}
+		defer sys.CloseStore()
+		fmt.Printf("file store: %s\n", dir)
 	}
 	fmt.Printf("datasets: %s (%d objects, %d pages) x %s (%d objects, %d pages)\n",
 		da.Name(), da.Objects(), da.Pages(), db.Name(), db.Objects(), db.Pages())
@@ -99,6 +162,7 @@ func main() {
 		Trace:         *trace > 0,
 		TraceCapacity: *trace,
 		KernelBatch:   kernelBatch,
+		Storage:       storage,
 		Pipeline:      pmjoin.PipelineOptions{Prefetch: prefetch, PrefetchDepth: *depth},
 		Sharding:      pmjoin.ShardingOptions{Shards: *shards, Workers: *shardWork},
 	}
@@ -126,6 +190,10 @@ func main() {
 	if res.Exec.Shards > 0 {
 		fmt.Printf("  sharding:       %d shards on %d workers\n", res.Exec.Shards, res.Exec.ShardWorkers)
 	}
+	if res.Exec.MeasuredReads > 0 {
+		fmt.Printf("  measured I/O:   %d file reads, %.3f s summed wall\n",
+			res.Exec.MeasuredReads, res.Exec.MeasuredIOWall)
+	}
 	for i, p := range res.Pairs {
 		fmt.Printf("  pair %d: (%d, %d)\n", i, p[0], p[1])
 	}
@@ -146,63 +214,82 @@ func main() {
 	}
 }
 
-func buildVectors(sys *pmjoin.System, data string, n, n2, dim int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, error) {
+// The builders take the first dataset's raw data when it was loaded from a
+// container file (nil = generate it) and return the raw actually indexed, so
+// -save can write exactly what joined.
+
+func buildVectors(sys *pmjoin.System, data string, raw store.RawVectors, n, n2, dim int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, any, error) {
 	gen := func(n int, seed int64) [][]float64 {
 		if data == "roads" || (data == "" && dim == 2) {
 			return dataset.ToFloats(dataset.RoadIntersections(n, seed))
 		}
 		return dataset.ToFloats(dataset.Landsat(n, dim, seed))
 	}
-	da, err := sys.AddVectors("A", gen(n, seed), pmjoin.VectorOptions{})
+	if raw == nil {
+		raw = gen(n, seed)
+	} else if len(raw) > 0 {
+		dim = len(raw[0])
+	}
+	da, err := sys.AddVectors("A", raw, pmjoin.VectorOptions{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if n2 == 0 {
-		return da, da, nil
+		return da, da, raw, nil
 	}
 	db, err := sys.AddVectors("B", gen(n2, seed+1), pmjoin.VectorOptions{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return da, db, nil
+	return da, db, raw, nil
 }
 
-func buildSeries(sys *pmjoin.System, n, n2, window, stride int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, error) {
-	da, err := sys.AddSeries("A", dataset.RandomWalk(n, seed), pmjoin.SeriesOptions{Window: window, Stride: stride})
+func buildSeries(sys *pmjoin.System, raw store.RawSeries, n, n2, window, stride int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, any, error) {
+	if raw == nil {
+		raw = dataset.RandomWalk(n, seed)
+	}
+	da, err := sys.AddSeries("A", raw, pmjoin.SeriesOptions{Window: window, Stride: stride})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if n2 == 0 {
-		return da, da, nil
+		return da, da, raw, nil
 	}
 	db, err := sys.AddSeries("B", dataset.RandomWalk(n2, seed+1), pmjoin.SeriesOptions{Window: window, Stride: stride})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return da, db, nil
+	return da, db, raw, nil
 }
 
-func buildStrings(sys *pmjoin.System, n, n2, window, stride int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, error) {
-	a := dataset.DNA(n, seed)
+func buildStrings(sys *pmjoin.System, raw store.RawString, n, n2, window, stride int, seed int64) (*pmjoin.Dataset, *pmjoin.Dataset, any, error) {
+	a := []byte(raw)
+	if a == nil {
+		a = dataset.DNA(n, seed)
+		if n2 == 0 {
+			// Loaded data keeps whatever homologies it was saved with;
+			// generated data gets them planted fresh.
+			dataset.PlantHomologiesAligned(a, a, n/20000+4, 4*window, 0.004, stride, seed+2)
+		}
+	}
 	if n2 == 0 {
-		dataset.PlantHomologiesAligned(a, a, n/20000+4, 4*window, 0.004, stride, seed+2)
 		da, err := sys.AddString("A", a, pmjoin.StringOptions{Window: window, Stride: stride})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		return da, da, nil
+		return da, da, store.RawString(a), nil
 	}
 	b := dataset.DNA(n2, seed+1)
 	dataset.PlantHomologiesAligned(b, a, n/20000+4, 4*window, 0.004, stride, seed+2)
 	da, err := sys.AddString("A", a, pmjoin.StringOptions{Window: window, Stride: stride})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	db, err := sys.AddString("B", b, pmjoin.StringOptions{Window: window, Stride: stride})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return da, db, nil
+	return da, db, store.RawString(a), nil
 }
 
 func fatal(err error) {

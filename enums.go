@@ -271,3 +271,37 @@ func (p *PrefetchMode) UnmarshalText(text []byte) error { return prefetchSpec.un
 // ParsePrefetchMode parses a prefetch mode name (case-insensitive; "" parses
 // to PrefetchDefault).
 func ParsePrefetchMode(s string) (PrefetchMode, error) { return prefetchSpec.parse(s) }
+
+// StorageMode selects the physical page source behind a join run: the
+// in-memory simulator (reads cost nothing in wall time; only the linear disk
+// model is charged) or the file-backed store attached to the System
+// (System.UseFileStore), where page payloads are decoded from real files
+// with measured latencies. The logical account is identical either way —
+// Report, Pairs and Plan are bit-for-bit independent of this knob (pinned by
+// TestBackendParity); only ExecStats' measured I/O fields differ.
+type StorageMode int
+
+const (
+	// StorageDefault resolves to StorageSim in Validate.
+	StorageDefault StorageMode = iota
+	// StorageSim serves page payloads from memory (the seed behavior).
+	StorageSim
+	// StorageFile serves page payloads through the System's file-backed
+	// store; Join fails if none is attached.
+	StorageFile
+)
+
+var storageSpec = newEnum[StorageMode]("StorageMode", "storage mode",
+	[]string{"default", "sim", "file"}, true)
+
+func (s StorageMode) String() string { return storageSpec.string(s) }
+
+// MarshalText implements encoding.TextMarshaler.
+func (s StorageMode) MarshalText() ([]byte, error) { return storageSpec.marshal(s) }
+
+// UnmarshalText implements encoding.TextUnmarshaler; see ParseStorageMode.
+func (s *StorageMode) UnmarshalText(text []byte) error { return storageSpec.unmarshal(s, text) }
+
+// ParseStorageMode parses a storage mode name (case-insensitive; "" parses
+// to StorageDefault).
+func ParseStorageMode(s string) (StorageMode, error) { return storageSpec.parse(s) }

@@ -93,12 +93,32 @@ type frame struct {
 	pinned int
 	staged bool          // admitted by Prefetch, not yet claimed or released
 	elem   *list.Element // position in the eviction order list
+	// pending, when non-nil, is the in-flight background fetch whose result
+	// this frame is waiting for (async prefetch). Invariant: a pending frame
+	// is always staged, so the victim scan can never evict it; page is nil
+	// until resolvePending fills it.
+	pending *disk.PendingRead
 }
 
 // Source is the read path beneath a Pool: the shared disk.Disk itself, or a
 // per-run disk.Session whose charges stay out of other runs' accounts.
 type Source interface {
 	Read(addr disk.PageAddr) (*disk.Page, error)
+}
+
+// asyncSource is the optional Source extension (disk.Session) that splits a
+// read into a synchronous logical charge and a background physical fetch.
+// With a prefetch runner installed, Prefetch admissions go through it so
+// staged reads overlap the coordinator's compute.
+type asyncSource interface {
+	ReadAsync(addr disk.PageAddr, run func(func())) (*disk.PendingRead, error)
+}
+
+// refetcher is the optional Source extension that repeats only the physical
+// half of an already-charged read — the demand-path fallback after a failed
+// background fetch (re-charging would double-count the access).
+type refetcher interface {
+	Refetch(addr disk.PageAddr) (*disk.Page, error)
 }
 
 // Pool is a buffer pool of a fixed number of page frames over one page
@@ -124,7 +144,20 @@ type Pool struct {
 	// shared, when non-nil, is the service-wide concurrent frame cache this
 	// run participates in (see AttachShared).
 	shared *SharedPool
+	// runner, when non-nil, dispatches prefetch reads' physical half to a
+	// background reader (SetPrefetchRunner). Requires the source to be an
+	// asyncSource; otherwise prefetch reads stay synchronous.
+	runner func(func())
 }
+
+// SetPrefetchRunner installs the background dispatcher for prefetch reads
+// (typically a dedicated reader WorkerPool's submit function). Every
+// subsequent Prefetch miss charges its logical I/O synchronously as before —
+// identical counters, identical eviction order — but the physical fetch runs
+// on the dispatcher, overlapping the coordinator's compute, and is awaited
+// when the frame is claimed (or at ReleaseStaged/Flush). A nil run reverts
+// to fully synchronous prefetch reads.
+func (p *Pool) SetPrefetchRunner(run func(func())) { p.runner = run }
 
 // AttachShared joins the pool to a service-wide SharedPool: every miss
 // consults it (counting Stats.SharedHits) and publishes the page it read,
@@ -215,6 +248,15 @@ func (p *Pool) GetPinned(addr disk.PageAddr) (*disk.Page, error) {
 
 func (p *Pool) get(addr disk.PageAddr, pin bool) (*disk.Page, error) {
 	if f, ok := p.frames[addr]; ok {
+		if f.pending != nil {
+			// The claim caught up with an in-flight background fetch: wait
+			// for it (demand-falling-back happens inside resolvePending). A
+			// resolution failure has already dropped the frame and undone the
+			// stage-time admission, so the error surfaces here cleanly.
+			if err := p.resolvePending(addr, f); err != nil {
+				return nil, err
+			}
+		}
 		if f.staged {
 			// Claim: the access this frame exists for. Its hit or miss was
 			// already charged when Prefetch staged it, so claiming counts
@@ -385,6 +427,29 @@ func (p *Pool) Prefetch(addr disk.PageAddr) (bool, error) {
 			p.stats.SharedHits++
 		}
 	}
+	if p.runner != nil {
+		if src, ok := p.d.(asyncSource); ok {
+			// Async admission: the logical charge happens inside ReadAsync,
+			// right here on the coordinator — same counters, same order as the
+			// synchronous path — and only the physical fetch is dispatched. A
+			// synchronous charge error (unknown page) fails exactly like a
+			// failed sync read, with the miss kept. The victim leaves at stage
+			// time, as it would after a sync read, so the eviction sequence is
+			// identical; onLoad and the shared publish wait for the bytes.
+			pr, err := src.ReadAsync(addr, p.runner)
+			if err != nil {
+				return false, err
+			}
+			p.stats.Prefetched++
+			if victim != nil {
+				p.removeFrame(victim)
+			}
+			f := &frame{staged: true, pending: pr}
+			f.elem = p.order.PushBack(addr)
+			p.frames[addr] = f
+			return true, nil
+		}
+	}
 	pg, err := p.d.Read(addr)
 	if err != nil {
 		return false, err
@@ -405,17 +470,69 @@ func (p *Pool) Prefetch(addr disk.PageAddr) (bool, error) {
 	return true, nil
 }
 
+// resolvePending completes a frame's background fetch: it waits for the
+// read, and on failure retries once through the uncharged demand path
+// (Refetch — the logical charge already happened at stage time). If the page
+// still cannot be produced the frame is removed and the stage-time admission
+// undone — no eviction is charged and Prefetched is decremented, so the
+// counters end exactly where a failed synchronous prefetch read would have
+// left them — and the error is returned.
+func (p *Pool) resolvePending(addr disk.PageAddr, f *frame) error {
+	pr := f.pending
+	f.pending = nil
+	pg, err := pr.Wait()
+	if err != nil {
+		if rf, ok := p.d.(refetcher); ok {
+			pg, err = rf.Refetch(addr)
+		}
+	}
+	if err != nil {
+		p.order.Remove(f.elem)
+		delete(p.frames, addr)
+		p.stats.Prefetched--
+		return err
+	}
+	f.page = pg
+	if p.onLoad != nil {
+		p.onLoad(pg)
+	}
+	if p.shared != nil {
+		p.shared.Publish(addr, pg)
+	}
+	return nil
+}
+
 // ReleaseStaged drops the eviction protection from every staged frame and
 // returns how many were released. The frames stay resident; they are simply
 // ordinary policy-evictable pages again. Callers invoke it at the cluster
-// boundary to give back whatever the next cluster did not claim.
+// boundary to give back whatever the next cluster did not claim. In-flight
+// background fetches are awaited first; one that fails even the demand
+// retry is dropped with its frame and not counted — the read was speculative
+// and nothing ever claimed it, so its failure is not a join error.
 func (p *Pool) ReleaseStaged() int {
-	n := 0
-	for _, f := range p.frames {
-		if f.staged {
-			f.staged = false
-			n++
+	// Collect from the order list, not the frames map: resolution can drop a
+	// failed frame mid-walk, and the list walk keeps the release order
+	// deterministic (recency order) besides.
+	var staged []disk.PageAddr
+	for e := p.order.Front(); e != nil; e = e.Next() {
+		addr := e.Value.(disk.PageAddr)
+		if p.frames[addr].staged {
+			staged = append(staged, addr)
 		}
+	}
+	n := 0
+	for _, addr := range staged {
+		f, ok := p.frames[addr]
+		if !ok {
+			continue
+		}
+		if f.pending != nil {
+			if err := p.resolvePending(addr, f); err != nil {
+				continue
+			}
+		}
+		f.staged = false
+		n++
 	}
 	return n
 }

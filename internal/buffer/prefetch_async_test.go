@@ -1,0 +1,251 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"pmjoin/internal/disk"
+)
+
+// flakyBackend is a disk.Backend whose Fetch fails a configured number of
+// times per address before serving — the fault injector for the async
+// prefetch error paths.
+type flakyBackend struct {
+	payloads map[disk.PageAddr]any
+	failures map[disk.PageAddr]int
+	fetches  int
+}
+
+var errInjectedFetch = errors.New("injected read failure")
+
+func (b *flakyBackend) Fetch(addr disk.PageAddr) (any, float64, error) {
+	b.fetches++
+	if n := b.failures[addr]; n > 0 {
+		b.failures[addr] = n - 1
+		return nil, 0, errInjectedFetch
+	}
+	p, ok := b.payloads[addr]
+	if !ok {
+		return nil, 0, disk.ErrNotInBackend
+	}
+	return p, 1e-6, nil
+}
+
+func (b *flakyBackend) Put(addr disk.PageAddr, payload any) error {
+	b.payloads[addr] = payload
+	return nil
+}
+
+// asyncFixture builds a disk with one file of n int-payload pages mirrored
+// into a flakyBackend, and a pool over a backend session with an inline
+// (synchronous, deterministic) prefetch runner installed.
+func asyncFixture(t *testing.T, n, capacity int) (*flakyBackend, *disk.Session, *Pool, []disk.PageAddr) {
+	t.Helper()
+	d := disk.New(disk.DefaultModel())
+	fb := &flakyBackend{payloads: make(map[disk.PageAddr]any), failures: make(map[disk.PageAddr]int)}
+	d.SetMirror(fb)
+	f := d.CreateFile()
+	addrs := make([]disk.PageAddr, n)
+	for i := range addrs {
+		addr, err := d.AppendPage(f, 100+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+	sess := d.NewSessionOn(fb)
+	pool, err := NewPool(sess, capacity, LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.SetPrefetchRunner(func(fn func()) { fn() })
+	return fb, sess, pool, addrs
+}
+
+func TestAsyncPrefetchServesBackendPages(t *testing.T) {
+	_, sess, pool, addrs := asyncFixture(t, 3, 4)
+	ok, err := pool.Prefetch(addrs[0])
+	if !ok || err != nil {
+		t.Fatalf("Prefetch = %v, %v", ok, err)
+	}
+	if pool.Staged() != 1 {
+		t.Fatalf("Staged() = %d, want 1", pool.Staged())
+	}
+	pg, err := pool.Get(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Payload.(int); got != 100 {
+		t.Errorf("Payload = %d, want 100", got)
+	}
+	want := Stats{Misses: 1, Prefetched: 1}
+	if pool.Stats() != want {
+		t.Errorf("Stats = %+v, want %+v", pool.Stats(), want)
+	}
+	if m := sess.Measured(); m.Reads != 1 {
+		t.Errorf("Measured.Reads = %d, want 1", m.Reads)
+	}
+	if _, err := pool.Get(addrs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().Hits; got != 1 {
+		t.Errorf("Hits after re-get = %d, want 1", got)
+	}
+}
+
+// TestAsyncPrefetchFailureFallsBackToDemand pins the satellite contract: a
+// failed background read is retried once through the uncharged demand path,
+// serving the page with every counter intact.
+func TestAsyncPrefetchFailureFallsBackToDemand(t *testing.T) {
+	fb, sess, pool, addrs := asyncFixture(t, 2, 4)
+	fb.failures[addrs[0]] = 1
+	if ok, err := pool.Prefetch(addrs[0]); !ok || err != nil {
+		t.Fatalf("Prefetch = %v, %v", ok, err)
+	}
+	pg, err := pool.Get(addrs[0])
+	if err != nil {
+		t.Fatalf("Get after failed background read: %v", err)
+	}
+	if got := pg.Payload.(int); got != 100 {
+		t.Errorf("Payload = %d, want 100", got)
+	}
+	want := Stats{Misses: 1, Prefetched: 1}
+	if pool.Stats() != want {
+		t.Errorf("Stats = %+v, want %+v (fallback must not corrupt counters)", pool.Stats(), want)
+	}
+	// Only the successful refetch lands in Measured; the failed fetch does
+	// not. And no extra logical charge happened: Refetch is uncharged.
+	if m := sess.Measured(); m.Reads != 1 {
+		t.Errorf("Measured.Reads = %d, want 1", m.Reads)
+	}
+	if st := sess.Stats(); st.Reads != 1 {
+		t.Errorf("logical Reads = %d, want 1 (demand fallback must not re-charge)", st.Reads)
+	}
+	if fb.fetches != 2 {
+		t.Errorf("backend fetches = %d, want 2 (failed background + demand retry)", fb.fetches)
+	}
+}
+
+// TestAsyncPrefetchDoubleFailureDropsFrame: when the demand retry fails too,
+// the claim surfaces the error, the staged frame is released, and the
+// counters end exactly where a failed synchronous prefetch read would have
+// left them (miss kept, nothing prefetched, no eviction). The pool stays
+// usable for a plain demand read afterwards.
+func TestAsyncPrefetchDoubleFailureDropsFrame(t *testing.T) {
+	fb, _, pool, addrs := asyncFixture(t, 2, 4)
+	fb.failures[addrs[0]] = 2
+	if ok, err := pool.Prefetch(addrs[0]); !ok || err != nil {
+		t.Fatalf("Prefetch = %v, %v", ok, err)
+	}
+	if _, err := pool.Get(addrs[0]); !errors.Is(err, errInjectedFetch) {
+		t.Fatalf("Get err = %v, want the injected failure", err)
+	}
+	if pool.Contains(addrs[0]) || pool.Len() != 0 || pool.Staged() != 0 {
+		t.Errorf("failed frame still resident: len=%d staged=%d", pool.Len(), pool.Staged())
+	}
+	want := Stats{Misses: 1}
+	if pool.Stats() != want {
+		t.Errorf("Stats = %+v, want %+v", pool.Stats(), want)
+	}
+	// Failures exhausted: a fresh demand read must succeed.
+	pg, err := pool.Get(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Payload.(int); got != 100 {
+		t.Errorf("Payload = %d, want 100", got)
+	}
+	if got := pool.Stats().Misses; got != 2 {
+		t.Errorf("Misses = %d, want 2", got)
+	}
+}
+
+// TestAsyncPrefetchReleaseStagedDropsFailed: an unclaimed speculative read
+// that fails both attempts is silently dropped at the release boundary.
+func TestAsyncPrefetchReleaseStagedDropsFailed(t *testing.T) {
+	fb, _, pool, addrs := asyncFixture(t, 2, 4)
+	fb.failures[addrs[0]] = 2
+	if ok, err := pool.Prefetch(addrs[0]); !ok || err != nil {
+		t.Fatalf("Prefetch = %v, %v", ok, err)
+	}
+	if ok, err := pool.Prefetch(addrs[1]); !ok || err != nil {
+		t.Fatalf("Prefetch = %v, %v", ok, err)
+	}
+	if n := pool.ReleaseStaged(); n != 1 {
+		t.Errorf("ReleaseStaged = %d, want 1 (only the healthy frame)", n)
+	}
+	if pool.Contains(addrs[0]) {
+		t.Error("failed speculative frame still resident")
+	}
+	if !pool.Contains(addrs[1]) {
+		t.Error("healthy released frame evicted")
+	}
+	want := Stats{Misses: 2, Prefetched: 1}
+	if pool.Stats() != want {
+		t.Errorf("Stats = %+v, want %+v", pool.Stats(), want)
+	}
+}
+
+// TestAsyncPrefetchMatchesSyncExactly drives an identical access sequence
+// through a synchronous pool and an async-runner pool over the same data and
+// asserts the observable state — stats, eviction sequence, final residency —
+// is bit-identical. This is the buffer-level slice of the backend parity
+// contract.
+func TestAsyncPrefetchMatchesSyncExactly(t *testing.T) {
+	run := func(t *testing.T, async bool) (Stats, []disk.PageAddr, []disk.PageAddr) {
+		t.Helper()
+		_, _, pool, addrs := asyncFixture(t, 8, 3)
+		if !async {
+			pool.SetPrefetchRunner(nil)
+		}
+		var evicted []disk.PageAddr
+		pool.SetOnEvict(func(addr disk.PageAddr) { evicted = append(evicted, addr) })
+		step := func(op string, i int) {
+			switch op {
+			case "prefetch":
+				if _, err := pool.Prefetch(addrs[i]); err != nil {
+					t.Fatalf("prefetch %d: %v", i, err)
+				}
+			case "get":
+				if _, err := pool.Get(addrs[i]); err != nil {
+					t.Fatalf("get %d: %v", i, err)
+				}
+			case "release":
+				pool.ReleaseStaged()
+			}
+		}
+		for _, s := range []struct {
+			op string
+			i  int
+		}{
+			{"prefetch", 0}, {"prefetch", 1}, {"get", 0}, {"get", 1},
+			{"prefetch", 2}, {"prefetch", 3}, {"get", 3}, {"release", 0},
+			{"get", 4}, {"get", 5}, {"prefetch", 6}, {"get", 6},
+			{"get", 0}, {"release", 0}, {"get", 7},
+		} {
+			step(s.op, s.i)
+		}
+		return pool.Stats(), evicted, pool.Resident()
+	}
+	syncStats, syncEvicted, syncResident := run(t, false)
+	asyncStats, asyncEvicted, asyncResident := run(t, true)
+	if syncStats != asyncStats {
+		t.Errorf("stats diverge: sync %+v, async %+v", syncStats, asyncStats)
+	}
+	if len(syncEvicted) != len(asyncEvicted) {
+		t.Fatalf("eviction counts diverge: sync %v, async %v", syncEvicted, asyncEvicted)
+	}
+	for i := range syncEvicted {
+		if syncEvicted[i] != asyncEvicted[i] {
+			t.Errorf("eviction[%d]: sync %v, async %v", i, syncEvicted[i], asyncEvicted[i])
+		}
+	}
+	if len(syncResident) != len(asyncResident) {
+		t.Fatalf("residency diverges: sync %v, async %v", syncResident, asyncResident)
+	}
+	for i := range syncResident {
+		if syncResident[i] != asyncResident[i] {
+			t.Errorf("resident[%d]: sync %v, async %v", i, syncResident[i], asyncResident[i])
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package disk
+
+import (
+	"errors"
+	"sort"
+)
+
+// Backend is the physical page source behind a Disk: where page payloads
+// actually live and what it really costs to read them back. The Disk itself
+// remains the logical catalog — files, page addresses, head positions, and
+// every *modeled* charge — while a Backend serves the bytes. Two
+// implementations exist:
+//
+//   - the Disk's own in-memory payloads (backend == nil everywhere): reads
+//     are free in wall time and only the linear model is charged, the seed
+//     behavior of this repository;
+//   - internal/store.Store: payloads are encoded to real files and served
+//     via mmap/pread with *measured* per-read latencies.
+//
+// The determinism contract is deliberately split across that line: logical
+// accounting (Stats, seek classification, Timeline charges, and therefore
+// every Report/Pairs/Plan field) is computed by the Session from the access
+// sequence alone and is bit-identical regardless of the backend; only the
+// Measured side (wall seconds per physical read) differs, and it is reported
+// exclusively through Measured / ExecStats.MeasuredIOWall, never through a
+// Report. TestBackendParity pins this.
+type Backend interface {
+	// Fetch returns the payload stored for addr and the measured wall
+	// seconds the physical read took. A page the backend never received
+	// (see ErrNotInBackend) is not an I/O error: the Session falls back to
+	// the Disk's in-memory payload at zero measured cost.
+	Fetch(addr PageAddr) (payload any, seconds float64, err error)
+	// Put stores (or overwrites) the payload for addr. Implementations may
+	// silently skip payloads they cannot encode — runtime scratch pages
+	// with executor-internal payloads — leaving the page memory-only.
+	Put(addr PageAddr, payload any) error
+}
+
+// ErrNotInBackend reports that a backend holds no bytes for the requested
+// page. The Session treats it as "memory-only page", not as a read failure.
+var ErrNotInBackend = errors.New("disk: page not in backend")
+
+// Measured accumulates physical (wall-clock) read activity against a
+// Backend. Unlike Stats it is NOT part of the determinism contract: it is
+// zero under the simulator and host-dependent under a file backend.
+type Measured struct {
+	// Reads is the number of physical backend fetches served.
+	Reads int64
+	// Seconds is the summed wall time of those fetches (read + checksum +
+	// decode). It is a sum of latencies, not an elapsed window: concurrent
+	// background reads can make Seconds exceed the join's wall clock.
+	Seconds float64
+}
+
+// Add returns the field-wise sum m + o.
+func (m Measured) Add(o Measured) Measured {
+	return Measured{Reads: m.Reads + o.Reads, Seconds: m.Seconds + o.Seconds}
+}
+
+// Sub returns the field-wise difference m - o, for computing deltas between
+// two snapshots.
+func (m Measured) Sub(o Measured) Measured {
+	return Measured{Reads: m.Reads - o.Reads, Seconds: m.Seconds - o.Seconds}
+}
+
+// SetMirror installs a write mirror: every payload that enters the Disk from
+// now on (AppendPage, Write) is also handed to b.Put, keeping the backend's
+// files in sync with the catalog. Pages appended before the mirror was set
+// are the caller's responsibility (see EachPage). A nil b detaches.
+func (d *Disk) SetMirror(b Backend) {
+	d.mu.Lock()
+	d.mirror = b
+	d.mu.Unlock()
+}
+
+// EachPage calls fn for every page of every file in ascending (file, page)
+// order, stopping at the first error. It exists so a freshly attached
+// Backend can be seeded with the payloads materialized before SetMirror.
+func (d *Disk) EachPage(fn func(addr PageAddr, payload any) error) error {
+	d.mu.Lock()
+	ids := make([]FileID, 0, len(d.files))
+	for id := range d.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	type entry struct {
+		addr    PageAddr
+		payload any
+	}
+	var all []entry
+	for _, id := range ids {
+		for _, pg := range d.files[id] {
+			all = append(all, entry{pg.Addr, pg.Payload})
+		}
+	}
+	d.mu.Unlock()
+	// fn runs outside the disk lock: a Backend.Put may be slow (real file
+	// writes) and must not block concurrent readers of the catalog.
+	for _, e := range all {
+		if err := fn(e.addr, e.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -142,6 +142,9 @@ type Disk struct {
 	nextID FileID
 	heads  map[FileID]int // per-file head position (last page touched)
 	stats  Stats
+	// mirror, when non-nil, receives every payload entering the disk so a
+	// physical Backend stays in sync with the in-memory catalog (SetMirror).
+	mirror Backend
 }
 
 // ErrNoSuchPage is returned when a read addresses a page that does not exist.
@@ -207,6 +210,11 @@ func (d *Disk) AppendPage(f FileID, payload any) (PageAddr, error) {
 	}
 	addr := PageAddr{File: f, Page: len(pages)}
 	d.files[f] = append(pages, &Page{Addr: addr, Payload: payload})
+	if d.mirror != nil {
+		if err := d.mirror.Put(addr, payload); err != nil {
+			return PageAddr{}, err
+		}
+	}
 	return addr, nil
 }
 
@@ -250,6 +258,11 @@ func (d *Disk) Write(addr PageAddr, payload any) error {
 		d.stats.WriteSequential++
 	}
 	pages[addr.Page].Payload = payload
+	if d.mirror != nil {
+		if err := d.mirror.Put(addr, payload); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -276,6 +289,11 @@ func (d *Disk) store(addr PageAddr, payload any) error {
 		return fmt.Errorf("%w: %v", ErrNoSuchPage, addr)
 	}
 	pages[addr.Page].Payload = payload
+	if d.mirror != nil {
+		if err := d.mirror.Put(addr, payload); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

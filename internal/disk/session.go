@@ -1,6 +1,9 @@
 package disk
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // Session is a per-run I/O accounting scope over a shared Disk. It sees the
 // same files and pages as the Disk, but charges reads and writes against its
@@ -14,6 +17,19 @@ import "sync"
 // joins on one System: interleaving two joins cannot perturb either join's
 // seek classification, because neither shares head state with the other.
 //
+// A session optionally serves page payloads through a physical Backend
+// (NewSessionOn). Every read then splits into two halves:
+//
+//   - the logical charge — existence check, seek classification, counter
+//     and timeline accounting — which always happens synchronously on the
+//     calling goroutine, in access order, exactly as without a backend;
+//   - the physical fetch — reading and decoding real bytes — whose wall
+//     time is accumulated into Measured and which ReadAsync can push onto a
+//     background runner.
+//
+// Only the logical half feeds Stats/Cost (and hence Reports), so the
+// determinism contract is backend-independent by construction.
+//
 // A Session is safe for concurrent use, though join executors serialize
 // their page traffic anyway to keep charge order deterministic.
 type Session struct {
@@ -21,6 +37,12 @@ type Session struct {
 	mu    sync.Mutex
 	heads map[FileID]int
 	stats Stats
+	// backend, when non-nil, serves page payloads physically; nil serves the
+	// Disk's in-memory payloads (the simulator).
+	backend Backend
+	// measured accumulates the physical fetches' wall cost (zero without a
+	// backend). Outside the determinism contract.
+	measured Measured
 	// onSeek, when non-nil, observes every access the session classifies as
 	// a random seek (write reports the access direction). It is a tracing
 	// hook (see internal/metrics); set it before issuing any I/O.
@@ -54,11 +76,20 @@ func (d *Disk) NewSession() *Session {
 	return &Session{d: d, heads: make(map[FileID]int)}
 }
 
-// Read fetches one page, charging the session (and the global counters) a
-// seek or a sequential transfer per the session's own head positions.
-func (s *Session) Read(addr PageAddr) (*Page, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// NewSessionOn creates a session whose page payloads are served through the
+// physical backend b (nil behaves exactly like NewSession). The logical
+// charges are identical either way; only Measured differs.
+func (d *Disk) NewSessionOn(b Backend) *Session {
+	s := d.NewSession()
+	s.backend = b
+	return s
+}
+
+// chargeRead performs the logical half of a read: existence check (an
+// unknown page is an error and charges nothing), seek classification against
+// the session's heads, counter folding, and the timeline charge. It returns
+// the in-memory page. Callers hold s.mu.
+func (s *Session) chargeRead(addr PageAddr) (*Page, error) {
 	pg, err := s.d.Peek(addr)
 	if err != nil {
 		return nil, err
@@ -78,6 +109,99 @@ func (s *Session) Read(addr PageAddr) (*Page, error) {
 		s.timeline.charge(s.d.model.Cost(delta), delta.Reads)
 	}
 	return pg, nil
+}
+
+// fetch performs the physical half of a read: with no backend the in-memory
+// page is the result; with one, the payload is read and decoded from the
+// backend's real files, its wall cost accumulated into Measured. A page the
+// backend never received (ErrNotInBackend — runtime scratch pages with
+// unencodable payloads) falls back to memory at zero measured cost. Called
+// without holding s.mu, possibly from a background reader goroutine.
+func (s *Session) fetch(addr PageAddr, memory *Page) (*Page, error) {
+	if s.backend == nil {
+		return memory, nil
+	}
+	payload, secs, err := s.backend.Fetch(addr)
+	if errors.Is(err, ErrNotInBackend) {
+		return memory, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.measured.Reads++
+	s.measured.Seconds += secs
+	s.mu.Unlock()
+	return &Page{Addr: addr, Payload: payload}, nil
+}
+
+// Read fetches one page, charging the session (and the global counters) a
+// seek or a sequential transfer per the session's own head positions. With a
+// backend attached, the payload comes from the backend's files (the demand
+// path: charge and fetch both synchronous on the calling goroutine).
+func (s *Session) Read(addr PageAddr) (*Page, error) {
+	s.mu.Lock()
+	pg, err := s.chargeRead(addr)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return s.fetch(addr, pg)
+}
+
+// PendingRead is the handle of a read whose physical half may still be in
+// flight on a background runner. Wait blocks until the fetch completes; it is
+// safe to call from any goroutine, any number of times.
+type PendingRead struct {
+	done chan struct{}
+	pg   *Page
+	err  error
+}
+
+// Wait blocks until the physical read completes and returns its result.
+func (r *PendingRead) Wait() (*Page, error) {
+	<-r.done
+	return r.pg, r.err
+}
+
+// ReadAsync charges the read logically right now — same counters, same
+// classification order, same timeline bucket as Read — and dispatches the
+// physical fetch through run (a background reader pool's submit function).
+// The returned error is the logical half's: an unknown page fails here,
+// synchronously, charging nothing, exactly like Read. With no backend (or a
+// nil run) the pending read is already complete when returned.
+func (s *Session) ReadAsync(addr PageAddr, run func(func())) (*PendingRead, error) {
+	s.mu.Lock()
+	pg, err := s.chargeRead(addr)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	pr := &PendingRead{done: make(chan struct{})}
+	if s.backend == nil || run == nil {
+		pr.pg = pg
+		close(pr.done)
+		return pr, nil
+	}
+	run(func() {
+		pr.pg, pr.err = s.fetch(addr, pg)
+		close(pr.done)
+	})
+	return pr, nil
+}
+
+// Refetch repeats only the physical half of a read that was already charged:
+// no counters, no head movement, no timeline — just the backend fetch (with
+// the usual memory fallback), accumulating its measured cost. The buffer
+// pool uses it as the demand-path fallback when a background prefetch read
+// fails: the logical charge happened at stage time, so re-charging a demand
+// read would double-count.
+func (s *Session) Refetch(addr PageAddr) (*Page, error) {
+	pg, err := s.d.Peek(addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.fetch(addr, pg)
 }
 
 // Write stores a payload into an existing page, charging like a read.
@@ -104,7 +228,9 @@ func (s *Session) Write(addr PageAddr, payload any) error {
 	return nil
 }
 
-// Peek returns a page payload without charging any I/O (see Disk.Peek).
+// Peek returns a page payload without charging any I/O (see Disk.Peek). It
+// always serves from memory, backend or not: peeks model coordinator-side
+// inspection of pages the caller already owns.
 func (s *Session) Peek(addr PageAddr) (*Page, error) { return s.d.Peek(addr) }
 
 // CreateFile allocates a new empty file on the underlying disk.
@@ -127,6 +253,16 @@ func (s *Session) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// Measured returns a snapshot of the physical read activity served through
+// the session's backend (zero without one). Callers that want the complete
+// account must first ensure no background fetches are in flight (the engine
+// closes its reader pool before reading this).
+func (s *Session) Measured() Measured {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.measured
 }
 
 // Cost returns the session's simulated elapsed I/O time in seconds.

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"pmjoin"
+)
+
+// StoragePoint is one row of the storage-backend experiment: one workload x
+// method, run on the simulator and on the file-backed store — the latter both
+// cache-cold (DropStoreCaches before every rep) and cache-warm, each with
+// prefetch off (demand reads only) and on (background reader pool).
+type StoragePoint struct {
+	Workload string
+	Method   string
+	// Clusters is the schedule length; Pages the two sides' page counts.
+	Clusters       int
+	PagesA, PagesB int
+
+	// Join wall (host clock, best of storageReps) per mode. Sim runs with
+	// prefetch on — the seed configuration every other PR benchmarks.
+	SimWall     time.Duration
+	ColdWallOff time.Duration
+	ColdWallOn  time.Duration
+	WarmWallOff time.Duration
+	WarmWallOn  time.Duration
+	// Speedups are off/on ratios: how much wall time the background readers
+	// recover by overlapping physical reads with the join's compute.
+	ColdSpeedup float64
+	WarmSpeedup float64
+
+	// Physical read account of the cold prefetch-on run's best rep. The read
+	// COUNT is a deterministic function of the schedule (every buffer miss is
+	// one backend fetch), so it is identical across all four file modes — the
+	// run asserts that; the seconds are host wall time.
+	MeasuredReads       int64
+	ColdMeasuredSeconds float64
+	WarmMeasuredSeconds float64
+}
+
+// storageReps is the repetitions per mode; the wall columns keep the fastest
+// rep, the standard defense against scheduler noise. Cold modes drop the
+// store's OS caches before every rep.
+const storageReps = 3
+
+// StorageBench measures the file-backed storage path against the simulator
+// and itself: sim vs file, cold vs warm, prefetch off vs on — asserting along
+// the way that every mode's Report is byte-identical (the storage half of the
+// determinism contract) and that the physical read count never moves. Host
+// wall clocks vary by machine (the experiment runs only when named, like -exp
+// pipeline); the benchrunner serializes the records as BENCH_storage.json.
+func StorageBench(cfg *Config) ([]StoragePoint, error) {
+	cfg.defaults()
+
+	type load struct {
+		name   string
+		method pmjoin.Method
+		buf    int
+		build  func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error)
+	}
+	loads := []load{
+		{"spatial", pmjoin.SC, cfg.buf(160), func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error) {
+			return SpatialPair(cfg)
+		}},
+		{"landsat", pmjoin.SC, cfg.buf(400), func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error) {
+			return LandsatPair(cfg, 0.5)
+		}},
+	}
+
+	cfg.printf("\nStorage backends: sim vs file store, cold/warm x prefetch off/on (wall = host clock)\n")
+	cfg.printf("%-10s %-6s %8s %10s %12s %12s %8s %12s %12s %8s %9s %10s\n",
+		"workload", "method", "clusters", "sim wall", "cold off", "cold on", "speedup",
+		"warm off", "warm on", "speedup", "phys rds", "report")
+
+	var points []StoragePoint
+	for _, l := range loads {
+		p, err := storageLoad(cfg, l.name, l.method, l.buf, l.build)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, *p)
+		cfg.printf("%-10s %-6s %8d %10v %12v %12v %7.2fx %12v %12v %7.2fx %9d %10s\n",
+			p.Workload, p.Method, p.Clusters, p.SimWall.Round(time.Microsecond),
+			p.ColdWallOff.Round(time.Microsecond), p.ColdWallOn.Round(time.Microsecond), p.ColdSpeedup,
+			p.WarmWallOff.Round(time.Microsecond), p.WarmWallOn.Round(time.Microsecond), p.WarmSpeedup,
+			p.MeasuredReads, "identical")
+	}
+	cfg.printf("\n")
+	return points, nil
+}
+
+// storageLoad runs the full mode matrix for one workload. A function so the
+// store directory's cleanup and the store's Close are deferred per load.
+func storageLoad(cfg *Config, name string, method pmjoin.Method, buf int,
+	build func() (*pmjoin.System, *pmjoin.Dataset, *pmjoin.Dataset, float64, error),
+) (*StoragePoint, error) {
+	sys, da, db, eps, err := build()
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "pmjoin-bench-store-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := sys.UseFileStore(dir); err != nil {
+		return nil, err
+	}
+	defer sys.CloseStore()
+
+	opt := pmjoin.Options{
+		Method:      method,
+		Epsilon:     eps,
+		BufferPages: buf,
+		Parallelism: 0, // GOMAXPROCS workers: the compute the readers hide behind
+	}
+
+	run := func(storage pmjoin.StorageMode, prefetch pmjoin.PrefetchMode, cold bool) (*pmjoin.Result, time.Duration, error) {
+		o := opt
+		o.Storage = storage
+		o.Pipeline.Prefetch = prefetch
+		var best *pmjoin.Result
+		var bestWall time.Duration
+		for rep := 0; rep < storageReps; rep++ {
+			if cold {
+				if err := sys.DropStoreCaches(); err != nil {
+					return nil, 0, err
+				}
+			}
+			res, err := sys.Join(da, db, o)
+			if err != nil {
+				return nil, 0, err
+			}
+			if best == nil || res.Exec.JoinWall < bestWall {
+				best, bestWall = res, res.Exec.JoinWall
+			}
+		}
+		return best, bestWall, nil
+	}
+
+	sim, simWall, err := run(pmjoin.StorageSim, pmjoin.PrefetchOn, false)
+	if err != nil {
+		return nil, err
+	}
+	type mode struct {
+		label    string
+		prefetch pmjoin.PrefetchMode
+		cold     bool
+	}
+	modes := []mode{
+		{"cold/off", pmjoin.PrefetchOff, true},
+		{"cold/on", pmjoin.PrefetchOn, true},
+		{"warm/off", pmjoin.PrefetchOff, false},
+		{"warm/on", pmjoin.PrefetchOn, false},
+	}
+	results := make([]*pmjoin.Result, len(modes))
+	walls := make([]time.Duration, len(modes))
+	for i, m := range modes {
+		res, wall, err := run(pmjoin.StorageFile, m.prefetch, m.cold)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(res.Report, sim.Report) {
+			return nil, fmt.Errorf("experiments: %s/%s file %s produced a different report than sim:\n  sim:  %+v\n  file: %+v",
+				name, method, m.label, sim.Report, res.Report)
+		}
+		if res.Exec.MeasuredReads != results0Reads(results, res) {
+			return nil, fmt.Errorf("experiments: %s/%s file %s measured %d physical reads, earlier mode measured %d — the read count must be schedule-determined",
+				name, method, m.label, res.Exec.MeasuredReads, results0Reads(results, res))
+		}
+		results[i], walls[i] = res, wall
+	}
+
+	p := &StoragePoint{
+		Workload:            name,
+		Method:              method.String(),
+		Clusters:            sim.Report.Clusters,
+		PagesA:              da.Pages(),
+		PagesB:              db.Pages(),
+		SimWall:             simWall,
+		ColdWallOff:         walls[0],
+		ColdWallOn:          walls[1],
+		WarmWallOff:         walls[2],
+		WarmWallOn:          walls[3],
+		ColdSpeedup:         float64(walls[0]) / float64(walls[1]),
+		WarmSpeedup:         float64(walls[2]) / float64(walls[3]),
+		MeasuredReads:       results[1].Exec.MeasuredReads,
+		ColdMeasuredSeconds: results[1].Exec.MeasuredIOWall,
+		WarmMeasuredSeconds: results[3].Exec.MeasuredIOWall,
+	}
+	return p, nil
+}
+
+// results0Reads returns the first already-recorded mode's measured read count
+// (the invariant every later mode is checked against), or cur's own count when
+// none is recorded yet.
+func results0Reads(results []*pmjoin.Result, cur *pmjoin.Result) int64 {
+	for _, r := range results {
+		if r != nil {
+			return r.Exec.MeasuredReads
+		}
+	}
+	return cur.Exec.MeasuredReads
+}

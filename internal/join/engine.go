@@ -70,7 +70,28 @@ type Engine struct {
 	// frame ledger. The Report is bit-identical with or without it — the
 	// run's session is charged the same either way (see buffer.SharedPool).
 	Shared *buffer.SharedPool
+	// Backend, when non-nil, is the physical page source behind the disk
+	// (internal/store.Store): page payloads are read from real files with
+	// measured latencies instead of served from memory. The Report is
+	// bit-identical either way — only MeasuredIO differs (see disk.Backend;
+	// pinned by TestBackendParity).
+	Backend disk.Backend
+	// Readers, when non-nil (and Backend is set), dispatches the physical
+	// half of prefetch reads to background reader goroutines, overlapping
+	// staged I/O with the coordinator's compute. The logical charges stay on
+	// the coordinator in schedule order, so the Report is unchanged. The
+	// caller owns the pool and must Close it (joining all reads) before
+	// trusting MeasuredIO's final account.
+	Readers *WorkerPool
+
+	// measured accumulates the physical read activity of this engine's runs
+	// (zero without a Backend).
+	measured disk.Measured
 }
+
+// MeasuredIO returns the accumulated physical (wall-clock) backend read
+// account across this engine's completed runs. Zero without a Backend.
+func (e *Engine) MeasuredIO() disk.Measured { return e.measured }
 
 func (e *Engine) validate(r, s *Dataset) error {
 	if e.Disk == nil {
@@ -94,7 +115,7 @@ func (e *Engine) validate(r, s *Dataset) error {
 // the body returns, the session's charges are converted to simulated
 // seconds and folded into the report.
 func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
-	io := e.Disk.NewSession()
+	io := e.Disk.NewSessionOn(e.Backend)
 	pool, err := buffer.NewPool(io, e.BufferSize, e.Policy)
 	if err != nil {
 		return nil, err
@@ -102,6 +123,9 @@ func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
 	rep := &Report{Method: method}
 	if e.Timeline != nil {
 		io.SetTimeline(e.Timeline)
+	}
+	if e.Backend != nil && e.Readers != nil {
+		pool.SetPrefetchRunner(e.Readers.Run)
 	}
 	if e.Kernels {
 		pool.SetOnLoad(func(pg *disk.Page) { PrepareFlat(pg.Payload) })
@@ -123,6 +147,12 @@ func (e *Engine) Run(method string, body func(x *Exec) error) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Resolve any background prefetch reads still in flight (frames staged
+	// but never claimed) before snapshotting: releasing changes no logical
+	// counter, and afterwards the session's Measured account covers every
+	// fetch this run dispatched.
+	pool.ReleaseStaged()
+	e.measured = e.measured.Add(io.Measured())
 	st := io.Stats()
 	rep.IOSeconds += e.Disk.Model().Cost(st)
 	rep.PageReads = st.Reads

@@ -1080,6 +1080,10 @@ var now = time.Now
 		src := strings.Replace(timeSrc, "package fixture", "package experiments", 1)
 		expectDiags(t, runOne(t, "walltime", experimentsPkgPath, src), "walltime", nil)
 	})
+	t.Run("internal/store is exempt", func(t *testing.T) {
+		src := strings.Replace(timeSrc, "package fixture", "package store", 1)
+		expectDiags(t, runOne(t, "walltime", storePkgPath, src), "walltime", nil)
+	})
 	t.Run("packages outside internal are exempt", func(t *testing.T) {
 		src := strings.Replace(timeSrc, "package fixture", "package pmjoin", 1)
 		expectDiags(t, runOne(t, "walltime", "pmjoin", src), "walltime", nil)

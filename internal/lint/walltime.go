@@ -2,11 +2,24 @@ package lint
 
 import "strings"
 
-// Packages sanctioned to read the wall clock (see walltimeAnalyzer).
+// Package paths referenced by individual rules.
 const (
 	metricsPkgPath     = "pmjoin/internal/metrics"
 	experimentsPkgPath = "pmjoin/internal/experiments"
+	storePkgPath       = "pmjoin/internal/store"
 )
+
+// walltimeAllowed lists the internal packages sanctioned to read the wall
+// clock: metrics (the phase-scoped collector), experiments (the host-speedup
+// harness), and store (the file-backed page store, whose whole point is
+// *measured* physical read latencies — they flow only into disk.Measured /
+// ExecStats.MeasuredIOWall, never into a Report). Everything else under
+// internal/ is hot-path and stays modeled-time only.
+var walltimeAllowed = map[string]bool{
+	metricsPkgPath:     true,
+	experimentsPkgPath: true,
+	storePkgPath:       true,
+}
 
 // walltimeAnalyzer flags `import "time"` in the hot-path internal packages.
 // Every cost the simulator reports is modeled, not measured: disk seconds
@@ -15,10 +28,11 @@ const (
 // of the schedule. A time.Now() in disk, buffer, predmat, cluster, sched or
 // join is either dead weight on the hot path or — worse — the first step of
 // time-based accounting that would make Reports host-dependent. All wall-
-// clock measurement flows through the sanctioned seams instead:
-// internal/metrics (the phase-scoped collector), internal/experiments (the
-// host-speedup harness), and the ExecStats fields at the API layer (outside
-// internal/). Anything else needs a //lint:ignore walltime <reason>.
+// clock measurement flows through the sanctioned seams instead — the
+// walltimeAllowed set: internal/metrics (the phase-scoped collector),
+// internal/experiments (the host-speedup harness), internal/store (measured
+// physical read latencies) — and the ExecStats fields at the API layer
+// (outside internal/). Anything else needs a //lint:ignore walltime <reason>.
 func walltimeAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "walltime",
@@ -31,7 +45,7 @@ func runWalltime(p *Package) []Diagnostic {
 	if !strings.HasPrefix(p.Path, "pmjoin/internal/") {
 		return nil
 	}
-	if p.Path == metricsPkgPath || p.Path == experimentsPkgPath {
+	if walltimeAllowed[p.Path] {
 		return nil
 	}
 	var diags []Diagnostic

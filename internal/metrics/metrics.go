@@ -172,6 +172,12 @@ type ClusterStats struct {
 	// executor-side traffic until the next cluster starts, including reads
 	// prefetching the successor's pages).
 	Disk disk.Stats
+	// Measured is the physical backend read delta over the cluster's window
+	// (zero under the simulator). Observational only: with background
+	// prefetch readers, a fetch dispatched in one cluster's window can
+	// resolve in a later one, smearing its wall cost across boundaries —
+	// unlike Disk, Measured per cluster is not deterministic.
+	Measured disk.Measured
 	// Wall is the cluster's real elapsed time (not deterministic).
 	Wall time.Duration
 	// BatchCells and BatchRows describe the cluster's batched kernel
@@ -193,6 +199,9 @@ type Metrics struct {
 	Phases [NumPhases]PhaseStats
 	// Disk is the run's total simulated I/O (the disk session's account).
 	Disk disk.Stats
+	// Measured is the run's total physical backend read activity (zero under
+	// the simulator; see disk.Measured — outside the determinism contract).
+	Measured disk.Measured
 	// Buffer is the run's total buffer activity.
 	Buffer buffer.Stats
 	// Clusters holds per-cluster stats in schedule order (clustered
@@ -236,6 +245,7 @@ func (m *Metrics) AddShard(s *Metrics) {
 	m.Phases[PhaseJoin].Buffer = m.Phases[PhaseJoin].Buffer.Add(s.Buffer)
 	m.Disk = m.Disk.Add(s.Disk)
 	m.Buffer = m.Buffer.Add(s.Buffer)
+	m.Measured = m.Measured.Add(s.Measured)
 	m.Clusters = append(m.Clusters, s.Clusters...)
 	if s.QueueHighWater > m.QueueHighWater {
 		m.QueueHighWater = s.QueueHighWater
@@ -264,6 +274,7 @@ func (m *Metrics) Fold(s *Metrics) {
 	}
 	m.Disk = m.Disk.Add(s.Disk)
 	m.Buffer = m.Buffer.Add(s.Buffer)
+	m.Measured = m.Measured.Add(s.Measured)
 	if s.QueueHighWater > m.QueueHighWater {
 		m.QueueHighWater = s.QueueHighWater
 	}
@@ -307,11 +318,12 @@ type Collector struct {
 	phases [NumPhases]PhaseStats
 	stack  []Phase // open phases; empty means PhaseOther
 
-	clusters     []ClusterStats
-	cluster      int // creation index of the open cluster, -1 when none
-	clusterDisk  disk.Stats
-	clusterBuf   buffer.Stats
-	clusterStart time.Time
+	clusters        []ClusterStats
+	cluster         int // creation index of the open cluster, -1 when none
+	clusterDisk     disk.Stats
+	clusterBuf      buffer.Stats
+	clusterMeasured disk.Measured
+	clusterStart    time.Time
 	// pendingPrefetch holds, per target cluster index, the {pages, reads}
 	// staged for it ahead of its ClusterStart; ClusterPinned consumes the
 	// entry so the pre-charged turnover lands on the cluster it belongs to.
@@ -440,6 +452,7 @@ func (c *Collector) ClusterStart(index int) {
 	c.clusterStart = time.Now()
 	if c.io != nil {
 		c.clusterDisk = c.io.Stats()
+		c.clusterMeasured = c.io.Measured()
 	}
 	if c.pool != nil {
 		c.clusterBuf = c.pool.Stats()
@@ -527,6 +540,7 @@ func (c *Collector) ClusterEnd() {
 		cs := &c.clusters[n-1]
 		if c.io != nil {
 			cs.Disk = c.io.Stats().Sub(c.clusterDisk)
+			cs.Measured = c.io.Measured().Sub(c.clusterMeasured)
 		}
 		cs.Wall = time.Since(c.clusterStart)
 	}
@@ -582,6 +596,11 @@ func (c *Collector) Finish() *Metrics {
 	for _, ps := range c.phases {
 		m.Disk = m.Disk.Add(ps.Disk)
 		m.Buffer = m.Buffer.Add(ps.Buffer)
+	}
+	// Measured has no per-phase split (background fetches resolve on their
+	// own clock); the session's final account is the total.
+	if c.io != nil {
+		m.Measured = c.io.Measured()
 	}
 	if c.trace {
 		m.Events = make([]Event, 0, len(c.ring))

@@ -35,6 +35,9 @@ type Result struct {
 	Metrics *metrics.Metrics
 	// Timeline is the shard's modeled overlapped-pipeline clock.
 	Timeline disk.TimelineStats
+	// Measured is the shard's physical backend read account (zero under the
+	// simulator); observational, like Timeline.
+	Measured disk.Measured
 }
 
 // Runner executes one shard of a plan. RunShard must be safe for concurrent
@@ -71,6 +74,14 @@ type LocalRunner struct {
 	// Pipeline knobs, inherited by every shard's engine.
 	Prefetch      bool
 	PrefetchDepth int
+	// Backend, when non-nil, is the physical page source every shard's
+	// engine reads through (see join.Engine.Backend); per-shard Reports are
+	// bit-identical either way, only Result.Measured differs.
+	Backend disk.Backend
+	// Readers is the shared background reader pool for prefetch fetches
+	// (nil = synchronous). Reader tasks are plain backend fetches that never
+	// submit further work, so sharing one pool across shards cannot deadlock.
+	Readers *join.WorkerPool
 
 	// The join being sharded.
 	R, S     *join.Dataset
@@ -117,6 +128,8 @@ func (r *LocalRunner) RunShard(ctx context.Context, t Task) (*Result, error) {
 		Shared:        r.Shared,
 		Prefetch:      r.Prefetch,
 		PrefetchDepth: r.PrefetchDepth,
+		Backend:       r.Backend,
+		Readers:       r.Readers,
 		Timeline:      tl,
 	}
 	if r.CollectPairs {
@@ -142,6 +155,7 @@ func (r *LocalRunner) RunShard(ctx context.Context, t Task) (*Result, error) {
 		PreprocessSeconds: pre,
 	})
 	out.Timeline = tl.Stats()
+	out.Measured = eng.MeasuredIO()
 	mc.RecordTimeline(out.Timeline)
 	out.Metrics = mc.Finish()
 	if err != nil {

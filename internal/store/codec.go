@@ -1,0 +1,356 @@
+// Package store is the file-backed page store: the physical disk.Backend
+// behind a simulated Disk. Page payloads are encoded into a versioned binary
+// wire format (one record per page: fixed 16-byte header + payload + CRC),
+// appended to one real file per disk.FileID, and served back via mmap with a
+// pread fallback — with *measured* per-read wall latencies, which is the
+// point: every other layer of this repository charges modeled seconds, this
+// one reports what the hardware actually did.
+//
+// The wire format is also the dataset save/load container (`pmjoin -save` /
+// `-data`): the same header frames raw-data records (RawVectors, RawSeries,
+// RawString), so one codec, one CRC, and one fuzz target cover both uses.
+//
+// store is one of the sanctioned wall-clock packages (see the walltime rule
+// in LINTING.md): measured timing is its job, and nothing it measures ever
+// feeds a Report — only disk.Measured / ExecStats.MeasuredIOWall.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"pmjoin/internal/geom"
+	"pmjoin/internal/join"
+)
+
+// Record layout (all integers little-endian):
+//
+//	offset size field
+//	0      4    magic "PMJP"
+//	4      2    format version (currently 1)
+//	6      2    payload kind
+//	8      4    payload length in bytes
+//	12     4    CRC-32 (IEEE) of the payload bytes
+//	16     n    payload (kind-specific, see encodePayload)
+const (
+	headerSize    = 16
+	formatVersion = 1
+)
+
+var magic = [4]byte{'P', 'M', 'J', 'P'}
+
+// pageKind tags a record's payload encoding.
+type pageKind uint16
+
+const (
+	kindVectorPage pageKind = 1 + iota
+	kindSeriesPage
+	kindStringPage
+	kindRawVectors
+	kindRawSeries
+	kindRawString
+)
+
+// Raw dataset payloads: the save/load container types. They are distinct
+// named types so DecodeRecord's result is self-describing.
+type (
+	// RawVectors is an unindexed vector dataset (rows of coordinates).
+	RawVectors [][]float64
+	// RawSeries is an unindexed time series (samples).
+	RawSeries []float64
+	// RawString is an unindexed symbol sequence.
+	RawString []byte
+)
+
+// ErrUnsupportedPayload reports a payload type the wire format has no
+// encoding for — executor-internal scratch payloads. The store skips such
+// pages (they stay memory-only); callers that require encodability (the
+// dataset saver) surface it.
+var ErrUnsupportedPayload = errors.New("store: unsupported payload type")
+
+// ErrCorruptRecord reports a record that failed structural validation:
+// wrong magic, unknown version or kind, truncated payload, CRC mismatch, or
+// payload bytes that do not parse back. Decoding never panics on corrupt
+// input (fuzzed by FuzzPageCodecRoundTrip).
+var ErrCorruptRecord = errors.New("store: corrupt record")
+
+// EncodeRecord encodes one payload into a complete wire record
+// (header + payload). It returns ErrUnsupportedPayload for types outside
+// the format.
+func EncodeRecord(payload any) ([]byte, error) {
+	kind, body, err := encodePayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > math.MaxUint32 {
+		return nil, fmt.Errorf("store: payload of %d bytes exceeds the record size limit", len(body))
+	}
+	rec := make([]byte, headerSize+len(body))
+	copy(rec[0:4], magic[:])
+	binary.LittleEndian.PutUint16(rec[4:6], formatVersion)
+	binary.LittleEndian.PutUint16(rec[6:8], uint16(kind))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[12:16], crc32.ChecksumIEEE(body))
+	copy(rec[headerSize:], body)
+	return rec, nil
+}
+
+// parseHeader validates a record header and returns its kind and payload
+// length. b must hold at least headerSize bytes.
+func parseHeader(b []byte) (kind pageKind, payloadLen uint32, crc uint32, err error) {
+	if len(b) < headerSize {
+		return 0, 0, 0, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorruptRecord, len(b))
+	}
+	if [4]byte(b[0:4]) != magic {
+		return 0, 0, 0, fmt.Errorf("%w: bad magic %q", ErrCorruptRecord, b[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:6]); v != formatVersion {
+		return 0, 0, 0, fmt.Errorf("%w: unknown format version %d", ErrCorruptRecord, v)
+	}
+	kind = pageKind(binary.LittleEndian.Uint16(b[6:8]))
+	if kind < kindVectorPage || kind > kindRawString {
+		return 0, 0, 0, fmt.Errorf("%w: unknown payload kind %d", ErrCorruptRecord, kind)
+	}
+	return kind, binary.LittleEndian.Uint32(b[8:12]), binary.LittleEndian.Uint32(b[12:16]), nil
+}
+
+// DecodeRecord decodes one complete wire record (as produced by
+// EncodeRecord) back into its payload. Corrupt or truncated input returns
+// ErrCorruptRecord — never a panic.
+func DecodeRecord(rec []byte) (any, error) {
+	kind, plen, crc, err := parseHeader(rec)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(rec)) != headerSize+uint64(plen) {
+		return nil, fmt.Errorf("%w: record is %d bytes, header says %d", ErrCorruptRecord, len(rec), headerSize+plen)
+	}
+	body := rec[headerSize:]
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("%w: CRC mismatch", ErrCorruptRecord)
+	}
+	return decodePayload(kind, body)
+}
+
+// encoder appends the fixed-width primitives of the format.
+type encoder struct{ b []byte }
+
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// i64 encodes a Go int as two's-complement u64, so negative IDs round-trip.
+func (e *encoder) i64(v int) { e.u64(uint64(int64(v))) }
+
+// f64 encodes a float through its exact bit pattern: NaNs, signed zeros and
+// subnormals round-trip bit-identically, which is what keeps comparison
+// results backend-independent.
+func (e *encoder) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+func (e *encoder) floats(vs []float64) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+// decoder consumes the primitives with saturating error state: after the
+// first short read every accessor returns zero, and the caller checks err
+// once at the end. Count fields are validated against the bytes that could
+// possibly back them before any allocation, so corrupt input cannot force
+// huge allocations.
+type decoder struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *decoder) fail() { d.bad = true }
+
+func (d *decoder) u32() uint32 {
+	if d.bad || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.bad || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int     { return int(int64(d.u64())) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads a u32 element count and rejects it unless the remaining bytes
+// can hold n elements of at least minBytes each.
+func (d *decoder) count(minBytes int) int {
+	n := int(d.u32())
+	if d.bad {
+		return 0
+	}
+	if n < 0 || (minBytes > 0 && n > (len(d.b)-d.off)/minBytes) {
+		d.fail()
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) floats() []float64 {
+	n := d.count(8)
+	if d.bad {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.count(1)
+	if d.bad || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:d.off+n])
+	d.off += n
+	return out
+}
+
+// done reports whether the decoder consumed the payload exactly.
+func (d *decoder) done() bool { return !d.bad && d.off == len(d.b) }
+
+// encodePayload serializes one payload, returning its kind tag and body.
+func encodePayload(payload any) (pageKind, []byte, error) {
+	var e encoder
+	switch p := payload.(type) {
+	case *join.VectorPage:
+		if len(p.Vecs) != len(p.IDs) {
+			return 0, nil, fmt.Errorf("store: vector page with %d ids but %d vectors", len(p.IDs), len(p.Vecs))
+		}
+		// u32 n, then per row: i64 id, u32 dim, dim×f64.
+		e.u32(uint32(len(p.IDs)))
+		for i, id := range p.IDs {
+			e.i64(id)
+			e.floats(p.Vecs[i])
+		}
+		return kindVectorPage, e.b, nil
+	case *join.SeriesPage:
+		if len(p.Starts) != len(p.IDs) || len(p.Windows) != len(p.IDs) {
+			return 0, nil, fmt.Errorf("store: series page with mismatched row slices")
+		}
+		// u32 n, then per row: i64 id, i64 start, u32 len, len×f64.
+		e.u32(uint32(len(p.IDs)))
+		for i, id := range p.IDs {
+			e.i64(id)
+			e.i64(p.Starts[i])
+			e.floats(p.Windows[i])
+		}
+		return kindSeriesPage, e.b, nil
+	case *join.StringPage:
+		if len(p.Starts) != len(p.IDs) || len(p.Windows) != len(p.IDs) || len(p.Freqs) != len(p.IDs) {
+			return 0, nil, fmt.Errorf("store: string page with mismatched row slices")
+		}
+		// u32 n, then per row: i64 id, i64 start, u32 wlen + bytes,
+		// u32 flen, flen×i64 frequencies.
+		e.u32(uint32(len(p.IDs)))
+		for i, id := range p.IDs {
+			e.i64(id)
+			e.i64(p.Starts[i])
+			w := p.Windows[i]
+			e.u32(uint32(len(w)))
+			e.b = append(e.b, w...)
+			fr := p.Freqs[i]
+			e.u32(uint32(len(fr)))
+			for _, f := range fr {
+				e.i64(f)
+			}
+		}
+		return kindStringPage, e.b, nil
+	case RawVectors:
+		e.u32(uint32(len(p)))
+		for _, row := range p {
+			e.floats(row)
+		}
+		return kindRawVectors, e.b, nil
+	case RawSeries:
+		e.floats(p)
+		return kindRawSeries, e.b, nil
+	case RawString:
+		e.u32(uint32(len(p)))
+		e.b = append(e.b, p...)
+		return kindRawString, e.b, nil
+	default:
+		return 0, nil, fmt.Errorf("%w: %T", ErrUnsupportedPayload, payload)
+	}
+}
+
+// decodePayload parses a payload body of the given kind.
+func decodePayload(kind pageKind, body []byte) (any, error) {
+	d := &decoder{b: body}
+	var out any
+	switch kind {
+	case kindVectorPage:
+		n := d.count(12) // id + dim count per row, minimum
+		p := &join.VectorPage{IDs: make([]int, 0, n), Vecs: make([]geom.Vector, 0, n)}
+		for i := 0; i < n && !d.bad; i++ {
+			p.IDs = append(p.IDs, d.i64())
+			p.Vecs = append(p.Vecs, geom.Vector(d.floats()))
+		}
+		out = p
+	case kindSeriesPage:
+		n := d.count(20) // id + start + len count per row, minimum
+		p := &join.SeriesPage{IDs: make([]int, 0, n), Starts: make([]int, 0, n), Windows: make([][]float64, 0, n)}
+		for i := 0; i < n && !d.bad; i++ {
+			p.IDs = append(p.IDs, d.i64())
+			p.Starts = append(p.Starts, d.i64())
+			p.Windows = append(p.Windows, d.floats())
+		}
+		out = p
+	case kindStringPage:
+		n := d.count(24) // id + start + two len counts per row, minimum
+		p := &join.StringPage{IDs: make([]int, 0, n), Starts: make([]int, 0, n), Windows: make([][]byte, 0, n), Freqs: make([][]int, 0, n)}
+		for i := 0; i < n && !d.bad; i++ {
+			p.IDs = append(p.IDs, d.i64())
+			p.Starts = append(p.Starts, d.i64())
+			p.Windows = append(p.Windows, d.bytes())
+			fn := d.count(8)
+			fr := make([]int, 0, fn)
+			for k := 0; k < fn && !d.bad; k++ {
+				fr = append(fr, d.i64())
+			}
+			p.Freqs = append(p.Freqs, fr)
+		}
+		out = p
+	case kindRawVectors:
+		n := d.count(4) // a length word per row, minimum
+		rows := make(RawVectors, 0, n)
+		for i := 0; i < n && !d.bad; i++ {
+			rows = append(rows, d.floats())
+		}
+		out = rows
+	case kindRawSeries:
+		out = RawSeries(d.floats())
+	case kindRawString:
+		out = RawString(d.bytes())
+	default:
+		return nil, fmt.Errorf("%w: unknown payload kind %d", ErrCorruptRecord, kind)
+	}
+	if !d.done() {
+		return nil, fmt.Errorf("%w: payload does not parse (kind %d)", ErrCorruptRecord, kind)
+	}
+	return out, nil
+}

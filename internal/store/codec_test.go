@@ -1,0 +1,263 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+
+	"pmjoin/internal/geom"
+	"pmjoin/internal/join"
+)
+
+// sampleVectorPage exercises negative IDs and every special float class the
+// format promises to round-trip bit-exactly.
+func sampleVectorPage() *join.VectorPage {
+	return &join.VectorPage{
+		IDs: []int{0, -7, 1 << 40},
+		Vecs: []geom.Vector{
+			{1.5, -2.25, 0},
+			{math.NaN(), math.Inf(1), math.Inf(-1)},
+			{math.Copysign(0, -1), 5e-324, math.MaxFloat64},
+		},
+	}
+}
+
+func sampleSeriesPage() *join.SeriesPage {
+	return &join.SeriesPage{
+		IDs:     []int{3, 4},
+		Starts:  []int{0, -128},
+		Windows: [][]float64{{0.5, 1.5, 2.5}, {}},
+	}
+}
+
+func sampleStringPage() *join.StringPage {
+	return &join.StringPage{
+		IDs:     []int{9, 10},
+		Starts:  []int{2, 11},
+		Windows: [][]byte{[]byte("abacus"), {}},
+		Freqs:   [][]int{{3, 0, -1}, {}},
+	}
+}
+
+func eqFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// roundTrip encodes payload and decodes it back, failing the test on error.
+func roundTrip(t *testing.T, payload any) any {
+	t.Helper()
+	rec, err := EncodeRecord(payload)
+	if err != nil {
+		t.Fatalf("EncodeRecord(%T): %v", payload, err)
+	}
+	got, err := DecodeRecord(rec)
+	if err != nil {
+		t.Fatalf("DecodeRecord(%T record): %v", payload, err)
+	}
+	return got
+}
+
+func TestCodecRoundTripVectorPage(t *testing.T) {
+	want := sampleVectorPage()
+	got, ok := roundTrip(t, want).(*join.VectorPage)
+	if !ok {
+		t.Fatalf("decoded to %T, want *join.VectorPage", got)
+	}
+	if !eqInts(got.IDs, want.IDs) {
+		t.Errorf("IDs = %v, want %v", got.IDs, want.IDs)
+	}
+	if len(got.Vecs) != len(want.Vecs) {
+		t.Fatalf("len(Vecs) = %d, want %d", len(got.Vecs), len(want.Vecs))
+	}
+	for i := range want.Vecs {
+		if !eqFloats(got.Vecs[i], want.Vecs[i]) {
+			t.Errorf("Vecs[%d] = %v, want bit-identical %v", i, got.Vecs[i], want.Vecs[i])
+		}
+	}
+}
+
+func TestCodecRoundTripSeriesPage(t *testing.T) {
+	want := sampleSeriesPage()
+	got, ok := roundTrip(t, want).(*join.SeriesPage)
+	if !ok {
+		t.Fatalf("decoded to %T, want *join.SeriesPage", got)
+	}
+	if !eqInts(got.IDs, want.IDs) || !eqInts(got.Starts, want.Starts) {
+		t.Errorf("IDs/Starts = %v/%v, want %v/%v", got.IDs, got.Starts, want.IDs, want.Starts)
+	}
+	if len(got.Windows) != len(want.Windows) {
+		t.Fatalf("len(Windows) = %d, want %d", len(got.Windows), len(want.Windows))
+	}
+	for i := range want.Windows {
+		if !eqFloats(got.Windows[i], want.Windows[i]) {
+			t.Errorf("Windows[%d] = %v, want %v", i, got.Windows[i], want.Windows[i])
+		}
+	}
+}
+
+func TestCodecRoundTripStringPage(t *testing.T) {
+	want := sampleStringPage()
+	got, ok := roundTrip(t, want).(*join.StringPage)
+	if !ok {
+		t.Fatalf("decoded to %T, want *join.StringPage", got)
+	}
+	if !eqInts(got.IDs, want.IDs) || !eqInts(got.Starts, want.Starts) {
+		t.Errorf("IDs/Starts = %v/%v, want %v/%v", got.IDs, got.Starts, want.IDs, want.Starts)
+	}
+	for i := range want.Windows {
+		if string(got.Windows[i]) != string(want.Windows[i]) {
+			t.Errorf("Windows[%d] = %q, want %q", i, got.Windows[i], want.Windows[i])
+		}
+		if !eqInts(got.Freqs[i], want.Freqs[i]) {
+			t.Errorf("Freqs[%d] = %v, want %v", i, got.Freqs[i], want.Freqs[i])
+		}
+	}
+}
+
+func TestCodecRoundTripRawPayloads(t *testing.T) {
+	if got := roundTrip(t, RawVectors{{1, 2}, {}, {-3.5}}).(RawVectors); len(got) != 3 || !eqFloats(got[0], []float64{1, 2}) || !eqFloats(got[2], []float64{-3.5}) {
+		t.Errorf("RawVectors round-trip = %v", got)
+	}
+	if got := roundTrip(t, RawSeries{0.25, math.NaN(), -1}).(RawSeries); !eqFloats(got, []float64{0.25, math.NaN(), -1}) {
+		t.Errorf("RawSeries round-trip = %v", got)
+	}
+	if got := roundTrip(t, RawString("hello\x00world")).(RawString); string(got) != "hello\x00world" {
+		t.Errorf("RawString round-trip = %q", got)
+	}
+}
+
+func TestCodecRoundTripEmptyPages(t *testing.T) {
+	for _, payload := range []any{
+		&join.VectorPage{}, &join.SeriesPage{}, &join.StringPage{},
+		RawVectors{}, RawSeries{}, RawString{},
+	} {
+		roundTrip(t, payload)
+	}
+}
+
+func TestEncodeUnsupportedPayload(t *testing.T) {
+	for _, payload := range []any{nil, 42, "scratch", []int{1}, join.VectorPage{}} {
+		if _, err := EncodeRecord(payload); !errors.Is(err, ErrUnsupportedPayload) {
+			t.Errorf("EncodeRecord(%T) err = %v, want ErrUnsupportedPayload", payload, err)
+		}
+	}
+}
+
+func TestEncodeMismatchedPageSlices(t *testing.T) {
+	cases := []any{
+		&join.VectorPage{IDs: []int{1, 2}, Vecs: []geom.Vector{{1}}},
+		&join.SeriesPage{IDs: []int{1}, Starts: []int{0, 1}, Windows: [][]float64{{1}}},
+		&join.StringPage{IDs: []int{1}, Starts: []int{0}, Windows: [][]byte{[]byte("a")}, Freqs: nil},
+	}
+	for _, payload := range cases {
+		if _, err := EncodeRecord(payload); err == nil {
+			t.Errorf("EncodeRecord(%T with mismatched slices) succeeded, want error", payload)
+		}
+	}
+}
+
+// corrupt returns a copy of rec with the byte at i xor'd by mask.
+func corrupt(rec []byte, i int, mask byte) []byte {
+	out := append([]byte(nil), rec...)
+	out[i] ^= mask
+	return out
+}
+
+func TestDecodeRejectsCorruptRecords(t *testing.T) {
+	rec, err := EncodeRecord(sampleVectorPage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":             {},
+		"truncated header":  rec[:headerSize-1],
+		"bad magic":         corrupt(rec, 0, 0xff),
+		"bad version":       corrupt(rec, 4, 0xff),
+		"bad kind":          corrupt(rec, 6, 0xff),
+		"length mismatch":   corrupt(rec, 8, 0x01),
+		"crc mismatch":      corrupt(rec, headerSize, 0x01),
+		"truncated payload": rec[:len(rec)-1],
+		"trailing bytes":    append(append([]byte(nil), rec...), 0),
+	}
+	for name, bad := range cases {
+		if _, err := DecodeRecord(bad); !errors.Is(err, ErrCorruptRecord) {
+			t.Errorf("%s: err = %v, want ErrCorruptRecord", name, err)
+		}
+	}
+}
+
+// TestDecodeRejectsAllocationBomb feeds a structurally valid record whose
+// element count claims far more rows than the payload holds: the decoder must
+// reject it before allocating, not OOM.
+func TestDecodeRejectsAllocationBomb(t *testing.T) {
+	body := binary.LittleEndian.AppendUint32(nil, 0xffffffff)
+	rec := make([]byte, headerSize+len(body))
+	copy(rec, magic[:])
+	binary.LittleEndian.PutUint16(rec[4:6], formatVersion)
+	binary.LittleEndian.PutUint16(rec[6:8], uint16(kindVectorPage))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(body)))
+	binary.LittleEndian.PutUint32(rec[12:16], crc32.ChecksumIEEE(body))
+	copy(rec[headerSize:], body)
+	if _, err := DecodeRecord(rec); !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+// FuzzPageCodecRoundTrip is the codec's safety net: DecodeRecord must never
+// panic on arbitrary input, and any input it accepts must re-encode to the
+// identical bytes (the format is canonical: decode ∘ encode = id on valid
+// records).
+func FuzzPageCodecRoundTrip(f *testing.F) {
+	for _, payload := range []any{
+		sampleVectorPage(), sampleSeriesPage(), sampleStringPage(),
+		RawVectors{{1, 2, 3}}, RawSeries{4, 5}, RawString("seed"),
+		&join.VectorPage{}, &join.StringPage{},
+	} {
+		rec, err := EncodeRecord(payload)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(rec)
+		f.Add(corrupt(rec, len(rec)/2, 0x80))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PMJP"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeRecord(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptRecord) {
+				t.Fatalf("decode error is not ErrCorruptRecord: %v", err)
+			}
+			return
+		}
+		rec, err := EncodeRecord(payload)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		if string(rec) != string(data) {
+			t.Fatalf("re-encode is not canonical:\n in: %x\nout: %x", data, rec)
+		}
+	})
+}

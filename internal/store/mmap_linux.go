@@ -1,0 +1,66 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only mmap view of a store file's first len bytes.
+type mapping []byte
+
+// mapFile maps the first size bytes of f read-only.
+func mapFile(f *os.File, size int64) (mapping, error) {
+	if size <= 0 {
+		return nil, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return mapping(b), nil
+}
+
+// unmap releases a view.
+func unmap(m mapping) error {
+	if m == nil {
+		return nil
+	}
+	return syscall.Munmap([]byte(m))
+}
+
+// adviseSequential hints the kernel that the view will be read front to back,
+// widening readahead for the cold sweep.
+func adviseSequential(m mapping) {
+	if m != nil {
+		_ = syscall.Madvise([]byte(m), syscall.MADV_SEQUENTIAL)
+	}
+}
+
+// adviseSequentialFD is the fd-level counterpart (posix_fadvise SEQUENTIAL),
+// covering the pread fallback path.
+func adviseSequentialFD(f *os.File) {
+	fadvise(f, 2 /* POSIX_FADV_SEQUENTIAL */)
+}
+
+// dropMapped discards the view's resident pages (madvise DONTNEED) so the
+// next touch faults them back in from disk — the mapped half of DropCaches.
+func dropMapped(m mapping) {
+	if m != nil {
+		_ = syscall.Madvise([]byte(m), syscall.MADV_DONTNEED)
+	}
+}
+
+// dropFileCache asks the kernel to evict the file's page-cache pages
+// (posix_fadvise DONTNEED) — the fd half of DropCaches. Best-effort: pages
+// still referenced by a live mapping survive, which is why dropMapped runs
+// first.
+func dropFileCache(f *os.File) {
+	fadvise(f, 4 /* POSIX_FADV_DONTNEED */)
+}
+
+// fadvise issues posix_fadvise(fd, 0, 0, advice) over the whole file.
+func fadvise(f *os.File, advice int) {
+	_, _, _ = syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, uintptr(advice), 0, 0)
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// Non-Linux hosts serve every read through the pread fallback: mapFile
+// reports "no mapping available" and the advice hooks are no-ops. The store
+// works identically, just without zero-copy views or cache-drop support.
+
+// mapping is a read-only view of a store file; always nil on this platform.
+type mapping []byte
+
+func mapFile(*os.File, int64) (mapping, error) { return nil, nil }
+
+func unmap(mapping) error { return nil }
+
+func adviseSequential(mapping) {}
+
+func adviseSequentialFD(*os.File) {}
+
+func dropMapped(mapping) {}
+
+func dropFileCache(*os.File) {}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"pmjoin/internal/disk"
+	"pmjoin/internal/geom"
+	"pmjoin/internal/join"
+)
+
+func vecPage(base int) *join.VectorPage {
+	return &join.VectorPage{
+		IDs:  []int{base, base + 1},
+		Vecs: []geom.Vector{{float64(base), 1}, {float64(base) + 0.5, -2}},
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	addrs := []disk.PageAddr{
+		{File: 0, Page: 0}, {File: 0, Page: 1}, {File: 3, Page: 5},
+	}
+	for i, addr := range addrs {
+		if err := st.Put(addr, vecPage(10*i)); err != nil {
+			t.Fatalf("Put(%v): %v", addr, err)
+		}
+	}
+	for i, addr := range addrs {
+		payload, secs, err := st.Fetch(addr)
+		if err != nil {
+			t.Fatalf("Fetch(%v): %v", addr, err)
+		}
+		if secs < 0 {
+			t.Errorf("Fetch(%v) measured %v seconds", addr, secs)
+		}
+		pg, ok := payload.(*join.VectorPage)
+		if !ok {
+			t.Fatalf("Fetch(%v) = %T, want *join.VectorPage", addr, payload)
+		}
+		if want := vecPage(10 * i); !eqInts(pg.IDs, want.IDs) || !eqFloats(pg.Vecs[0], want.Vecs[0]) {
+			t.Errorf("Fetch(%v) = %+v, want %+v", addr, pg, want)
+		}
+	}
+	if got := st.Pages(3); got != 6 {
+		t.Errorf("Pages(3) = %d, want 6 (absent slots included)", got)
+	}
+}
+
+func TestStoreAbsentPages(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Put(disk.PageAddr{File: 1, Page: 2}, vecPage(0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []disk.PageAddr{
+		{File: 9, Page: 0},  // unknown file
+		{File: 1, Page: 7},  // past the end
+		{File: 1, Page: 0},  // gap slot never Put
+		{File: 1, Page: -1}, // nonsense index
+	} {
+		if _, _, err := st.Fetch(addr); !errors.Is(err, disk.ErrNotInBackend) {
+			t.Errorf("Fetch(%v) err = %v, want ErrNotInBackend", addr, err)
+		}
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr := disk.PageAddr{File: 0, Page: 0}
+	if err := st.Put(addr, vecPage(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(addr, vecPage(42)); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := st.Fetch(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := payload.(*join.VectorPage); got.IDs[0] != 42 {
+		t.Errorf("after overwrite, IDs[0] = %d, want 42", got.IDs[0])
+	}
+}
+
+// TestStoreSkipsUnencodable pins the scratch-page contract: a Put of an
+// executor-internal payload succeeds as a no-op and the page reads back as
+// not-in-backend (memory fallback at the Session layer).
+func TestStoreSkipsUnencodable(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr := disk.PageAddr{File: 0, Page: 0}
+	if err := st.Put(addr, struct{ x int }{1}); err != nil {
+		t.Fatalf("Put(scratch payload): %v", err)
+	}
+	if err := st.Put(addr, nil); err != nil {
+		t.Fatalf("Put(nil payload): %v", err)
+	}
+	if _, _, err := st.Fetch(addr); !errors.Is(err, disk.ErrNotInBackend) {
+		t.Errorf("Fetch err = %v, want ErrNotInBackend", err)
+	}
+}
+
+func TestStoreDropCaches(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	addr := disk.PageAddr{File: 0, Page: 0}
+	if err := st.Put(addr, vecPage(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Fetch(addr); err != nil { // warm the mapping first
+		t.Fatal(err)
+	}
+	if err := st.DropCaches(); err != nil {
+		t.Fatalf("DropCaches: %v", err)
+	}
+	payload, _, err := st.Fetch(addr)
+	if err != nil {
+		t.Fatalf("Fetch after DropCaches: %v", err)
+	}
+	if got := payload.(*join.VectorPage); got.IDs[0] != 7 {
+		t.Errorf("IDs[0] = %d, want 7", got.IDs[0])
+	}
+}
+
+// TestStoreConcurrentPutFetch races appends against reads across files so the
+// remap-lagging mapping logic runs under -race.
+func TestStoreConcurrentPutFetch(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	const pages = 64
+	if err := st.Put(disk.PageAddr{File: 0, Page: 0}, vecPage(0)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for p := 1; p < pages; p++ {
+			if err := st.Put(disk.PageAddr{File: 0, Page: p}, vecPage(p)); err != nil {
+				t.Errorf("Put page %d: %v", p, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4*pages; i++ {
+			addr := disk.PageAddr{File: 0, Page: i % pages}
+			_, _, err := st.Fetch(addr)
+			if err != nil && !errors.Is(err, disk.ErrNotInBackend) {
+				t.Errorf("Fetch(%v): %v", addr, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for p := 0; p < pages; p++ {
+		if _, _, err := st.Fetch(disk.PageAddr{File: 0, Page: p}); err != nil {
+			t.Fatalf("final Fetch page %d: %v", p, err)
+		}
+	}
+}
+
+// TestSessionThroughStore is the seam integration test: a Disk mirrored into
+// a Store serves a Session's reads from real files, counts them in Measured,
+// and keeps the logical Stats identical to a simulator session.
+func TestSessionThroughStore(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	d := disk.New(disk.DefaultModel())
+	f := d.CreateFile()
+	var addrs []disk.PageAddr
+	for p := 0; p < 4; p++ {
+		addr, err := d.AppendPage(f, vecPage(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, addr)
+	}
+	// Seed pages materialized before the mirror existed, then attach it.
+	if err := d.EachPage(st.Put); err != nil {
+		t.Fatal(err)
+	}
+	d.SetMirror(st)
+	if addr, err := d.AppendPage(f, vecPage(4)); err != nil {
+		t.Fatal(err)
+	} else {
+		addrs = append(addrs, addr)
+	}
+
+	sim := d.NewSession()
+	phys := d.NewSessionOn(st)
+	for _, addr := range addrs {
+		simPg, err := sim.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		physPg, err := phys.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simV := simPg.Payload.(*join.VectorPage)
+		physV := physPg.Payload.(*join.VectorPage)
+		if !eqInts(simV.IDs, physV.IDs) {
+			t.Errorf("Read(%v): backend IDs %v != memory IDs %v", addr, physV.IDs, simV.IDs)
+		}
+	}
+	if sim.Stats() != phys.Stats() {
+		t.Errorf("logical stats diverge: sim %+v, phys %+v", sim.Stats(), phys.Stats())
+	}
+	m := phys.Measured()
+	if m.Reads != int64(len(addrs)) {
+		t.Errorf("Measured.Reads = %d, want %d", m.Reads, len(addrs))
+	}
+	if sm := sim.Measured(); sm != (disk.Measured{}) {
+		t.Errorf("simulator session Measured = %+v, want zero", sm)
+	}
+}
+
+func TestSaveLoadData(t *testing.T) {
+	dir := t.TempDir()
+	cases := []any{
+		RawVectors{{1, 2}, {3, 4}},
+		RawSeries{0.5, 1.5},
+		RawString("acgt"),
+	}
+	for i, payload := range cases {
+		path := fmt.Sprintf("%s/data%d.pmj", dir, i)
+		if err := SaveData(path, payload); err != nil {
+			t.Fatalf("SaveData(%T): %v", payload, err)
+		}
+		got, err := LoadData(path)
+		if err != nil {
+			t.Fatalf("LoadData(%T): %v", payload, err)
+		}
+		if fmt.Sprintf("%v", got) != fmt.Sprintf("%v", payload) {
+			t.Errorf("LoadData = %v, want %v", got, payload)
+		}
+	}
+	if err := SaveData(dir+"/bad.pmj", vecPage(0)); !errors.Is(err, ErrUnsupportedPayload) {
+		t.Errorf("SaveData(page payload) err = %v, want ErrUnsupportedPayload", err)
+	}
+	// A page record on disk is not a dataset.
+	rec, err := EncodeRecord(vecPage(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagePath := dir + "/page.pmj"
+	if err := os.WriteFile(pagePath, rec, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadData(pagePath); err == nil {
+		t.Error("LoadData(page record) succeeded, want error")
+	}
+}

@@ -21,6 +21,12 @@ import (
 	"pmjoin/internal/shard"
 )
 
+// storageReaderWorkers is the width of the dedicated background reader pool
+// a file-backed join runs its prefetch fetches on. Reader tasks are plain
+// blocking preads, so a small fixed width suffices to overlap staged reads
+// with compute without oversubscribing the host.
+const storageReaderWorkers = 4
+
 // ExecStats reports how a join actually executed on the host machine. Unlike
 // every other Result field, these are real wall-clock measurements: they vary
 // run to run and are excluded from the determinism contract (Report, Pairs
@@ -66,6 +72,15 @@ type ExecStats struct {
 	// is the modeled sharding speedup benchrunner reports.
 	Shards       int
 	ShardWorkers int
+	// MeasuredIOWall and MeasuredReads report the physical backend read
+	// account under Options.Storage = StorageFile: the number of real file
+	// reads served and their summed wall latencies in seconds (read +
+	// checksum + decode; a sum of latencies, not an elapsed window —
+	// concurrent background reads can exceed JoinWall). Both are zero under
+	// the simulator. Host-dependent and excluded from the determinism
+	// contract, like every other ExecStats field.
+	MeasuredIOWall float64
+	MeasuredReads  int64
 	// Cancelled reports that the run stopped early because the context was
 	// cancelled; the accompanying error carries the cause.
 	Cancelled bool
@@ -164,6 +179,26 @@ func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, sh
 		mc = metrics.New(metrics.Config{Trace: opt.Trace, TraceCapacity: opt.TraceCapacity})
 	}
 	kernels := opt.Kernels == KernelsOn
+
+	// Resolve the physical page source. StorageFile requires a store attached
+	// via UseFileStore; with prefetch on it also gets a small dedicated reader
+	// pool so staged backend reads overlap compute. Blocked preads sit in
+	// syscalls, not on GOMAXPROCS slots, so a modest fixed width overlaps I/O
+	// even on single-core hosts.
+	var backend disk.Backend
+	if opt.Storage == StorageFile {
+		st := s.fileStore()
+		if st == nil {
+			return nil, fmt.Errorf("pmjoin: Options.Storage is file but no store is attached; call System.UseFileStore first")
+		}
+		backend = st
+	}
+	var readers *join.WorkerPool
+	if backend != nil && opt.Pipeline.Prefetch == PrefetchOn {
+		readers = join.NewWorkerPool(storageReaderWorkers)
+		defer readers.Close()
+	}
+
 	eng := &join.Engine{
 		Disk:        s.d,
 		BufferSize:  opt.BufferPages,
@@ -174,6 +209,8 @@ func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, sh
 		Kernels:     kernels,
 		KernelBatch: opt.KernelBatch == KernelBatchOn,
 		Shared:      shared,
+		Backend:     backend,
+		Readers:     readers,
 	}
 	if opt.CollectPairs {
 		eng.OnPair = func(i, j int) {
@@ -244,7 +281,7 @@ func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, sh
 		}
 		if opt.Sharding.Shards > 0 {
 			rep, err = timedJoin(func() (*join.Report, error) {
-				r2, snaps, err2 := s.joinSharded(ctx, a, b, m, clusters, joiner, order, pre, opt, res, wp, mc, shared)
+				r2, snaps, err2 := s.joinSharded(ctx, a, b, m, clusters, joiner, order, pre, opt, res, wp, mc, shared, backend, readers)
 				shardSnaps = snaps
 				return r2, err2
 			})
@@ -308,6 +345,13 @@ func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, sh
 		return nil, err
 	}
 	res.Report = *rep
+	if opt.Sharding.Shards == 0 {
+		// Sharded runs sum per-shard accounts inside joinSharded; here the
+		// single engine's account is the whole story.
+		m := eng.MeasuredIO()
+		res.Exec.MeasuredIOWall = m.Seconds
+		res.Exec.MeasuredReads = m.Reads
+	}
 	if wp != nil {
 		mc.RecordQueueHighWater(wp.QueueHighWater())
 	}
@@ -341,7 +385,7 @@ func (s *System) joinContext(ctx context.Context, a, b *Dataset, opt Options, sh
 func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matrix,
 	clusters []*cluster.Cluster, joiner join.ObjectJoiner, order join.ClusterOrder,
 	pre float64, opt Options, res *Result, wp *join.WorkerPool, mc *metrics.Collector,
-	shared *buffer.SharedPool,
+	shared *buffer.SharedPool, backend disk.Backend, readers *join.WorkerPool,
 ) (*join.Report, []*metrics.Metrics, error) {
 	pageSets := shard.PageSets(clusters, a.ds.File, b.ds.File)
 	plan, err := shard.Cut(pageSets, shard.Entries(clusters), opt.Sharding.Shards, s.shardCost())
@@ -358,6 +402,8 @@ func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matr
 		Shared:            shared,
 		Prefetch:          opt.Pipeline.Prefetch == PrefetchOn,
 		PrefetchDepth:     opt.Pipeline.PrefetchDepth,
+		Backend:           backend,
+		Readers:           readers,
 		R:                 &a.ds,
 		S:                 &b.ds,
 		Matrix:            m,
@@ -393,6 +439,14 @@ func (s *System) joinSharded(ctx context.Context, a, b *Dataset, m *predmat.Matr
 	res.Exec.OverlapIOSeconds = ts.OverlapIOSeconds
 	res.Exec.Shards = len(plan.Shards)
 	res.Exec.ShardWorkers = coordWorkers(opt.Sharding.Workers, len(plan.Shards))
+	var meas disk.Measured
+	for _, r := range results {
+		if r != nil {
+			meas = meas.Add(r.Measured)
+		}
+	}
+	res.Exec.MeasuredIOWall = meas.Seconds
+	res.Exec.MeasuredReads = meas.Reads
 	mc.RecordTimeline(ts)
 	var snaps []*metrics.Metrics
 	for _, r := range results {

@@ -100,6 +100,12 @@ type Options struct {
 	// bit-exact: Report, Pairs and Plan never depend on this knob;
 	// KernelBatchOff exists as an escape hatch and for differential tests.
 	KernelBatch KernelBatchMode
+	// Storage selects the physical page source (default: the in-memory
+	// simulator). StorageFile requires a store attached to the System via
+	// UseFileStore and serves page payloads from its real files, measuring
+	// per-read wall latencies into ExecStats.MeasuredIOWall. Report, Pairs
+	// and Plan are bit-for-bit independent of this knob.
+	Storage StorageMode
 	// Sharding selects sharded clustered execution (default: unsharded).
 	Sharding ShardingOptions
 	// Pipeline groups the prefetch pipeline knobs; see PipelineOptions.
@@ -220,6 +226,13 @@ func (o *Options) Validate() error {
 		o.Pipeline.PrefetchDepth = o.PrefetchDepth
 	}
 	o.PrefetchDepth = o.Pipeline.PrefetchDepth
+
+	if !storageSpec.valid(o.Storage) {
+		return fmt.Errorf("pmjoin: unknown storage mode %v", o.Storage)
+	}
+	if o.Storage == StorageDefault {
+		o.Storage = StorageSim
+	}
 
 	if o.Sharding.Shards < 0 {
 		return fmt.Errorf("pmjoin: negative shard count %d", o.Sharding.Shards)

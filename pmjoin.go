@@ -39,6 +39,7 @@ import (
 	"pmjoin/internal/rstar"
 	"pmjoin/internal/seqdist"
 	"pmjoin/internal/sflight"
+	"pmjoin/internal/store"
 )
 
 // Kind identifies the data kind of a dataset.
@@ -102,6 +103,11 @@ type System struct {
 	// serving layer's plan cache — stay valid for the dataset's lifetime and
 	// gain an invalidation seam for future mutable backends.
 	epoch int64
+	// storeMu guards store, the optional file-backed page store attached by
+	// UseFileStore (nil = simulator-only). Once attached it also serves as
+	// the disk's write mirror, so later Add* calls land in its files too.
+	storeMu sync.RWMutex
+	store   *store.Store
 }
 
 type matrixKey struct {
@@ -145,6 +151,69 @@ func (s *System) Model() DiskModel { return s.model }
 
 // ResetIOStats zeroes the simulated disk counters (datasets survive).
 func (s *System) ResetIOStats() { s.d.ResetStats() }
+
+// UseFileStore attaches a file-backed page store rooted at dir: every page
+// already materialized on the simulated disk is encoded into the store's
+// files, and every page added afterwards is mirrored as it is written. Joins
+// run with Options.Storage = StorageFile then serve page payloads from those
+// files with measured per-read wall latencies (ExecStats.MeasuredIOWall);
+// Report, Pairs and Plan stay bit-identical to the simulator either way.
+//
+// UseFileStore must not overlap with other calls on the System (it is a
+// mutating call, like Add*). Attaching twice is an error; Close the System's
+// store first via CloseStore.
+func (s *System) UseFileStore(dir string) error {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if s.store != nil {
+		return fmt.Errorf("pmjoin: a file store is already attached")
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := s.d.EachPage(st.Put); err != nil {
+		st.Close()
+		return fmt.Errorf("pmjoin: seeding file store: %w", err)
+	}
+	s.d.SetMirror(st)
+	s.store = st
+	return nil
+}
+
+// CloseStore detaches and closes the file store attached by UseFileStore
+// (no-op when none is attached). Joins requesting StorageFile fail afterwards
+// until a store is attached again. Must not overlap with running joins.
+func (s *System) CloseStore() error {
+	s.storeMu.Lock()
+	defer s.storeMu.Unlock()
+	if s.store == nil {
+		return nil
+	}
+	s.d.SetMirror(nil)
+	err := s.store.Close()
+	s.store = nil
+	return err
+}
+
+// DropStoreCaches asks the OS to drop its page-cache copies of the attached
+// store's files, so the next file-backed join measures cold reads. No-op
+// without an attached store or on platforms without cache-drop advice.
+func (s *System) DropStoreCaches() error {
+	s.storeMu.RLock()
+	defer s.storeMu.RUnlock()
+	if s.store == nil {
+		return nil
+	}
+	return s.store.DropCaches()
+}
+
+// fileStore returns the attached store (nil when none).
+func (s *System) fileStore() *store.Store {
+	s.storeMu.RLock()
+	defer s.storeMu.RUnlock()
+	return s.store
+}
 
 // Dataset is a dataset materialized on the system's disk, ready to join.
 type Dataset struct {
